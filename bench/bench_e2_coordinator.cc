@@ -1,0 +1,233 @@
+// Experiment E2 (Section 3.2.1): the hierarchical coordinator tree under
+// scale and churn — join/leave message costs, tree height, heartbeat
+// overhead, invariant health, and query-routing throughput/balance.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "coordinator/coordinator_tree.h"
+
+namespace {
+
+using dsps::common::Table;
+using dsps::coordinator::CoordinatorTree;
+
+void BM_Join(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    CoordinatorTree::Config cfg;
+    cfg.k = 3;
+    CoordinatorTree tree(cfg);
+    dsps::common::Rng rng(1);
+    state.ResumeTiming();
+    for (int i = 0; i < n; ++i) {
+      auto r = tree.Join(i, {rng.Uniform(0, 1000), rng.Uniform(0, 1000)});
+      benchmark::DoNotOptimize(r.ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Join)->Arg(64)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_RouteQuery(benchmark::State& state) {
+  CoordinatorTree::Config cfg;
+  cfg.k = 3;
+  CoordinatorTree tree(cfg);
+  dsps::common::Rng rng(2);
+  for (int i = 0; i < 512; ++i) {
+    if (!tree.Join(i, {rng.Uniform(0, 1000), rng.Uniform(0, 1000)}).ok()) {
+      std::abort();
+    }
+  }
+  for (auto _ : state) {
+    auto r = tree.RouteQuery({rng.Uniform(0, 1000), rng.Uniform(0, 1000)}, 1.0);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RouteQuery);
+
+void PrintE2Scale() {
+  Table table({"N entities", "k", "height", "msgs/join (mean)",
+               "heartbeat msgs/round", "invariants", "route hops",
+               "route load max/mean"});
+  for (int n : {64, 512, 4096}) {
+    for (int k : {3, 6}) {
+      CoordinatorTree::Config cfg;
+      cfg.k = k;
+      CoordinatorTree tree(cfg);
+      dsps::common::Rng rng(3);
+      dsps::common::RunningStat join_msgs;
+      for (int i = 0; i < n; ++i) {
+        auto r = tree.Join(i, {rng.Uniform(0, 1000), rng.Uniform(0, 1000)});
+        if (!r.ok()) std::abort();
+        join_msgs.Add(r.value());
+      }
+      bool ok = tree.CheckInvariants().ok();
+      // Route 4*n queries; record hops and final balance.
+      dsps::common::RunningStat hops;
+      for (int q = 0; q < 4 * n; ++q) {
+        auto r = tree.RouteQuery({rng.Uniform(0, 1000), rng.Uniform(0, 1000)},
+                                 1.0);
+        if (!r.ok()) std::abort();
+        hops.Add(r.value().hops);
+      }
+      double max_load = 0, total = 0;
+      for (int e = 0; e < n; ++e) {
+        max_load = std::max(max_load, tree.LoadOf(e));
+        total += tree.LoadOf(e);
+      }
+      table.AddRow({Table::Int(n), Table::Int(k), Table::Int(tree.height()),
+                    Table::Num(join_msgs.mean(), 1),
+                    Table::Int(tree.HeartbeatRound()), ok ? "OK" : "VIOLATED",
+                    Table::Num(hops.mean(), 2),
+                    Table::Num(max_load / (total / n), 2)});
+    }
+  }
+  table.Print(
+      "E2a (Section 3.2.1): coordinator tree vs scale — logarithmic height, "
+      "bounded join cost, balanced routing");
+}
+
+void PrintE2Churn() {
+  Table table({"N", "churn ops", "msgs/leave (mean)", "msgs/join (mean)",
+               "maintain msgs", "invariants"});
+  for (int n : {128, 1024}) {
+    CoordinatorTree::Config cfg;
+    cfg.k = 3;
+    CoordinatorTree tree(cfg);
+    dsps::common::Rng rng(5);
+    std::set<int> alive;
+    int next_id = 0;
+    for (int i = 0; i < n; ++i) {
+      if (!tree.Join(next_id, {rng.Uniform(0, 1000), rng.Uniform(0, 1000)})
+               .ok()) {
+        std::abort();
+      }
+      alive.insert(next_id++);
+    }
+    dsps::common::RunningStat leave_msgs, join_msgs;
+    int churn_ops = n;  // 50% leaves + 50% joins
+    for (int op = 0; op < churn_ops; ++op) {
+      if (op % 2 == 0 && !alive.empty()) {
+        auto it = alive.begin();
+        std::advance(it, rng.NextUint64(alive.size()));
+        auto r = tree.Leave(*it);
+        if (!r.ok()) std::abort();
+        leave_msgs.Add(r.value());
+        alive.erase(it);
+      } else {
+        auto r = tree.Join(next_id,
+                           {rng.Uniform(0, 1000), rng.Uniform(0, 1000)});
+        if (!r.ok()) std::abort();
+        join_msgs.Add(r.value());
+        alive.insert(next_id++);
+      }
+    }
+    int maintain = tree.Maintain();
+    bool ok = tree.CheckInvariants().ok();
+    table.AddRow({Table::Int(n), Table::Int(churn_ops),
+                  Table::Num(leave_msgs.mean(), 1),
+                  Table::Num(join_msgs.mean(), 1), Table::Int(maintain),
+                  ok ? "OK" : "VIOLATED"});
+  }
+  table.Print(
+      "E2b (Section 3.2.1): coordinator tree under churn — repair costs stay "
+      "local, invariants hold");
+}
+
+void PrintE2InterestRouting() {
+  // Two allocation policies on the same query stream: plain load+geo
+  // routing vs interest-aware routing on coarse subtree summaries. The
+  // dissemination cost proxy is the total data rate the entities'
+  // aggregated interests subscribe to (duplicates across entities cost
+  // real WAN bytes).
+  dsps::interest::StreamCatalog catalog;
+  dsps::interest::StreamStats stats;
+  stats.domain = dsps::interest::Box{{0, 100}};
+  stats.tuples_per_s = 1000;
+  stats.bytes_per_tuple = 64;
+  catalog.Register(0, stats);
+
+  Table table({"routing", "total subscribed B/s", "duplicate factor",
+               "load max/mean", "queries"});
+  for (double weight : {0.0, 0.5, 1.5}) {
+    bool interest_aware = weight > 0.0;
+    CoordinatorTree::Config cfg;
+    cfg.k = 3;
+    cfg.route_interest_weight = weight;
+    CoordinatorTree tree(cfg);
+    dsps::common::Rng rng(31);
+    const int n = 32;
+    for (int i = 0; i < n; ++i) {
+      if (!tree.Join(i, {rng.Uniform(0, 1000), rng.Uniform(0, 1000)}).ok()) {
+        std::abort();
+      }
+    }
+    // Hotspot query stream: 4 interest clusters.
+    const int queries = 256;
+    std::map<int, dsps::interest::InterestSet> entity_interest;
+    for (int q = 0; q < queries; ++q) {
+      double center = 12.5 + 25.0 * static_cast<double>(rng.NextUint64(4));
+      double lo = std::max(0.0, center - 8 + rng.Uniform(-4, 4));
+      dsps::interest::InterestSet qi;
+      qi.Add(0, dsps::interest::Box{{lo, lo + 16}});
+      auto route =
+          interest_aware
+              ? tree.RouteQueryByInterest(qi, catalog,
+                                          {rng.Uniform(0, 1000),
+                                           rng.Uniform(0, 1000)},
+                                          1.0)
+              : tree.RouteQuery({rng.Uniform(0, 1000), rng.Uniform(0, 1000)},
+                                1.0);
+      if (!route.ok()) std::abort();
+      int home = route.value().entity;
+      entity_interest[home].MergeFrom(qi);
+      entity_interest[home].Simplify();
+      tree.SetEntityInterest(home, entity_interest[home]);
+    }
+    double subscribed = 0.0;
+    for (auto& [e, set] : entity_interest) {
+      subscribed += dsps::interest::TotalRateBytesPerSec(set, catalog);
+    }
+    // One query's own rate covers 16% of the stream.
+    double single = 0.16 * stats.bytes_per_s();
+    double max_load = 0, total = 0;
+    for (int e = 0; e < n; ++e) {
+      max_load = std::max(max_load, tree.LoadOf(e));
+      total += tree.LoadOf(e);
+    }
+    std::string label = interest_aware
+                            ? "load+geo+interest(w=" + Table::Num(weight, 1) + ")"
+                            : "load+geo";
+    table.AddRow({label,
+                  Table::Num(subscribed, 0),
+                  Table::Num(subscribed / (4 * single), 2),
+                  Table::Num(max_load / (total / n), 2),
+                  Table::Int(queries)});
+  }
+  table.Print(
+      "E2c (Sections 3.2.1+3.2.2): interest-aware query routing on coarse "
+      "coordinator summaries — co-locating overlapping queries shrinks the "
+      "total subscribed rate (duplicate factor 1.0 = perfect sharing)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  PrintE2Scale();
+  PrintE2Churn();
+  PrintE2InterestRouting();
+  return 0;
+}

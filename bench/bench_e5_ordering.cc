@@ -1,0 +1,93 @@
+// Experiment E5 (Section 4.2): adaptive distributed operator ordering.
+// A conjunction of filters spread over processors experiences selectivity
+// drift; the Adaptation Module's per-tuple routing is compared against a
+// static order fixed at optimization time and the unreachable oracle.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "ordering/pipeline_sim.h"
+
+namespace {
+
+using dsps::common::Table;
+using dsps::ordering::OrderingPolicy;
+using dsps::ordering::PipelineOp;
+using dsps::ordering::PipelineSimResult;
+using dsps::ordering::RunPipeline;
+
+/// `n` filters over `procs` processors; at tuple `drift_at` the filters'
+/// selectivities rotate by `magnitude` (0 = no drift, 1 = full reversal).
+std::vector<PipelineOp> MakePipeline(int n, int procs, int64_t drift_at,
+                                     double magnitude) {
+  std::vector<PipelineOp> ops(n);
+  for (int i = 0; i < n; ++i) {
+    ops[i].op = i;
+    ops[i].proc = i % procs;
+    ops[i].cost = 1e-6 * (1 + i % 3);
+    double before = 0.1 + 0.8 * i / (n - 1);
+    double after = before + magnitude * (0.9 - 2 * 0.8 * i / (n - 1));
+    after = std::min(0.95, std::max(0.05, after));
+    ops[i].selectivity = [before, after, drift_at](int64_t t) {
+      return t < drift_at ? before : after;
+    };
+  }
+  return ops;
+}
+
+void BM_Pipeline(benchmark::State& state) {
+  OrderingPolicy policy = static_cast<OrderingPolicy>(state.range(0));
+  auto ops = MakePipeline(5, 3, 5000, 1.0);
+  for (auto _ : state) {
+    dsps::common::Rng rng(1);
+    PipelineSimResult r = RunPipeline(ops, policy, 10000, &rng);
+    benchmark::DoNotOptimize(r.total_cost);
+  }
+  state.SetLabel(state.range(0) == 0   ? "static"
+                 : state.range(0) == 1 ? "adaptive"
+                                       : "oracle");
+}
+BENCHMARK(BM_Pipeline)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+
+void PrintE5() {
+  const int64_t tuples = 60000;
+  Table table({"drift", "policy", "evaluations", "CPU ms", "vs oracle",
+               "survivors"});
+  for (double magnitude : {0.0, 0.5, 1.0}) {
+    auto ops = MakePipeline(5, 3, tuples / 2, magnitude);
+    dsps::common::Rng r1(7), r2(7), r3(7);
+    PipelineSimResult rs = RunPipeline(ops, OrderingPolicy::kStatic, tuples, &r1);
+    PipelineSimResult ra =
+        RunPipeline(ops, OrderingPolicy::kAdaptive, tuples, &r2);
+    PipelineSimResult ro = RunPipeline(ops, OrderingPolicy::kOracle, tuples, &r3);
+    struct Row {
+      const char* name;
+      const PipelineSimResult* r;
+    };
+    for (const Row& row :
+         {Row{"static", &rs}, Row{"adaptive(AM)", &ra}, Row{"oracle", &ro}}) {
+      table.AddRow({Table::Num(magnitude, 1), row.name,
+                    Table::Int(row.r->evaluations),
+                    Table::Num(row.r->total_cost * 1e3, 2),
+                    Table::Num(row.r->total_cost / ro.total_cost, 3),
+                    Table::Int(row.r->survivors)});
+    }
+  }
+  table.Print(
+      "E5 (Section 4.2): adaptive operator ordering under selectivity "
+      "drift, 5 distributed filters — the AM tracks the oracle; static "
+      "degrades as drift grows");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  PrintE5();
+  return 0;
+}

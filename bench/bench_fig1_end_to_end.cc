@@ -1,0 +1,88 @@
+// Figure 1 viability: the full two-layer architecture under growing scale.
+// Sweeps the number of entities and reports end-to-end throughput,
+// latency, WAN traffic and source load — the architecture should scale
+// without the sources or any single site becoming the bottleneck.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/table.h"
+#include "system/system.h"
+#include "workload/query_gen.h"
+#include "workload/stream_gen.h"
+
+namespace {
+
+using dsps::common::Table;
+
+struct RunResult {
+  dsps::system::SystemMetrics metrics;
+  double duration = 1.0;
+};
+
+RunResult RunScale(int entities, int queries, double duration) {
+  dsps::system::System::Config cfg;
+  cfg.topology.num_entities = entities;
+  cfg.topology.processors_per_entity = 4;
+  cfg.topology.num_sources = 4;
+  cfg.allocation = dsps::system::AllocationMode::kCoordinatorTree;
+  cfg.seed = 7;
+  dsps::system::System sys(cfg);
+
+  dsps::workload::StockTickerGen::Config tcfg;
+  tcfg.tuples_per_s = 150.0;
+  dsps::interest::StreamCatalog scratch;
+  dsps::common::Rng rng(3);
+  sys.AddStreams(dsps::workload::MakeTickerStreams(4, tcfg, &scratch, &rng));
+
+  dsps::workload::QueryGen::Config qcfg;
+  qcfg.join_prob = 0.05;
+  qcfg.agg_prob = 0.15;
+  dsps::workload::QueryGen gen(qcfg, &sys.catalog(), dsps::common::Rng(11));
+  for (const auto& q : gen.Batch(queries)) {
+    dsps::common::Status s = sys.SubmitQuery(q);
+    if (!s.ok()) std::abort();
+  }
+  sys.GenerateTraffic(duration);
+  sys.RunUntil(duration + 1.0);
+  return RunResult{sys.Collect(), duration};
+}
+
+void BM_EndToEnd(benchmark::State& state) {
+  int entities = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    RunResult r = RunScale(entities, entities * 4, 1.0);
+    benchmark::DoNotOptimize(r.metrics.results);
+  }
+}
+BENCHMARK(BM_EndToEnd)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void PrintFigure1() {
+  Table table({"entities", "queries", "results/s", "p50 lat ms", "p99 lat ms",
+               "WAN MB", "source MB", "src fanout", "max util %"});
+  for (int entities : {4, 8, 16, 32}) {
+    RunResult r = RunScale(entities, entities * 6, 3.0);
+    const auto& m = r.metrics;
+    table.AddRow({Table::Int(entities), Table::Int(entities * 6),
+                  Table::Num(m.results / r.duration, 0),
+                  Table::Num(m.latency.p50() * 1e3, 2),
+                  Table::Num(m.latency.p99() * 1e3, 2),
+                  Table::Num(m.wan_bytes / 1e6, 2),
+                  Table::Num(m.source_egress_bytes / 1e6, 2),
+                  Table::Int(m.max_source_fanout),
+                  Table::Num(m.max_processor_utilization * 100, 3)});
+  }
+  table.Print(
+      "Figure 1 (measured): two-layer architecture scalability, 4 procs per "
+      "entity, 4 streams, 6 queries per entity");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  PrintFigure1();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Regenerates the paper's Table 1 ("degree of cooperation") as a measured
+// matrix: the four occupied regimes run on identical workloads; the table
+// reports the communication, source-scalability, balance and latency
+// consequences of each coupling choice.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/regimes.h"
+#include "common/table.h"
+
+namespace {
+
+using dsps::baselines::Regime;
+using dsps::baselines::RegimeName;
+using dsps::baselines::RegimeResult;
+using dsps::baselines::RegimeWorkload;
+
+RegimeWorkload Workload() {
+  RegimeWorkload wl;
+  wl.num_entities = 16;
+  wl.processors_per_entity = 2;
+  wl.num_streams = 4;
+  wl.num_queries = 96;
+  wl.duration_s = 3.0;
+  wl.ticker_config.tuples_per_s = 100.0;
+  // Filter-only queries (no window semantics in the latency signal) with
+  // strong hotspot locality and wide interests, so entities' interests
+  // overlap heavily — the regime where cooperative transfer matters.
+  wl.query_config.join_prob = 0.0;
+  wl.query_config.agg_prob = 0.0;
+  wl.query_config.width_min_frac = 0.3;
+  wl.query_config.width_max_frac = 0.7;
+  wl.query_config.num_hotspots = 2;
+  wl.query_config.hotspot_prob = 0.9;
+  wl.query_config.filter_dims = 1;
+  wl.seed = 42;
+  return wl;
+}
+
+void BM_Regime(benchmark::State& state) {
+  Regime regime = static_cast<Regime>(state.range(0));
+  RegimeWorkload wl = Workload();
+  wl.num_entities = 8;
+  wl.num_queries = 32;
+  wl.duration_s = 1.0;
+  for (auto _ : state) {
+    RegimeResult r = dsps::baselines::RunRegime(regime, wl);
+    benchmark::DoNotOptimize(r.results);
+  }
+  state.SetLabel(RegimeName(regime));
+}
+BENCHMARK(BM_Regime)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+void PrintTable1() {
+  RegimeWorkload wl = Workload();
+  dsps::common::Table table(
+      {"regime (transfer+processing)", "WAN MB", "source MB", "src fanout",
+       "load imbalance", "p50 lat ms", "p99 lat ms", "results"});
+  for (const RegimeResult& r : dsps::baselines::RunAllRegimes(wl)) {
+    table.AddRow({RegimeName(r.regime),
+                  dsps::common::Table::Num(r.wan_bytes / 1e6, 2),
+                  dsps::common::Table::Num(r.source_egress_bytes / 1e6, 2),
+                  dsps::common::Table::Int(r.max_source_fanout),
+                  dsps::common::Table::Num(r.load_imbalance, 2),
+                  dsps::common::Table::Num(r.latency_p50 * 1e3, 2),
+                  dsps::common::Table::Num(r.latency_p99 * 1e3, 2),
+                  dsps::common::Table::Int(r.results)});
+  }
+  table.Print(
+      "Table 1 (measured): degree of cooperation, 16 entities x 2 procs, "
+      "4 streams, 96 queries");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  PrintTable1();
+  return 0;
+}

@@ -1,0 +1,24 @@
+# Benchmark targets are defined from the top level (via include()) so that
+# build/bench/ contains ONLY the bench binaries — the whole directory can
+# be executed with `for b in build/bench/*; do $b; done`.
+function(dsps_bench name)
+  add_executable(${name} bench/${name}.cc)
+  target_link_libraries(${name} PRIVATE ${ARGN} benchmark::benchmark)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+dsps_bench(bench_table1_coupling dsps_baselines)
+dsps_bench(bench_fig1_end_to_end dsps_system)
+dsps_bench(bench_fig2_query_graph dsps_partition dsps_workload)
+dsps_bench(bench_fig3_delegation dsps_entity dsps_workload)
+dsps_bench(bench_e1_dissemination dsps_dissemination dsps_workload)
+dsps_bench(bench_e2_coordinator dsps_coordinator)
+dsps_bench(bench_e3_repartition dsps_partition)
+dsps_bench(bench_e4_placement dsps_entity dsps_workload)
+dsps_bench(bench_e5_ordering dsps_ordering)
+dsps_bench(bench_e6_coupling_ablation dsps_baselines)
+dsps_bench(bench_e7_adaptation dsps_dissemination dsps_workload)
+dsps_bench(bench_e8_failover dsps_system)
+dsps_bench(bench_e9_clients dsps_system)
+dsps_bench(bench_e10_live_repartition dsps_system)

@@ -1,0 +1,71 @@
+#ifndef DSPS_BASELINES_REGIMES_H_
+#define DSPS_BASELINES_REGIMES_H_
+
+#include <string>
+#include <vector>
+
+#include "system/system.h"
+#include "workload/query_gen.h"
+
+namespace dsps::baselines {
+
+/// The four occupied cells of the paper's Table 1 (degree-of-cooperation
+/// matrix): {stream transfer: non-cooperated | cooperated} x
+/// {query processing: isolated | query-level sharing | operator-level}.
+enum class Regime {
+  /// Non-cooperated transfer + isolated processing ("all single-site
+  /// engines"): sources feed every entity directly, queries stick to
+  /// whichever entity their client uses.
+  kIsolatedDirect,
+  /// Non-cooperated transfer + query-level load sharing ([9,11,6]-style
+  /// allocation without cooperative dissemination).
+  kQueryLevelDirect,
+  /// Cooperated transfer + query-level sharing — THIS PAPER (Sections 3).
+  kQueryLevelTree,
+  /// Cooperated (trivially: one logical cluster) + operator-level sharing
+  /// (Flux/Borealis/Medusa-style): all processors behave as one tightly
+  /// coupled engine; operators of a query may land on any processor
+  /// anywhere, paying WAN hops between sites. Requires homogeneous
+  /// engines — exactly the coupling cost Table 1 calls out.
+  kOperatorLevelFused,
+};
+
+const char* RegimeName(Regime regime);
+
+/// Workload knobs shared by all regimes of one comparison.
+struct RegimeWorkload {
+  int num_entities = 8;
+  int processors_per_entity = 4;
+  int num_streams = 4;
+  int num_queries = 64;
+  /// Simulated seconds of stream traffic.
+  double duration_s = 5.0;
+  workload::QueryGen::Config query_config;
+  workload::StockTickerGen::Config ticker_config;
+  uint64_t seed = 1;
+};
+
+/// One row of the regenerated Table 1.
+struct RegimeResult {
+  Regime regime = Regime::kIsolatedDirect;
+  /// Inter-site bytes (WAN) — the communication cost of the regime.
+  int64_t wan_bytes = 0;
+  /// Bytes leaving the stream sources (source scalability).
+  int64_t source_egress_bytes = 0;
+  int max_source_fanout = 0;
+  /// Load imbalance across sites (max/mean committed load).
+  double load_imbalance = 1.0;
+  double latency_p50 = 0.0;
+  double latency_p99 = 0.0;
+  int64_t results = 0;
+};
+
+/// Runs one regime on the given workload and reports its row.
+RegimeResult RunRegime(Regime regime, const RegimeWorkload& workload);
+
+/// Runs all four regimes with identical workloads (same seed).
+std::vector<RegimeResult> RunAllRegimes(const RegimeWorkload& workload);
+
+}  // namespace dsps::baselines
+
+#endif  // DSPS_BASELINES_REGIMES_H_

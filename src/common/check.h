@@ -1,0 +1,38 @@
+#ifndef DSPS_COMMON_CHECK_H_
+#define DSPS_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Fatal invariant check. Used for programming errors only; recoverable
+/// failures go through Status/Result.
+#define DSPS_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "DSPS_CHECK failed: %s at %s:%d\n", #cond,      \
+                   __FILE__, __LINE__);                                    \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+/// Fatal invariant check with a formatted explanation.
+#define DSPS_CHECK_MSG(cond, ...)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "DSPS_CHECK failed: %s at %s:%d: ", #cond,      \
+                   __FILE__, __LINE__);                                    \
+      std::fprintf(stderr, __VA_ARGS__);                                   \
+      std::fprintf(stderr, "\n");                                          \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define DSPS_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define DSPS_DCHECK(cond) DSPS_CHECK(cond)
+#endif
+
+#endif  // DSPS_COMMON_CHECK_H_

@@ -1,0 +1,35 @@
+#ifndef DSPS_COMMON_IDS_H_
+#define DSPS_COMMON_IDS_H_
+
+#include <cstdint>
+
+namespace dsps::common {
+
+/// Identifier conventions used across subsystems. Plain integers are used
+/// (rather than strong types) to keep hot-path structs trivially copyable;
+/// each alias documents the namespace an id lives in.
+
+/// A stream source / logical stream.
+using StreamId = int32_t;
+/// A business entity (processing-service provider).
+using EntityId = int32_t;
+/// A processor (machine) within an entity.
+using ProcessorId = int32_t;
+/// A continuous query.
+using QueryId = int64_t;
+/// An operator within a query plan.
+using OperatorId = int32_t;
+/// A query fragment (connected sub-plan).
+using FragmentId = int64_t;
+/// A node in the discrete-event network simulator.
+using SimNodeId = int32_t;
+
+inline constexpr StreamId kInvalidStream = -1;
+inline constexpr EntityId kInvalidEntity = -1;
+inline constexpr ProcessorId kInvalidProcessor = -1;
+inline constexpr QueryId kInvalidQuery = -1;
+inline constexpr SimNodeId kInvalidSimNode = -1;
+
+}  // namespace dsps::common
+
+#endif  // DSPS_COMMON_IDS_H_

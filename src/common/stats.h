@@ -1,0 +1,63 @@
+#ifndef DSPS_COMMON_STATS_H_
+#define DSPS_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dsps::common {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance; 0 with fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one.
+  void Merge(const RunningStat& other);
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exact-percentile histogram: stores all samples; intended for experiment
+/// harnesses where sample counts are modest (<= millions).
+class Histogram {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  size_t count() const { return samples_.size(); }
+  double mean() const;
+  /// The q-quantile (q in [0,1]) by nearest-rank on the sorted samples;
+  /// 0 when empty.
+  double Percentile(double q) const;
+  double p50() const { return Percentile(0.50); }
+  double p95() const { return Percentile(0.95); }
+  double p99() const { return Percentile(0.99); }
+  double max() const { return Percentile(1.0); }
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace dsps::common
+
+#endif  // DSPS_COMMON_STATS_H_

@@ -1,0 +1,62 @@
+#include "common/table.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace dsps::common {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::Int(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return buf;
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+  auto append_row = [&](std::string* out, const std::vector<std::string>& row) {
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out->append(cell);
+      if (c + 1 < headers_.size()) {
+        out->append(widths[c] - cell.size() + 2, ' ');
+      }
+    }
+    out->push_back('\n');
+  };
+  std::string out;
+  append_row(&out, headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(total, '-');
+  out.push_back('\n');
+  for (const auto& row : rows_) append_row(&out, row);
+  return out;
+}
+
+void Table::Print(const std::string& title) const {
+  std::printf("\n=== %s ===\n%s", title.c_str(), ToString().c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace dsps::common

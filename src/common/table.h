@@ -1,0 +1,37 @@
+#ifndef DSPS_COMMON_TABLE_H_
+#define DSPS_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace dsps::common {
+
+/// Plain-text aligned table printer used by the benchmark harnesses to emit
+/// paper-style result tables.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 2);
+  /// Convenience: formats integers.
+  static std::string Int(int64_t v);
+
+  /// Renders the table with a header underline and column alignment.
+  std::string ToString() const;
+
+  /// Prints to stdout with a title banner.
+  void Print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dsps::common
+
+#endif  // DSPS_COMMON_TABLE_H_

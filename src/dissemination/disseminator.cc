@@ -1,0 +1,133 @@
+#include "dissemination/disseminator.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace dsps::dissemination {
+
+Disseminator::Disseminator(sim::Network* network, const Config& config)
+    : network_(network), config_(config) {
+  DSPS_CHECK(network != nullptr);
+}
+
+common::Status Disseminator::AddSource(common::StreamId stream,
+                                       common::SimNodeId source_node) {
+  if (trees_.count(stream) > 0) {
+    return common::Status::AlreadyExists("stream already has a source");
+  }
+  trees_[stream] = std::make_unique<DisseminationTree>(
+      stream, network_->position(source_node), config_.tree);
+  source_nodes_[stream] = source_node;
+  return common::Status::OK();
+}
+
+common::Status Disseminator::AddEntity(common::EntityId id,
+                                       common::SimNodeId gateway) {
+  if (gateways_.count(id) > 0) {
+    return common::Status::AlreadyExists("entity already registered");
+  }
+  gateways_[id] = gateway;
+  by_node_[gateway] = id;
+  for (auto& [stream, tree] : trees_) {
+    DSPS_RETURN_IF_ERROR(tree->AddEntity(id, network_->position(gateway)));
+  }
+  network_->SetHandler(gateway, [this](const sim::Message& msg) {
+    HandleMessage(msg);
+  });
+  return common::Status::OK();
+}
+
+common::Status Disseminator::RemoveEntity(common::EntityId id) {
+  auto it = gateways_.find(id);
+  if (it == gateways_.end()) {
+    return common::Status::NotFound("entity not registered");
+  }
+  for (auto& [stream, tree] : trees_) {
+    if (tree->Contains(id)) {
+      DSPS_RETURN_IF_ERROR(tree->RemoveEntity(id));
+    }
+  }
+  by_node_.erase(it->second);
+  gateways_.erase(it);
+  return common::Status::OK();
+}
+
+common::Status Disseminator::SetEntityInterest(common::EntityId id,
+                                               common::StreamId stream,
+                                               std::vector<interest::Box> boxes) {
+  auto it = trees_.find(stream);
+  if (it == trees_.end()) return common::Status::NotFound("unknown stream");
+  if (gateways_.count(id) == 0) {
+    return common::Status::NotFound("unknown entity");
+  }
+  it->second->SetLocalInterest(id, std::move(boxes));
+  return common::Status::OK();
+}
+
+void Disseminator::SetDeliveryHandler(DeliveryHandler handler) {
+  delivery_ = std::move(handler);
+}
+
+void Disseminator::Forward(common::EntityId from, common::SimNodeId from_node,
+                           const TupleEnvelope& env) {
+  const DisseminationTree* tree = trees_.at(env.tuple->stream).get();
+  std::vector<common::EntityId> targets;
+  tree->ForwardTargets(from, env.point->data(), config_.early_filter,
+                       &targets);
+  for (common::EntityId target : targets) {
+    sim::Message msg;
+    msg.from = from_node;
+    msg.to = gateways_.at(target);
+    msg.type = kMsgTupleForward;
+    msg.size_bytes = env.tuple->SizeBytes();
+    msg.payload = env;
+    common::Status s = network_->Send(std::move(msg));
+    DSPS_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
+    ++forwards_;
+  }
+}
+
+common::Status Disseminator::Publish(const engine::Tuple& tuple) {
+  auto it = trees_.find(tuple.stream);
+  if (it == trees_.end()) return common::Status::NotFound("unknown stream");
+  TupleEnvelope env;
+  env.tuple = std::make_shared<const engine::Tuple>(tuple);
+  auto point = std::make_shared<std::vector<double>>();
+  point->reserve(tuple.values.size());
+  for (const engine::Value& v : tuple.values) {
+    point->push_back(engine::AsDouble(v));
+  }
+  env.point = std::move(point);
+  Forward(common::kInvalidEntity, source_nodes_.at(tuple.stream), env);
+  return common::Status::OK();
+}
+
+bool Disseminator::HandleMessage(const sim::Message& msg) {
+  if (msg.type != kMsgTupleForward) return false;
+  auto node_it = by_node_.find(msg.to);
+  if (node_it == by_node_.end()) return false;
+  common::EntityId entity = node_it->second;
+  const auto* env = std::any_cast<TupleEnvelope>(&msg.payload);
+  DSPS_CHECK(env != nullptr);
+  const DisseminationTree* tree = trees_.at(env->tuple->stream).get();
+  if (tree->LocalMatch(entity, env->point->data())) {
+    ++delivered_;
+    if (delivery_) delivery_(entity, *env->tuple);
+  }
+  // Forward down the tree.
+  Forward(entity, msg.to, *env);
+  return true;
+}
+
+const DisseminationTree* Disseminator::tree(common::StreamId stream) const {
+  auto it = trees_.find(stream);
+  return it == trees_.end() ? nullptr : it->second.get();
+}
+
+DisseminationTree* Disseminator::mutable_tree(common::StreamId stream) {
+  auto it = trees_.find(stream);
+  return it == trees_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace dsps::dissemination

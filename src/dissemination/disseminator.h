@@ -1,0 +1,103 @@
+#ifndef DSPS_DISSEMINATION_DISSEMINATOR_H_
+#define DSPS_DISSEMINATION_DISSEMINATOR_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "dissemination/tree.h"
+#include "engine/tuple.h"
+#include "sim/network.h"
+
+namespace dsps::dissemination {
+
+/// Message type used on the simulated network for tuple forwarding.
+inline constexpr int kMsgTupleForward = 101;
+
+/// Payload of a kMsgTupleForward message.
+struct TupleEnvelope {
+  std::shared_ptr<const engine::Tuple> tuple;
+  /// Numeric projection of the tuple, precomputed once at the source.
+  std::shared_ptr<const std::vector<double>> point;
+};
+
+/// Runs the dissemination trees of all streams over the simulated network:
+/// sources publish tuples, each entity's wrapper/gateway node forwards them
+/// down its per-stream tree (optionally early-filtered by subtree
+/// interest), and locally-matching tuples are handed to the entity.
+class Disseminator {
+ public:
+  struct Config {
+    DisseminationTree::Config tree;
+    /// Apply subtree-interest early filtering (Section 3.1); false =
+    /// forward-everything-to-children baseline.
+    bool early_filter = true;
+  };
+
+  /// `network` must outlive this object.
+  Disseminator(sim::Network* network, const Config& config);
+
+  /// Registers a stream source at `source_node`. Must precede AddEntity
+  /// calls for trees of this stream.
+  common::Status AddSource(common::StreamId stream,
+                           common::SimNodeId source_node);
+
+  /// Registers an entity's gateway node and attaches it to every stream's
+  /// tree. Installs a network handler on the gateway.
+  common::Status AddEntity(common::EntityId id, common::SimNodeId gateway);
+
+  /// Detaches an entity from every tree (children re-attach) and stops
+  /// delivering to it. Used for failures and departures.
+  common::Status RemoveEntity(common::EntityId id);
+
+  /// Sets the entity's local interest in `stream` (union of its queries'
+  /// boxes on that stream).
+  common::Status SetEntityInterest(common::EntityId id,
+                                   common::StreamId stream,
+                                   std::vector<interest::Box> boxes);
+
+  /// Called whenever a tuple matching the entity's local interest arrives
+  /// at its gateway.
+  using DeliveryHandler =
+      std::function<void(common::EntityId, const engine::Tuple&)>;
+  void SetDeliveryHandler(DeliveryHandler handler);
+
+  /// Publishes a tuple at its stream's source: sends it to the (filtered)
+  /// first-level children. Delivery and further forwarding happen inside
+  /// the simulation as messages arrive.
+  common::Status Publish(const engine::Tuple& tuple);
+
+  /// Handles a network message addressed to a registered gateway. Exposed
+  /// so an outer runtime that owns the node handlers can dispatch by
+  /// message type. Returns true if the message was consumed.
+  bool HandleMessage(const sim::Message& msg);
+
+  const DisseminationTree* tree(common::StreamId stream) const;
+  DisseminationTree* mutable_tree(common::StreamId stream);
+
+  /// Tuples delivered to entities (local-interest matches).
+  int64_t delivered_count() const { return delivered_; }
+  /// Tuple-forward messages sent (source + entity hops).
+  int64_t forward_count() const { return forwards_; }
+
+ private:
+  void Forward(common::EntityId from, common::SimNodeId from_node,
+               const TupleEnvelope& env);
+
+  sim::Network* network_;
+  Config config_;
+  std::map<common::StreamId, std::unique_ptr<DisseminationTree>> trees_;
+  std::map<common::StreamId, common::SimNodeId> source_nodes_;
+  std::map<common::EntityId, common::SimNodeId> gateways_;
+  std::map<common::SimNodeId, common::EntityId> by_node_;
+  DeliveryHandler delivery_;
+  int64_t delivered_ = 0;
+  int64_t forwards_ = 0;
+};
+
+}  // namespace dsps::dissemination
+
+#endif  // DSPS_DISSEMINATION_DISSEMINATOR_H_

@@ -1,0 +1,59 @@
+#ifndef DSPS_DISSEMINATION_REORGANIZER_H_
+#define DSPS_DISSEMINATION_REORGANIZER_H_
+
+#include "dissemination/tree.h"
+
+namespace dsps::dissemination {
+
+/// Adaptive reorganization of a dissemination tree (the line of work the
+/// paper builds on: "Adaptive reorganization of coherency-preserving
+/// dissemination tree for streaming data", and §3.1's remark that tree
+/// shapes "have significant impact on the dissemination efficiency which
+/// deserve further study").
+///
+/// Each round greedily re-attaches the entities with the largest gain —
+/// the reduction of the distance to their parent (a direct proxy for the
+/// per-hop WAN latency and, summed over the tree, the relay cost) —
+/// subject to the fanout bound and cycle-freedom. Moves are bounded per
+/// round so churn stays incremental.
+class TreeReorganizer {
+ public:
+  struct Config {
+    /// A move must reduce the entity's attachment cost by at least this
+    /// fraction to be applied (hysteresis against oscillation).
+    double min_gain_frac = 0.10;
+    /// Max re-attachments per round.
+    int max_moves_per_round = 8;
+    /// Every tree level costs this many distance units (the per-hop base
+    /// latency expressed in distance): attaching to a *deep* nearby
+    /// parent can be worse than a shallow distant one. With the default
+    /// WAN model (2 ms base, 50 us per unit) one hop ≈ 40 units.
+    double depth_penalty_units = 40.0;
+  };
+
+  struct RoundStats {
+    int moves = 0;
+    /// Sum of entity->parent distances before/after the round.
+    double cost_before = 0.0;
+    double cost_after = 0.0;
+  };
+
+  TreeReorganizer();
+  explicit TreeReorganizer(const Config& config);
+
+  /// Runs one improvement round on `tree`.
+  RoundStats Round(DisseminationTree* tree) const;
+
+  /// The objective Round reduces: sum over entities of the distance to
+  /// their parent plus `depth_penalty_units` per level of depth (the
+  /// distance-equivalent of per-hop base latency).
+  static double TreeCost(const DisseminationTree& tree,
+                         double depth_penalty_units = 40.0);
+
+ private:
+  Config config_;
+};
+
+}  // namespace dsps::dissemination
+
+#endif  // DSPS_DISSEMINATION_REORGANIZER_H_

@@ -1,0 +1,314 @@
+#include "dissemination/tree.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "interest/summarize.h"
+
+namespace dsps::dissemination {
+
+using interest::Box;
+using sim::Distance;
+using sim::Point;
+
+DisseminationTree::DisseminationTree(common::StreamId stream,
+                                     const Point& source_position,
+                                     const Config& config)
+    : stream_(stream),
+      source_position_(source_position),
+      config_(config),
+      rng_(config.seed) {
+  DSPS_CHECK(config.max_fanout >= 1);
+}
+
+int DisseminationTree::FanoutOf(common::EntityId id) const {
+  if (id == common::kInvalidEntity) {
+    return static_cast<int>(source_children_.size());
+  }
+  return static_cast<int>(nodes_.at(id).children.size());
+}
+
+common::Status DisseminationTree::AddEntity(common::EntityId id,
+                                            const Point& position) {
+  if (Contains(id)) {
+    return common::Status::AlreadyExists("entity already in tree");
+  }
+  common::EntityId parent = common::kInvalidEntity;
+  switch (config_.policy) {
+    case TreePolicy::kSourceDirect:
+      parent = common::kInvalidEntity;
+      break;
+    case TreePolicy::kRandom: {
+      // Source + every entity with spare fanout.
+      std::vector<common::EntityId> candidates;
+      if (FanoutOf(common::kInvalidEntity) < config_.max_fanout) {
+        candidates.push_back(common::kInvalidEntity);
+      }
+      for (const auto& [eid, node] : nodes_) {
+        if (static_cast<int>(node.children.size()) < config_.max_fanout) {
+          candidates.push_back(eid);
+        }
+      }
+      if (candidates.empty()) {
+        // Everyone full: attach to the source anyway (repair semantics).
+        parent = common::kInvalidEntity;
+      } else {
+        parent = candidates[rng_.NextUint64(candidates.size())];
+      }
+      break;
+    }
+    case TreePolicy::kClosestParent: {
+      double best_d = std::numeric_limits<double>::max();
+      bool found = false;
+      if (FanoutOf(common::kInvalidEntity) < config_.max_fanout) {
+        best_d = Distance(source_position_, position);
+        parent = common::kInvalidEntity;
+        found = true;
+      }
+      for (const auto& [eid, node] : nodes_) {
+        if (static_cast<int>(node.children.size()) >= config_.max_fanout) {
+          continue;
+        }
+        double d = Distance(node.position, position);
+        if (d < best_d) {
+          best_d = d;
+          parent = eid;
+          found = true;
+        }
+      }
+      if (!found) parent = common::kInvalidEntity;
+      break;
+    }
+  }
+  Node node;
+  node.parent = parent;
+  node.position = position;
+  nodes_[id] = std::move(node);
+  if (parent == common::kInvalidEntity) {
+    source_children_.push_back(id);
+  } else {
+    nodes_[parent].children.push_back(id);
+  }
+  return common::Status::OK();
+}
+
+common::Status DisseminationTree::RemoveEntity(common::EntityId id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return common::Status::NotFound("entity not in tree");
+  Node node = std::move(it->second);
+  nodes_.erase(it);
+  auto detach = [&](std::vector<common::EntityId>* siblings) {
+    siblings->erase(std::remove(siblings->begin(), siblings->end(), id),
+                    siblings->end());
+  };
+  if (node.parent == common::kInvalidEntity) {
+    detach(&source_children_);
+  } else {
+    detach(&nodes_.at(node.parent).children);
+  }
+  // Children re-attach to the grandparent.
+  for (common::EntityId child : node.children) {
+    nodes_.at(child).parent = node.parent;
+    if (node.parent == common::kInvalidEntity) {
+      source_children_.push_back(child);
+    } else {
+      nodes_.at(node.parent).children.push_back(child);
+    }
+  }
+  // Aggregates above the removal point change.
+  int updates = 0;
+  if (node.parent != common::kInvalidEntity) {
+    PropagateUp(node.parent, &updates);
+  }
+  return common::Status::OK();
+}
+
+bool DisseminationTree::RecomputeSubtree(common::EntityId id) {
+  Node& node = nodes_.at(id);
+  interest::InterestSet agg;
+  for (const Box& b : node.local) agg.Add(stream_, b);
+  for (common::EntityId child : node.children) {
+    for (const Box& b : nodes_.at(child).subtree) agg.Add(stream_, b);
+  }
+  agg.Simplify();
+  const std::vector<Box>* boxes = agg.boxes_for(stream_);
+  std::vector<Box> next = boxes == nullptr ? std::vector<Box>() : *boxes;
+  if (config_.interest_budget > 0 &&
+      static_cast<int>(next.size()) > config_.interest_budget) {
+    next = interest::CoarsenBoxes(std::move(next), config_.interest_budget);
+  }
+  // Cheap change detection: size + per-box bounds comparison.
+  bool changed = next.size() != node.subtree.size();
+  if (!changed) {
+    for (size_t i = 0; i < next.size() && !changed; ++i) {
+      if (next[i].size() != node.subtree[i].size()) {
+        changed = true;
+        break;
+      }
+      for (size_t d = 0; d < next[i].size(); ++d) {
+        if (next[i][d].lo != node.subtree[i][d].lo ||
+            next[i][d].hi != node.subtree[i][d].hi) {
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  node.subtree = std::move(next);
+  return changed;
+}
+
+void DisseminationTree::PropagateUp(common::EntityId id, int* updates) {
+  common::EntityId cur = id;
+  while (cur != common::kInvalidEntity) {
+    bool changed = RecomputeSubtree(cur);
+    if (!changed) break;
+    ++*updates;
+    cur = nodes_.at(cur).parent;
+  }
+}
+
+int DisseminationTree::SetLocalInterest(common::EntityId id,
+                                        std::vector<Box> boxes) {
+  DSPS_CHECK_MSG(Contains(id), "unknown entity %d", id);
+  nodes_.at(id).local = std::move(boxes);
+  int updates = 0;
+  PropagateUp(id, &updates);
+  return updates;
+}
+
+common::Result<common::EntityId> DisseminationTree::Parent(
+    common::EntityId id) const {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return common::Status::NotFound("entity not in tree");
+  return it->second.parent;
+}
+
+std::vector<common::EntityId> DisseminationTree::Children(
+    common::EntityId parent) const {
+  if (parent == common::kInvalidEntity) return source_children_;
+  auto it = nodes_.find(parent);
+  if (it == nodes_.end()) return {};
+  return it->second.children;
+}
+
+common::Result<int> DisseminationTree::Depth(common::EntityId id) const {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return common::Status::NotFound("entity not in tree");
+  int depth = 1;
+  common::EntityId cur = it->second.parent;
+  while (cur != common::kInvalidEntity) {
+    cur = nodes_.at(cur).parent;
+    ++depth;
+  }
+  return depth;
+}
+
+int DisseminationTree::MaxDepth() const {
+  int max_depth = 0;
+  for (const auto& [id, node] : nodes_) {
+    auto d = Depth(id);
+    if (d.ok()) max_depth = std::max(max_depth, d.value());
+  }
+  return max_depth;
+}
+
+const std::vector<Box>& DisseminationTree::SubtreeInterest(
+    common::EntityId id) const {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return empty_;
+  return it->second.subtree;
+}
+
+const std::vector<Box>& DisseminationTree::LocalInterest(
+    common::EntityId id) const {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return empty_;
+  return it->second.local;
+}
+
+void DisseminationTree::ForwardTargets(common::EntityId from,
+                                       const double* point, bool early_filter,
+                                       std::vector<common::EntityId>* out) const {
+  out->clear();
+  const std::vector<common::EntityId>& children = Children(from);
+  for (common::EntityId child : children) {
+    if (!early_filter) {
+      out->push_back(child);
+      continue;
+    }
+    for (const Box& b : nodes_.at(child).subtree) {
+      if (interest::BoxContains(b, point)) {
+        out->push_back(child);
+        break;
+      }
+    }
+  }
+}
+
+const sim::Point& DisseminationTree::position(common::EntityId id) const {
+  auto it = nodes_.find(id);
+  DSPS_CHECK_MSG(it != nodes_.end(), "unknown entity %d", id);
+  return it->second.position;
+}
+
+bool DisseminationTree::IsDescendant(common::EntityId ancestor,
+                                     common::EntityId descendant) const {
+  auto it = nodes_.find(descendant);
+  if (it == nodes_.end()) return false;
+  common::EntityId cur = it->second.parent;
+  while (cur != common::kInvalidEntity) {
+    if (cur == ancestor) return true;
+    cur = nodes_.at(cur).parent;
+  }
+  return false;
+}
+
+common::Status DisseminationTree::Reattach(common::EntityId id,
+                                           common::EntityId new_parent) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return common::Status::NotFound("entity not in tree");
+  if (new_parent == id || IsDescendant(id, new_parent)) {
+    return common::Status::InvalidArgument("reattach would create a cycle");
+  }
+  if (new_parent != common::kInvalidEntity && !Contains(new_parent)) {
+    return common::Status::NotFound("new parent not in tree");
+  }
+  common::EntityId old_parent = it->second.parent;
+  if (old_parent == new_parent) return common::Status::OK();
+  if (FanoutOf(new_parent) >= config_.max_fanout) {
+    return common::Status::ResourceExhausted("new parent fanout full");
+  }
+  auto detach = [&](std::vector<common::EntityId>* siblings) {
+    siblings->erase(std::remove(siblings->begin(), siblings->end(), id),
+                    siblings->end());
+  };
+  if (old_parent == common::kInvalidEntity) {
+    detach(&source_children_);
+  } else {
+    detach(&nodes_.at(old_parent).children);
+  }
+  it->second.parent = new_parent;
+  if (new_parent == common::kInvalidEntity) {
+    source_children_.push_back(id);
+  } else {
+    nodes_.at(new_parent).children.push_back(id);
+  }
+  int updates = 0;
+  if (old_parent != common::kInvalidEntity) PropagateUp(old_parent, &updates);
+  if (new_parent != common::kInvalidEntity) PropagateUp(new_parent, &updates);
+  return common::Status::OK();
+}
+
+bool DisseminationTree::LocalMatch(common::EntityId id,
+                                   const double* point) const {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return false;
+  for (const Box& b : it->second.local) {
+    if (interest::BoxContains(b, point)) return true;
+  }
+  return false;
+}
+
+}  // namespace dsps::dissemination

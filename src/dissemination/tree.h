@@ -1,0 +1,142 @@
+#ifndef DSPS_DISSEMINATION_TREE_H_
+#define DSPS_DISSEMINATION_TREE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "interest/interest.h"
+#include "sim/network.h"
+
+namespace dsps::dissemination {
+
+/// How entities attach to a stream's dissemination tree.
+enum class TreePolicy {
+  /// Every entity is a direct child of the source (the paper's
+  /// non-cooperative baseline: "rely solely on the sources").
+  kSourceDirect,
+  /// Random parent with spare fanout (structure-insensitive baseline).
+  kRandom,
+  /// Closest existing node with spare fanout (locality-aware default).
+  kClosestParent,
+};
+
+/// The hierarchical dissemination tree of ONE stream (Section 3.1): the
+/// source is the root, entities are the other nodes, and every parent
+/// forwards upstream data to its children. Each entity registers its local
+/// data interest; subtree aggregates propagate toward the root so parents
+/// can *early-filter*: a tuple is forwarded to a child only if some query
+/// below that child wants it.
+class DisseminationTree {
+ public:
+  struct Config {
+    TreePolicy policy = TreePolicy::kClosestParent;
+    /// Max children per node (the "limited number of entities" each node
+    /// serves). The source honors it too, except under kSourceDirect.
+    int max_fanout = 4;
+    /// If positive, each node's subtree-interest summary is coarsened to
+    /// at most this many boxes before propagating upstream (Section 3.1's
+    /// aggregation-efficiency issue). Coarsening only over-approximates,
+    /// so early filtering never loses tuples; it may forward extras.
+    int interest_budget = 0;
+    uint64_t seed = 1;
+  };
+
+  DisseminationTree(common::StreamId stream, const sim::Point& source_position,
+                    const Config& config);
+
+  common::StreamId stream() const { return stream_; }
+
+  /// Attaches an entity per the policy.
+  common::Status AddEntity(common::EntityId id, const sim::Point& position);
+
+  /// Detaches an entity; its children re-attach to its parent (fanout may
+  /// transiently exceed the bound, as in a real repair).
+  common::Status RemoveEntity(common::EntityId id);
+
+  /// Replaces the entity's own interest in this stream (the union of its
+  /// local queries' boxes) and re-propagates subtree aggregates to the
+  /// root. Returns the number of ancestors whose aggregate changed (the
+  /// interest-update messages sent upstream).
+  int SetLocalInterest(common::EntityId id, std::vector<interest::Box> boxes);
+
+  /// Parent entity; kInvalidEntity when the parent is the source.
+  common::Result<common::EntityId> Parent(common::EntityId id) const;
+
+  /// Children of `parent` (kInvalidEntity = the source).
+  std::vector<common::EntityId> Children(common::EntityId parent) const;
+
+  /// Hops from the source (children of the source are at depth 1).
+  common::Result<int> Depth(common::EntityId id) const;
+
+  int MaxDepth() const;
+  size_t size() const { return nodes_.size(); }
+  bool Contains(common::EntityId id) const { return nodes_.count(id) > 0; }
+  int source_fanout() const {
+    return static_cast<int>(source_children_.size());
+  }
+
+  /// The aggregated interest boxes of `id`'s subtree.
+  const std::vector<interest::Box>& SubtreeInterest(common::EntityId id) const;
+
+  /// The entity's own registered boxes.
+  const std::vector<interest::Box>& LocalInterest(common::EntityId id) const;
+
+  /// Children of `from` (kInvalidEntity = source) that should receive a
+  /// tuple with numeric values `point`. With early_filter, a child is
+  /// included only if its subtree aggregate matches; otherwise all
+  /// children are included (forward-everything baseline).
+  void ForwardTargets(common::EntityId from, const double* point,
+                      bool early_filter,
+                      std::vector<common::EntityId>* out) const;
+
+  /// True if the entity's own interest matches the point (local delivery).
+  bool LocalMatch(common::EntityId id, const double* point) const;
+
+  /// The entity's registered position.
+  const sim::Point& position(common::EntityId id) const;
+  const sim::Point& source_position() const { return source_position_; }
+
+  /// True if `descendant` lies in `ancestor`'s subtree (an entity is not
+  /// its own descendant).
+  bool IsDescendant(common::EntityId ancestor,
+                    common::EntityId descendant) const;
+
+  /// Moves `id` (with its whole subtree) under `new_parent`
+  /// (kInvalidEntity = the source). Fails if either is unknown, if the
+  /// move would create a cycle, or if the new parent's fanout is full.
+  /// Subtree aggregates are re-propagated on both paths.
+  common::Status Reattach(common::EntityId id, common::EntityId new_parent);
+
+  int max_fanout() const { return config_.max_fanout; }
+
+ private:
+  struct Node {
+    common::EntityId parent = common::kInvalidEntity;  // invalid = source
+    std::vector<common::EntityId> children;
+    sim::Point position;
+    std::vector<interest::Box> local;
+    std::vector<interest::Box> subtree;
+  };
+
+  /// Recomputes `id`'s subtree aggregate from local + children; returns
+  /// true if it changed (propagation continues upward).
+  bool RecomputeSubtree(common::EntityId id);
+  void PropagateUp(common::EntityId id, int* updates);
+  int FanoutOf(common::EntityId id) const;
+
+  common::StreamId stream_;
+  sim::Point source_position_;
+  Config config_;
+  common::Rng rng_;
+  std::map<common::EntityId, Node> nodes_;
+  std::vector<common::EntityId> source_children_;
+  std::vector<interest::Box> empty_;
+};
+
+}  // namespace dsps::dissemination
+
+#endif  // DSPS_DISSEMINATION_TREE_H_

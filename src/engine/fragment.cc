@@ -1,0 +1,127 @@
+#include "engine/fragment.h"
+
+#include <deque>
+#include <set>
+
+#include "common/check.h"
+
+namespace dsps::engine {
+
+FragmentInstance::FragmentInstance(common::QueryId query, common::FragmentId id)
+    : query_(query), id_(id) {}
+
+common::Result<std::unique_ptr<FragmentInstance>> FragmentInstance::Create(
+    const QueryPlan& plan, common::QueryId query, common::FragmentId id,
+    const std::vector<common::OperatorId>& ops) {
+  if (ops.empty()) {
+    return common::Status::InvalidArgument("fragment needs >= 1 operator");
+  }
+  std::set<common::OperatorId> op_set(ops.begin(), ops.end());
+  for (common::OperatorId op : op_set) {
+    if (op < 0 || op >= plan.num_operators()) {
+      return common::Status::InvalidArgument("fragment operator out of range");
+    }
+  }
+  std::unique_ptr<FragmentInstance> frag(new FragmentInstance(query, id));
+  for (common::OperatorId op : op_set) {
+    frag->ops_[op] = plan.op(op).Clone();
+    frag->is_sink_[op] = plan.OutEdges(op).empty();
+  }
+  for (const PlanEdge& e : plan.edges()) {
+    if (op_set.count(e.from) == 0) continue;
+    if (op_set.count(e.to) > 0) {
+      frag->internal_edges_[e.from].push_back(e);
+    } else {
+      frag->remote_edges_[e.from].push_back(e);
+    }
+  }
+  return frag;
+}
+
+std::vector<common::OperatorId> FragmentInstance::op_ids() const {
+  std::vector<common::OperatorId> out;
+  out.reserve(ops_.size());
+  for (const auto& [id, op] : ops_) out.push_back(id);
+  return out;
+}
+
+const std::vector<PlanEdge>& FragmentInstance::RemoteEdges(
+    common::OperatorId from_op) const {
+  auto it = remote_edges_.find(from_op);
+  if (it == remote_edges_.end()) return empty_edges_;
+  return it->second;
+}
+
+common::Status FragmentInstance::Inject(common::OperatorId op, int port,
+                                        const Tuple& tuple,
+                                        std::vector<Output>* out) {
+  auto start = ops_.find(op);
+  if (start == ops_.end()) {
+    return common::Status::NotFound("operator not in fragment");
+  }
+  struct Work {
+    common::OperatorId op;
+    int port;
+    Tuple tuple;
+  };
+  std::deque<Work> queue;
+  queue.push_back(Work{op, port, tuple});
+  std::vector<Tuple> produced;
+  while (!queue.empty()) {
+    Work w = std::move(queue.front());
+    queue.pop_front();
+    auto it = ops_.find(w.op);
+    DSPS_CHECK(it != ops_.end());
+    Operator* oper = it->second.get();
+    produced.clear();
+    oper->Process(w.port, w.tuple, &produced);
+    pending_cpu_cost_ += oper->cost_per_tuple();
+    const bool sink = is_sink_.at(w.op);
+    auto internal_it = internal_edges_.find(w.op);
+    auto remote_it = remote_edges_.find(w.op);
+    const bool has_remote = remote_it != remote_edges_.end();
+    for (Tuple& t : produced) {
+      if (internal_it != internal_edges_.end()) {
+        for (const PlanEdge& e : internal_it->second) {
+          queue.push_back(Work{e.to, e.to_port, t});
+        }
+      }
+      if (sink || has_remote) {
+        out->push_back(Output{w.op, sink, std::move(t)});
+      }
+    }
+  }
+  return common::Status::OK();
+}
+
+double FragmentInstance::DrainCpuCost() {
+  double c = pending_cpu_cost_;
+  pending_cpu_cost_ = 0.0;
+  return c;
+}
+
+int64_t FragmentInstance::StateBytes() const {
+  int64_t total = 0;
+  for (const auto& [id, op] : ops_) total += op->StateBytes();
+  return total;
+}
+
+const Operator& FragmentInstance::op(common::OperatorId id) const {
+  auto it = ops_.find(id);
+  DSPS_CHECK(it != ops_.end());
+  return *it->second;
+}
+
+Operator* FragmentInstance::mutable_op(common::OperatorId id) {
+  auto it = ops_.find(id);
+  DSPS_CHECK(it != ops_.end());
+  return it->second.get();
+}
+
+double FragmentInstance::StaticCostPerTuple() const {
+  double c = 0.0;
+  for (const auto& [id, op] : ops_) c += op->cost_per_tuple();
+  return c;
+}
+
+}  // namespace dsps::engine

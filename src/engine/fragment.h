@@ -1,0 +1,93 @@
+#ifndef DSPS_ENGINE_FRAGMENT_H_
+#define DSPS_ENGINE_FRAGMENT_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "engine/plan.h"
+
+namespace dsps::engine {
+
+/// A runnable instance of one query fragment: a connected subset of a
+/// plan's operators, cloned with fresh state, plus the routing metadata
+/// needed at the fragment boundary (which of an exit operator's edges stay
+/// internal, which leave the fragment, and which produce query results).
+///
+/// Fragments are the unit of intra-entity operator placement (Section 4.1):
+/// the placement policy decides which processor hosts each fragment, and
+/// the entity runtime moves tuples across fragment boundaries.
+class FragmentInstance {
+ public:
+  /// One tuple leaving the fragment.
+  struct Output {
+    /// The operator that produced the tuple.
+    common::OperatorId from_op = -1;
+    /// True if from_op is a plan sink (the tuple is a query result);
+    /// otherwise the tuple must be routed along the plan's remote edges
+    /// from from_op.
+    bool is_result = false;
+    Tuple tuple;
+  };
+
+  /// Builds a fragment executing `ops` of `plan`. Fails if `ops` is empty
+  /// or contains an id out of range. Operators are cloned (fresh state);
+  /// plan edges with both endpoints in `ops` become internal.
+  static common::Result<std::unique_ptr<FragmentInstance>> Create(
+      const QueryPlan& plan, common::QueryId query, common::FragmentId id,
+      const std::vector<common::OperatorId>& ops);
+
+  common::FragmentId id() const { return id_; }
+  common::QueryId query() const { return query_; }
+
+  /// Operator ids (plan-scoped) hosted by this fragment.
+  std::vector<common::OperatorId> op_ids() const;
+
+  bool Contains(common::OperatorId op) const { return ops_.count(op) > 0; }
+
+  /// The plan edges leaving `from_op` whose target operator is NOT in this
+  /// fragment; the entity runtime ships non-result outputs along these.
+  const std::vector<PlanEdge>& RemoteEdges(common::OperatorId from_op) const;
+
+  /// Feeds one tuple to (op, port). Runs the operator cascade through all
+  /// internal edges; appends boundary outputs to `out`. Accumulates CPU
+  /// cost (see DrainCpuCost).
+  common::Status Inject(common::OperatorId op, int port, const Tuple& tuple,
+                        std::vector<Output>* out);
+
+  /// CPU-seconds consumed by Process calls since the last drain, per the
+  /// operators' cost models. The simulated processor charges this time.
+  double DrainCpuCost();
+
+  /// Total operator state (window contents) — migration cost proxy.
+  int64_t StateBytes() const;
+
+  /// Access to a hosted operator (for statistics inspection).
+  const Operator& op(common::OperatorId id) const;
+  Operator* mutable_op(common::OperatorId id);
+
+  /// Sum of hosted operators' cost_per_tuple weighted by nothing — a cheap
+  /// static proxy of the fragment's per-tuple CPU demand.
+  double StaticCostPerTuple() const;
+
+ private:
+  FragmentInstance(common::QueryId query, common::FragmentId id);
+
+  common::QueryId query_;
+  common::FragmentId id_;
+  std::map<common::OperatorId, std::unique_ptr<Operator>> ops_;
+  /// Internal edges: from op -> list of (to op, port) inside the fragment.
+  std::map<common::OperatorId, std::vector<PlanEdge>> internal_edges_;
+  /// Remote edges: from op -> list of plan edges leaving the fragment.
+  std::map<common::OperatorId, std::vector<PlanEdge>> remote_edges_;
+  /// Plan sinks hosted here (their outputs are query results).
+  std::map<common::OperatorId, bool> is_sink_;
+  double pending_cpu_cost_ = 0.0;
+  std::vector<PlanEdge> empty_edges_;
+};
+
+}  // namespace dsps::engine
+
+#endif  // DSPS_ENGINE_FRAGMENT_H_

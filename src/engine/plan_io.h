@@ -1,0 +1,46 @@
+#ifndef DSPS_ENGINE_PLAN_IO_H_
+#define DSPS_ENGINE_PLAN_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "engine/plan.h"
+
+namespace dsps::engine {
+
+/// Declarative plan wire format.
+///
+/// The paper's inter-entity layer ships queries — not operator objects —
+/// between entities that may run entirely different engines. That only
+/// works if a plan has a platform-independent description every engine can
+/// instantiate. This is that description: a line-oriented text form
+/// listing operators (by kind and parameters), dataflow edges, and stream
+/// bindings. All declarative operators round-trip; PredicateFilterOp
+/// (arbitrary native code) deliberately does not — exactly the kind of
+/// engine-private construct the paper says cannot cross entity boundaries.
+///
+/// Example:
+///   PLAN v1
+///   OP 0 Filter dims=0,1 box=0:10,20:30 cost=1e-06 sel=0.05
+///   OP 1 WindowAggregate window=10 func=avg key=0 value=1
+///   EDGE 0 1 0
+///   BIND 3 0 0
+///
+/// Grammar (one record per line, '#' starts a comment):
+///   PLAN v1
+///   OP <id> <Kind> <key>=<value>...
+///   EDGE <from> <to> <to_port>
+///   BIND <stream> <to> <to_port>
+
+/// Serializes `plan`. Fails with InvalidArgument if the plan contains an
+/// operator without a declarative form.
+common::Result<std::string> SerializePlan(const QueryPlan& plan);
+
+/// Parses the wire format back into an executable plan. The result is
+/// validated before being returned.
+common::Result<std::unique_ptr<QueryPlan>> ParsePlan(const std::string& text);
+
+}  // namespace dsps::engine
+
+#endif  // DSPS_ENGINE_PLAN_IO_H_

@@ -1,0 +1,76 @@
+#include "entity/processor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dsps::entity {
+
+Processor::Processor(common::ProcessorId id, sim::Network* network,
+                     common::SimNodeId node,
+                     std::unique_ptr<engine::ExecutionEngine> engine,
+                     double capacity)
+    : id_(id),
+      network_(network),
+      node_(node),
+      engine_(std::move(engine)),
+      capacity_(capacity) {
+  DSPS_CHECK(network != nullptr);
+  DSPS_CHECK(engine_ != nullptr);
+  DSPS_CHECK(capacity > 0);
+}
+
+common::Status Processor::InstallFragment(
+    std::unique_ptr<engine::FragmentInstance> f) {
+  return engine_->Install(std::move(f));
+}
+
+common::Result<std::unique_ptr<engine::FragmentInstance>>
+Processor::RemoveFragment(common::FragmentId id) {
+  std::vector<engine::TaggedOutput> flushed;
+  auto result = engine_->Remove(id, &flushed);
+  if (!flushed.empty() && emission_) {
+    double completion = network_->simulator()->now();
+    for (auto& out : flushed) {
+      emission_(Emission{std::move(out), completion});
+    }
+  }
+  return result;
+}
+
+void Processor::SetEmissionHandler(EmissionHandler handler) {
+  emission_ = std::move(handler);
+}
+
+common::Status Processor::Submit(common::FragmentId fragment,
+                                 common::OperatorId op, int port,
+                                 const engine::Tuple& tuple) {
+  std::vector<engine::TaggedOutput> outputs;
+  DSPS_RETURN_IF_ERROR(engine_->Inject(fragment, op, port, tuple, &outputs));
+  double cost = engine_->DrainCpuCost() / capacity_;
+  sim::Simulator* sim = network_->simulator();
+  double start = std::max(sim->now(), busy_until_);
+  busy_until_ = start + cost;
+  busy_seconds_ += cost;
+  tuples_processed_ += 1;
+  double completion = busy_until_;
+  if (!outputs.empty() && emission_) {
+    // Deliver outputs when the CPU work completes.
+    auto shared =
+        std::make_shared<std::vector<engine::TaggedOutput>>(std::move(outputs));
+    sim->ScheduleAt(completion, [this, shared, completion]() {
+      for (auto& out : *shared) {
+        emission_(Emission{std::move(out), completion});
+      }
+    });
+  }
+  return common::Status::OK();
+}
+
+double Processor::backlog_seconds() const {
+  double now = network_->simulator()->now();
+  return std::max(0.0, busy_until_ - now);
+}
+
+}  // namespace dsps::entity

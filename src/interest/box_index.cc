@@ -1,0 +1,93 @@
+#include "interest/box_index.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dsps::interest {
+
+BoxIndex::BoxIndex(const Box& domain) : BoxIndex(domain, Config()) {}
+
+BoxIndex::BoxIndex(const Box& domain, const Config& config)
+    : domain_(domain), config_(config) {
+  DSPS_CHECK(config.cells_per_dim >= 1);
+  DSPS_CHECK(config.index_dims >= 1 && config.index_dims <= 2);
+  dims_indexed_ = std::min<int>(config.index_dims,
+                                static_cast<int>(domain.size()));
+  DSPS_CHECK_MSG(dims_indexed_ >= 1, "domain must have >= 1 dimension");
+  size_t cells = 1;
+  for (int d = 0; d < dims_indexed_; ++d) {
+    cells *= static_cast<size_t>(config.cells_per_dim);
+  }
+  cells_.resize(cells);
+}
+
+int BoxIndex::CellOf(int dim, double v) const {
+  const Interval& iv = domain_[dim];
+  double len = iv.length();
+  if (len <= 0) return 0;
+  double frac = (v - iv.lo) / len;
+  int cell = static_cast<int>(frac * config_.cells_per_dim);
+  return std::clamp(cell, 0, config_.cells_per_dim - 1);
+}
+
+int BoxIndex::FlatIndex(const double* point) const {
+  int idx = 0;
+  for (int d = 0; d < dims_indexed_; ++d) {
+    idx = idx * config_.cells_per_dim + CellOf(d, point[d]);
+  }
+  return idx;
+}
+
+void BoxIndex::Insert(int64_t subscriber, const Box& box) {
+  DSPS_CHECK(box.size() == domain_.size());
+  if (BoxEmpty(box)) return;
+  boxes_of_[subscriber].push_back(box);
+  ++total_boxes_;
+  // Cell ranges per indexed dimension.
+  int lo[2] = {0, 0}, hi[2] = {0, 0};
+  for (int d = 0; d < dims_indexed_; ++d) {
+    lo[d] = CellOf(d, box[d].lo);
+    hi[d] = CellOf(d, box[d].hi);
+  }
+  if (dims_indexed_ == 1) {
+    for (int x = lo[0]; x <= hi[0]; ++x) {
+      cells_[x].push_back(Entry{subscriber, box});
+    }
+  } else {
+    for (int x = lo[0]; x <= hi[0]; ++x) {
+      for (int y = lo[1]; y <= hi[1]; ++y) {
+        cells_[static_cast<size_t>(x) * config_.cells_per_dim + y].push_back(
+            Entry{subscriber, box});
+      }
+    }
+  }
+}
+
+void BoxIndex::Remove(int64_t subscriber) {
+  auto it = boxes_of_.find(subscriber);
+  if (it == boxes_of_.end()) return;
+  total_boxes_ -= it->second.size();
+  boxes_of_.erase(it);
+  for (auto& cell : cells_) {
+    cell.erase(std::remove_if(cell.begin(), cell.end(),
+                              [subscriber](const Entry& e) {
+                                return e.subscriber == subscriber;
+                              }),
+               cell.end());
+  }
+}
+
+void BoxIndex::Match(const double* point, std::vector<int64_t>* out) const {
+  size_t before = out->size();
+  const std::vector<Entry>& cell = cells_[FlatIndex(point)];
+  for (const Entry& e : cell) {
+    if (BoxContains(e.box, point)) out->push_back(e.subscriber);
+  }
+  // Dedupe (a subscriber may have several boxes in the same cell).
+  std::sort(out->begin() + static_cast<long>(before), out->end());
+  out->erase(std::unique(out->begin() + static_cast<long>(before), out->end()),
+             out->end());
+}
+
+}  // namespace dsps::interest

@@ -1,0 +1,70 @@
+#ifndef DSPS_INTEREST_BOX_INDEX_H_
+#define DSPS_INTEREST_BOX_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "interest/interval.h"
+
+namespace dsps::interest {
+
+/// Point-stabbing index over subscriber boxes: given a tuple's numeric
+/// values, returns every subscriber with a box containing them.
+///
+/// A stream delegate fans each tuple out to the queries bound to the
+/// stream; with thousands of co-located queries the naive per-tuple scan
+/// is the hot loop. The index overlays a uniform grid on the first one or
+/// two dimensions of the stream's domain; each box registers with every
+/// cell it overlaps, and a lookup tests only the boxes in the point's
+/// cell. Degenerates gracefully: boxes outside the domain clamp to edge
+/// cells, and a fat box simply registers in many cells.
+class BoxIndex {
+ public:
+  struct Config {
+    /// Grid resolution per indexed dimension.
+    int cells_per_dim = 16;
+    /// Index at most this many leading dimensions (1 or 2).
+    int index_dims = 2;
+  };
+
+  /// `domain` bounds the grid (the stream's full value box).
+  explicit BoxIndex(const Box& domain);
+  BoxIndex(const Box& domain, const Config& config);
+
+  /// Registers one box for `subscriber` (a subscriber may hold several).
+  void Insert(int64_t subscriber, const Box& box);
+
+  /// Unregisters all of `subscriber`'s boxes.
+  void Remove(int64_t subscriber);
+
+  /// Appends (deduplicated, ascending) every subscriber with a box
+  /// containing `point`. `point` must have at least as many coordinates
+  /// as the domain has dimensions.
+  void Match(const double* point, std::vector<int64_t>* out) const;
+
+  /// Registered (subscriber, box) pairs.
+  size_t size() const { return total_boxes_; }
+  size_t subscriber_count() const { return boxes_of_.size(); }
+
+ private:
+  struct Entry {
+    int64_t subscriber;
+    Box box;
+  };
+
+  int CellOf(int dim, double v) const;
+  int FlatIndex(const double* point) const;
+
+  Box domain_;
+  Config config_;
+  int dims_indexed_;
+  /// cells_[flat cell] -> entries overlapping the cell.
+  std::vector<std::vector<Entry>> cells_;
+  std::map<int64_t, std::vector<Box>> boxes_of_;
+  size_t total_boxes_ = 0;
+};
+
+}  // namespace dsps::interest
+
+#endif  // DSPS_INTEREST_BOX_INDEX_H_

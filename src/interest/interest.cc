@@ -1,0 +1,76 @@
+#include "interest/interest.h"
+
+#include <algorithm>
+
+namespace dsps::interest {
+
+void InterestSet::Add(common::StreamId stream, Box box) {
+  if (BoxEmpty(box)) return;
+  boxes_[stream].push_back(std::move(box));
+}
+
+void InterestSet::MergeFrom(const InterestSet& other) {
+  for (const auto& [stream, boxes] : other.boxes_) {
+    auto& mine = boxes_[stream];
+    mine.insert(mine.end(), boxes.begin(), boxes.end());
+  }
+}
+
+bool InterestSet::InterestedIn(common::StreamId stream) const {
+  auto it = boxes_.find(stream);
+  return it != boxes_.end() && !it->second.empty();
+}
+
+bool InterestSet::Matches(common::StreamId stream, const double* point) const {
+  auto it = boxes_.find(stream);
+  if (it == boxes_.end()) return false;
+  for (const Box& box : it->second) {
+    if (BoxContains(box, point)) return true;
+  }
+  return false;
+}
+
+const std::vector<Box>* InterestSet::boxes_for(common::StreamId stream) const {
+  auto it = boxes_.find(stream);
+  if (it == boxes_.end()) return nullptr;
+  return &it->second;
+}
+
+std::vector<common::StreamId> InterestSet::streams() const {
+  std::vector<common::StreamId> out;
+  out.reserve(boxes_.size());
+  for (const auto& [stream, boxes] : boxes_) {
+    if (!boxes.empty()) out.push_back(stream);
+  }
+  return out;
+}
+
+void InterestSet::Simplify() {
+  for (auto& [stream, boxes] : boxes_) {
+    std::vector<Box> kept;
+    kept.reserve(boxes.size());
+    for (size_t i = 0; i < boxes.size(); ++i) {
+      bool covered = false;
+      for (size_t j = 0; j < boxes.size() && !covered; ++j) {
+        if (i == j) continue;
+        // Tie-break identical boxes by index so exactly one copy survives.
+        if (BoxCovers(boxes[j], boxes[i]) &&
+            (!BoxCovers(boxes[i], boxes[j]) || j < i)) {
+          covered = true;
+        }
+      }
+      if (!covered) kept.push_back(boxes[i]);
+    }
+    boxes = std::move(kept);
+  }
+}
+
+int64_t InterestSet::TotalBoxes() const {
+  int64_t n = 0;
+  for (const auto& [stream, boxes] : boxes_) {
+    n += static_cast<int64_t>(boxes.size());
+  }
+  return n;
+}
+
+}  // namespace dsps::interest

@@ -1,0 +1,66 @@
+#ifndef DSPS_INTEREST_INTEREST_H_
+#define DSPS_INTEREST_INTEREST_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/ids.h"
+#include "interest/interval.h"
+
+namespace dsps::interest {
+
+/// A query's interest in one stream: a conjunctive box predicate over the
+/// stream's numeric attributes ("price in [10, 20] AND volume >= 1000").
+struct InterestSpec {
+  common::StreamId stream = common::kInvalidStream;
+  Box box;
+};
+
+/// The data interest of a query, an entity, or a dissemination subtree: for
+/// each stream, a union (disjunction) of boxes. This is the representation
+/// used both for early filtering in the dissemination trees (Section 3.1)
+/// and for the overlap edge weights of the query graph (Section 3.2.2).
+class InterestSet {
+ public:
+  InterestSet() = default;
+
+  /// Adds one box of interest on `stream`. Empty boxes are ignored.
+  void Add(common::StreamId stream, Box box);
+  void Add(const InterestSpec& spec) { Add(spec.stream, spec.box); }
+
+  /// Merges all of `other`'s boxes into this set (set union).
+  void MergeFrom(const InterestSet& other);
+
+  /// True if this set has any interest in `stream`.
+  bool InterestedIn(common::StreamId stream) const;
+
+  /// True if a tuple of `stream` with the given attribute values matches
+  /// any box. `point` must have at least as many coordinates as the boxes'
+  /// dimensionality. Unknown streams never match.
+  bool Matches(common::StreamId stream, const double* point) const;
+
+  /// The boxes registered for `stream` (nullptr if none).
+  const std::vector<Box>* boxes_for(common::StreamId stream) const;
+
+  /// Streams this set is interested in, ascending.
+  std::vector<common::StreamId> streams() const;
+
+  /// Drops boxes fully covered by another box of the same stream. Keeps
+  /// Matches() semantics; shrinks the representation shipped to ancestors.
+  void Simplify();
+
+  /// Total number of boxes across all streams (the size of the
+  /// representation an entity ships to its dissemination parent).
+  int64_t TotalBoxes() const;
+
+  bool empty() const { return boxes_.empty(); }
+  void Clear() { boxes_.clear(); }
+
+ private:
+  std::map<common::StreamId, std::vector<Box>> boxes_;
+};
+
+}  // namespace dsps::interest
+
+#endif  // DSPS_INTEREST_INTEREST_H_

@@ -1,0 +1,168 @@
+#include "interest/measure.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dsps::interest {
+
+namespace {
+
+/// Recursive helper: volume of the union of `boxes`, considering dimensions
+/// [dim, ndims). All boxes are non-empty and share dimensionality.
+double UnionVolumeRec(const std::vector<const Box*>& boxes, size_t dim) {
+  if (boxes.empty()) return 0.0;
+  size_t ndims = boxes[0]->size();
+  if (dim == ndims) return 1.0;  // zero remaining dims: counting measure
+  if (dim == ndims - 1) {
+    // Base case: 1D union of intervals via sort-and-sweep.
+    std::vector<Interval> ivs;
+    ivs.reserve(boxes.size());
+    for (const Box* b : boxes) ivs.push_back((*b)[dim]);
+    std::sort(ivs.begin(), ivs.end(),
+              [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+    double total = 0.0;
+    double cur_lo = 0.0, cur_hi = -1.0;
+    bool open = false;
+    for (const Interval& iv : ivs) {
+      if (!open) {
+        cur_lo = iv.lo;
+        cur_hi = iv.hi;
+        open = true;
+      } else if (iv.lo <= cur_hi) {
+        cur_hi = std::max(cur_hi, iv.hi);
+      } else {
+        total += cur_hi - cur_lo;
+        cur_lo = iv.lo;
+        cur_hi = iv.hi;
+      }
+    }
+    if (open) total += cur_hi - cur_lo;
+    return total;
+  }
+  // Slab decomposition along `dim`: between consecutive breakpoints the set
+  // of covering boxes is constant, so recurse on the remaining dimensions.
+  std::vector<double> cuts;
+  cuts.reserve(boxes.size() * 2);
+  for (const Box* b : boxes) {
+    cuts.push_back((*b)[dim].lo);
+    cuts.push_back((*b)[dim].hi);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  double total = 0.0;
+  std::vector<const Box*> active;
+  for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+    double lo = cuts[i], hi = cuts[i + 1];
+    if (hi <= lo) continue;
+    double mid = 0.5 * (lo + hi);
+    active.clear();
+    for (const Box* b : boxes) {
+      if ((*b)[dim].lo <= mid && mid <= (*b)[dim].hi) active.push_back(b);
+    }
+    if (active.empty()) continue;
+    total += (hi - lo) * UnionVolumeRec(active, dim + 1);
+  }
+  return total;
+}
+
+}  // namespace
+
+double UnionVolume(const std::vector<Box>& boxes) {
+  std::vector<const Box*> ptrs;
+  ptrs.reserve(boxes.size());
+  size_t ndims = 0;
+  for (const Box& b : boxes) {
+    if (BoxEmpty(b)) continue;
+    if (ptrs.empty()) {
+      ndims = b.size();
+    } else {
+      DSPS_CHECK_MSG(b.size() == ndims, "mixed box dimensionality");
+    }
+    ptrs.push_back(&b);
+  }
+  if (ptrs.empty()) return 0.0;
+  return UnionVolumeRec(ptrs, 0);
+}
+
+double IntersectionVolume(const std::vector<Box>& a,
+                          const std::vector<Box>& b) {
+  std::vector<Box> pieces;
+  pieces.reserve(a.size() * b.size());
+  for (const Box& ba : a) {
+    for (const Box& bb : b) {
+      Box piece = BoxIntersect(ba, bb);
+      if (!BoxEmpty(piece)) pieces.push_back(std::move(piece));
+    }
+  }
+  return UnionVolume(pieces);
+}
+
+void StreamCatalog::Register(common::StreamId stream, StreamStats stats) {
+  streams_[stream] = std::move(stats);
+}
+
+bool StreamCatalog::Contains(common::StreamId stream) const {
+  return streams_.count(stream) > 0;
+}
+
+const StreamStats& StreamCatalog::stats(common::StreamId stream) const {
+  auto it = streams_.find(stream);
+  DSPS_CHECK_MSG(it != streams_.end(), "unknown stream %d", stream);
+  return it->second;
+}
+
+std::vector<common::StreamId> StreamCatalog::streams() const {
+  std::vector<common::StreamId> out;
+  out.reserve(streams_.size());
+  for (const auto& [id, stats] : streams_) out.push_back(id);
+  return out;
+}
+
+double CoverageFraction(const InterestSet& set, common::StreamId stream,
+                        const Box& domain) {
+  const std::vector<Box>* boxes = set.boxes_for(stream);
+  if (boxes == nullptr || boxes->empty()) return 0.0;
+  double dom_vol = BoxVolume(domain);
+  if (dom_vol <= 0.0) return 0.0;
+  // Clip interest to the domain before measuring.
+  std::vector<Box> clipped;
+  clipped.reserve(boxes->size());
+  for (const Box& b : *boxes) {
+    Box c = BoxIntersect(b, domain);
+    if (!BoxEmpty(c)) clipped.push_back(std::move(c));
+  }
+  return UnionVolume(clipped) / dom_vol;
+}
+
+double InterestRateBytesPerSec(const InterestSet& set, common::StreamId stream,
+                               const StreamStats& stats) {
+  return stats.bytes_per_s() * CoverageFraction(set, stream, stats.domain);
+}
+
+double SharedRateBytesPerSec(const InterestSet& a, const InterestSet& b,
+                             const StreamCatalog& catalog) {
+  double total = 0.0;
+  for (common::StreamId stream : catalog.streams()) {
+    const std::vector<Box>* ba = a.boxes_for(stream);
+    const std::vector<Box>* bb = b.boxes_for(stream);
+    if (ba == nullptr || bb == nullptr) continue;
+    const StreamStats& stats = catalog.stats(stream);
+    double dom_vol = BoxVolume(stats.domain);
+    if (dom_vol <= 0.0) continue;
+    double shared = IntersectionVolume(*ba, *bb);
+    total += stats.bytes_per_s() * (shared / dom_vol);
+  }
+  return total;
+}
+
+double TotalRateBytesPerSec(const InterestSet& set,
+                            const StreamCatalog& catalog) {
+  double total = 0.0;
+  for (common::StreamId stream : catalog.streams()) {
+    total += InterestRateBytesPerSec(set, stream, catalog.stats(stream));
+  }
+  return total;
+}
+
+}  // namespace dsps::interest

@@ -1,0 +1,76 @@
+#ifndef DSPS_INTEREST_MEASURE_H_
+#define DSPS_INTEREST_MEASURE_H_
+
+#include <map>
+#include <vector>
+
+#include "common/ids.h"
+#include "interest/interest.h"
+#include "interest/interval.h"
+
+namespace dsps::interest {
+
+/// Exact d-dimensional volume (Lebesgue measure) of a union of boxes, via
+/// recursive slab decomposition along dimension 0. Exponential in the worst
+/// case but fast for the modest box counts queries carry (<= dozens).
+double UnionVolume(const std::vector<Box>& boxes);
+
+/// Exact volume of (union of `a`) intersect (union of `b`).
+double IntersectionVolume(const std::vector<Box>& a, const std::vector<Box>& b);
+
+/// Per-stream physical properties the optimizer needs: the attribute
+/// domain (full value box) and the data rate.
+struct StreamStats {
+  Box domain;
+  double tuples_per_s = 100.0;
+  double bytes_per_tuple = 64.0;
+
+  double bytes_per_s() const { return tuples_per_s * bytes_per_tuple; }
+};
+
+/// The known global schema of the data (paper Section 1): stream ids with
+/// their domains and rates. Shared by the dissemination layer, the query
+/// graph builder and the workload generators.
+class StreamCatalog {
+ public:
+  /// Registers (or replaces) a stream's stats.
+  void Register(common::StreamId stream, StreamStats stats);
+
+  bool Contains(common::StreamId stream) const;
+
+  /// Stats for `stream`; must be registered.
+  const StreamStats& stats(common::StreamId stream) const;
+
+  /// All registered stream ids, ascending.
+  std::vector<common::StreamId> streams() const;
+
+  size_t size() const { return streams_.size(); }
+
+ private:
+  std::map<common::StreamId, StreamStats> streams_;
+};
+
+/// Fraction of `stream`'s domain covered by `set` (selectivity of the
+/// interest as an early filter), in [0, 1]. Zero if the set has no interest
+/// in the stream or the domain has zero volume.
+double CoverageFraction(const InterestSet& set, common::StreamId stream,
+                        const Box& domain);
+
+/// Rate (bytes/s) of `stream` data that matches `set`, assuming values are
+/// uniform over the stream's domain.
+double InterestRateBytesPerSec(const InterestSet& set, common::StreamId stream,
+                               const StreamStats& stats);
+
+/// Rate (bytes/s) of data interesting to BOTH sets, summed over all streams
+/// in the catalog — the query-graph edge weight of Section 3.2.2.
+double SharedRateBytesPerSec(const InterestSet& a, const InterestSet& b,
+                             const StreamCatalog& catalog);
+
+/// Rate (bytes/s) of data interesting to `set`, summed over all streams —
+/// the dissemination cost of serving one query/entity in isolation.
+double TotalRateBytesPerSec(const InterestSet& set,
+                            const StreamCatalog& catalog);
+
+}  // namespace dsps::interest
+
+#endif  // DSPS_INTEREST_MEASURE_H_

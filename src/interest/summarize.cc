@@ -1,0 +1,88 @@
+#include "interest/summarize.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "interest/measure.h"
+
+namespace dsps::interest {
+
+namespace {
+
+/// Smallest box containing both a and b.
+Box BoundingBox(const Box& a, const Box& b) {
+  Box out(a.size());
+  for (size_t d = 0; d < a.size(); ++d) {
+    out[d] = Interval{std::min(a[d].lo, b[d].lo), std::max(a[d].hi, b[d].hi)};
+  }
+  return out;
+}
+
+/// Cost of merging a and b: volume of the bounding box minus the volumes
+/// of the parts (an upper bound on the added false-positive volume; exact
+/// when a and b are disjoint).
+double MergeCost(const Box& a, const Box& b) {
+  return BoxVolume(BoundingBox(a, b)) - BoxVolume(a) - BoxVolume(b) +
+         BoxVolume(BoxIntersect(a, b));
+}
+
+}  // namespace
+
+std::vector<Box> CoarsenBoxes(std::vector<Box> boxes, int budget) {
+  DSPS_CHECK(budget >= 1);
+  // Drop empties and boxes covered by others.
+  std::vector<Box> live;
+  live.reserve(boxes.size());
+  for (Box& b : boxes) {
+    if (!BoxEmpty(b)) live.push_back(std::move(b));
+  }
+  // Greedy pairwise merging. O(n^3) worst case; n is a per-stream box
+  // count (tens), so this is fine at the cadence interest changes.
+  while (static_cast<int>(live.size()) > budget) {
+    size_t bi = 0, bj = 1;
+    double best = std::numeric_limits<double>::max();
+    for (size_t i = 0; i < live.size(); ++i) {
+      for (size_t j = i + 1; j < live.size(); ++j) {
+        double cost = MergeCost(live[i], live[j]);
+        if (cost < best) {
+          best = cost;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    live[bi] = BoundingBox(live[bi], live[bj]);
+    live.erase(live.begin() + static_cast<long>(bj));
+    // Merging may have swallowed other boxes.
+    for (size_t i = 0; i < live.size();) {
+      if (i != bi && BoxCovers(live[bi], live[i])) {
+        if (i < bi) --bi;
+        live.erase(live.begin() + static_cast<long>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+  return live;
+}
+
+void CoarsenInterest(InterestSet* set, int budget_per_stream) {
+  DSPS_CHECK(set != nullptr);
+  InterestSet out;
+  for (common::StreamId stream : set->streams()) {
+    const std::vector<Box>* boxes = set->boxes_for(stream);
+    if (boxes == nullptr) continue;
+    for (Box& b : CoarsenBoxes(*boxes, budget_per_stream)) {
+      out.Add(stream, std::move(b));
+    }
+  }
+  *set = std::move(out);
+}
+
+double CoarseningOvershoot(const std::vector<Box>& fine,
+                           const std::vector<Box>& coarse) {
+  return UnionVolume(coarse) - UnionVolume(fine);
+}
+
+}  // namespace dsps::interest

@@ -1,0 +1,39 @@
+#ifndef DSPS_INTEREST_SUMMARIZE_H_
+#define DSPS_INTEREST_SUMMARIZE_H_
+
+#include <vector>
+
+#include "interest/interest.h"
+#include "interest/interval.h"
+
+namespace dsps::interest {
+
+/// Interest summarization (Section 3.1's open issue: "how to represent the
+/// data interest of the different queries as well as how to efficiently
+/// compute the aggregation of data interest").
+///
+/// A subtree's aggregate interest grows with the number of queries below
+/// it; shipping every box to every ancestor is not scalable. CoarsenBoxes
+/// reduces a union of boxes to at most `budget` boxes by greedily merging
+/// the pair whose bounding box adds the least volume. The result *covers*
+/// the input (no false negatives — early filtering stays correct), at the
+/// price of false positives (unnecessary forwarding) proportional to the
+/// added volume.
+
+/// Returns a set of at most `budget` boxes covering the union of `boxes`.
+/// budget >= 1. Boxes must share dimensionality; empty boxes are dropped.
+std::vector<Box> CoarsenBoxes(std::vector<Box> boxes, int budget);
+
+/// Coarsens every stream of `set` to at most `budget_per_stream` boxes,
+/// in place.
+void CoarsenInterest(InterestSet* set, int budget_per_stream);
+
+/// The volume added by coarsening (false-positive region size):
+/// UnionVolume(coarse) - UnionVolume(fine). Nonnegative when `coarse`
+/// covers `fine`.
+double CoarseningOvershoot(const std::vector<Box>& fine,
+                           const std::vector<Box>& coarse);
+
+}  // namespace dsps::interest
+
+#endif  // DSPS_INTEREST_SUMMARIZE_H_

@@ -1,0 +1,103 @@
+#include "ordering/pipeline_sim.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+
+namespace dsps::ordering {
+
+namespace {
+
+/// True rank of an op at tuple index t: cost / (1 - selectivity(t)).
+double TrueRank(const PipelineOp& op, int64_t t) {
+  double sel = std::clamp(op.selectivity(t), 0.0, 1.0 - 1e-6);
+  return op.cost / (1.0 - sel);
+}
+
+}  // namespace
+
+PipelineSimResult RunPipeline(const std::vector<PipelineOp>& ops,
+                              OrderingPolicy policy, int64_t num_tuples,
+                              common::Rng* rng, AdaptationModule* am,
+                              common::QueryId query) {
+  DSPS_CHECK(!ops.empty());
+  DSPS_CHECK(rng != nullptr);
+  AdaptationModule local_am;
+  if (am == nullptr) am = &local_am;
+  if (policy == OrderingPolicy::kAdaptive) {
+    std::vector<Candidate> candidates;
+    for (const PipelineOp& op : ops) {
+      candidates.push_back(Candidate{op.proc, op.op});
+      // Seed costs so the first decisions are sane.
+      am->ReportCost(query, op.op, op.cost);
+    }
+    am->SetCandidates(query, std::move(candidates));
+  }
+  std::map<common::OperatorId, const PipelineOp*> by_id;
+  for (const PipelineOp& op : ops) by_id[op.op] = &op;
+
+  // Static order: by true rank at t = 0.
+  std::vector<const PipelineOp*> static_order;
+  for (const PipelineOp& op : ops) static_order.push_back(&op);
+  std::stable_sort(static_order.begin(), static_order.end(),
+                   [](const PipelineOp* a, const PipelineOp* b) {
+                     return TrueRank(*a, 0) < TrueRank(*b, 0);
+                   });
+
+  PipelineSimResult result;
+  std::map<common::ProcessorId, double> proc_cost;
+  std::vector<common::OperatorId> done;
+  for (int64_t t = 0; t < num_tuples; ++t) {
+    done.clear();
+    bool alive = true;
+    for (size_t step = 0; step < ops.size() && alive; ++step) {
+      const PipelineOp* op = nullptr;
+      switch (policy) {
+        case OrderingPolicy::kStatic:
+          op = static_order[step];
+          break;
+        case OrderingPolicy::kAdaptive: {
+          auto hop = am->NextHop(query, done);
+          DSPS_CHECK(hop.ok());
+          op = by_id.at(hop.value().op);
+          break;
+        }
+        case OrderingPolicy::kOracle: {
+          double best = 1e300;
+          for (const PipelineOp& cand : ops) {
+            if (std::find(done.begin(), done.end(), cand.op) != done.end()) {
+              continue;
+            }
+            double r = TrueRank(cand, t);
+            if (r < best) {
+              best = r;
+              op = &cand;
+            }
+          }
+          break;
+        }
+      }
+      DSPS_CHECK(op != nullptr);
+      done.push_back(op->op);
+      result.total_cost += op->cost;
+      result.evaluations += 1;
+      proc_cost[op->proc] += op->cost;
+      double sel = std::clamp(op->selectivity(t), 0.0, 1.0);
+      bool passed = rng->Bernoulli(sel);
+      if (policy == OrderingPolicy::kAdaptive) {
+        am->ReportSelectivity(query, op->op, passed ? 1.0 : 0.0);
+        am->ReportBacklog(op->proc, proc_cost[op->proc] /
+                                        std::max<int64_t>(1, t + 1));
+      }
+      alive = passed;
+    }
+    if (alive) result.survivors += 1;
+  }
+  for (const auto& [proc, cost] : proc_cost) {
+    result.max_processor_cost = std::max(result.max_processor_cost, cost);
+  }
+  return result;
+}
+
+}  // namespace dsps::ordering

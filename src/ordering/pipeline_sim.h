@@ -1,0 +1,61 @@
+#ifndef DSPS_ORDERING_PIPELINE_SIM_H_
+#define DSPS_ORDERING_PIPELINE_SIM_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "ordering/adaptation_module.h"
+
+namespace dsps::ordering {
+
+/// One distributed commutable operator in the experiment: a filter whose
+/// *true* selectivity may drift over time (the AM only sees outcomes).
+struct PipelineOp {
+  common::OperatorId op = -1;
+  common::ProcessorId proc = common::kInvalidProcessor;
+  /// True per-tuple cost (seconds).
+  double cost = 1e-6;
+  /// True selectivity as a function of the tuple index (drift source).
+  std::function<double(int64_t)> selectivity;
+};
+
+/// How the visit order is chosen per tuple.
+enum class OrderingPolicy {
+  /// Order fixed once from the operators' *initial* true ranks.
+  kStatic,
+  /// AM-routed per tuple using its drifting EWMA estimates and backlogs.
+  kAdaptive,
+  /// Order recomputed per tuple from the *true* current ranks (unreachable
+  /// in practice; the lower bound).
+  kOracle,
+};
+
+/// Results of a pipeline-ordering run.
+struct PipelineSimResult {
+  /// Total CPU seconds across all processors.
+  double total_cost = 0.0;
+  /// Operator invocations (tuples x operators actually visited).
+  int64_t evaluations = 0;
+  /// Tuples that survived every filter.
+  int64_t survivors = 0;
+  /// Max CPU seconds charged to any one processor (load balance view).
+  double max_processor_cost = 0.0;
+};
+
+/// Simulates `num_tuples` tuples flowing through a conjunction of
+/// distributed filters under the given ordering policy (Section 4.2's
+/// experiment substrate). Filters drop tuples independently with their
+/// true (possibly drifting) selectivities; a tuple stops at its first
+/// failing filter, so a better ordering evaluates fewer operators. Under
+/// kAdaptive, the AM receives per-tuple selectivity/cost feedback and
+/// per-processor backlog updates.
+PipelineSimResult RunPipeline(const std::vector<PipelineOp>& ops,
+                              OrderingPolicy policy, int64_t num_tuples,
+                              common::Rng* rng,
+                              AdaptationModule* am = nullptr,
+                              common::QueryId query = 1);
+
+}  // namespace dsps::ordering
+
+#endif  // DSPS_ORDERING_PIPELINE_SIM_H_

@@ -1,0 +1,100 @@
+#include "partition/query_graph.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+
+namespace dsps::partition {
+
+int QueryGraph::AddVertex(common::QueryId query, double weight) {
+  DSPS_CHECK(weight >= 0);
+  queries_.push_back(query);
+  weights_.push_back(weight);
+  adj_.emplace_back();
+  total_weight_ += weight;
+  return static_cast<int>(weights_.size()) - 1;
+}
+
+void QueryGraph::AddEdge(int a, int b, double weight) {
+  DSPS_CHECK(a >= 0 && a < num_vertices());
+  DSPS_CHECK(b >= 0 && b < num_vertices());
+  DSPS_CHECK(a != b);
+  DSPS_CHECK(weight >= 0);
+  if (weight <= 0) return;
+  // Accumulate if the edge exists already.
+  for (auto& [n, w] : adj_[a]) {
+    if (n == b) {
+      w += weight;
+      for (auto& [n2, w2] : adj_[b]) {
+        if (n2 == a) w2 += weight;
+      }
+      total_edge_weight_ += weight;
+      return;
+    }
+  }
+  adj_[a].emplace_back(b, weight);
+  adj_[b].emplace_back(a, weight);
+  total_edge_weight_ += weight;
+}
+
+double QueryGraph::EdgeCut(const std::vector<int>& assignment) const {
+  DSPS_CHECK(assignment.size() == weights_.size());
+  double cut = 0.0;
+  for (int v = 0; v < num_vertices(); ++v) {
+    for (const auto& [n, w] : adj_[v]) {
+      if (n > v && assignment[v] != assignment[n]) cut += w;
+    }
+  }
+  return cut;
+}
+
+std::vector<double> QueryGraph::PartWeights(const std::vector<int>& assignment,
+                                            int k) const {
+  DSPS_CHECK(assignment.size() == weights_.size());
+  std::vector<double> part(k, 0.0);
+  for (int v = 0; v < num_vertices(); ++v) {
+    DSPS_CHECK(assignment[v] >= 0 && assignment[v] < k);
+    part[assignment[v]] += weights_[v];
+  }
+  return part;
+}
+
+double QueryGraph::Imbalance(const std::vector<int>& assignment, int k) const {
+  if (num_vertices() == 0 || total_weight_ <= 0) return 1.0;
+  std::vector<double> part = PartWeights(assignment, k);
+  double ideal = total_weight_ / k;
+  double max_part = *std::max_element(part.begin(), part.end());
+  return max_part / ideal;
+}
+
+QueryGraph QueryGraph::Build(const std::vector<engine::Query>& queries,
+                             const interest::StreamCatalog& catalog,
+                             double min_edge_weight) {
+  QueryGraph g;
+  for (const engine::Query& q : queries) g.AddVertex(q.id, q.load);
+  // Bucket queries by stream so only pairs sharing a stream are measured.
+  std::map<common::StreamId, std::vector<int>> by_stream;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    for (common::StreamId s : queries[i].interest.streams()) {
+      by_stream[s].push_back(static_cast<int>(i));
+    }
+  }
+  std::map<std::pair<int, int>, bool> measured;
+  for (const auto& [stream, members] : by_stream) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        int a = members[i], b = members[j];
+        if (a > b) std::swap(a, b);
+        if (measured.count({a, b}) > 0) continue;
+        measured[{a, b}] = true;
+        double w = interest::SharedRateBytesPerSec(queries[a].interest,
+                                                   queries[b].interest, catalog);
+        if (w > min_edge_weight) g.AddEdge(a, b, w);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace dsps::partition

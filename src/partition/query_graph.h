@@ -1,0 +1,70 @@
+#ifndef DSPS_PARTITION_QUERY_GRAPH_H_
+#define DSPS_PARTITION_QUERY_GRAPH_H_
+
+#include <vector>
+
+#include "common/ids.h"
+#include "engine/plan.h"
+#include "interest/measure.h"
+
+namespace dsps::partition {
+
+/// The weighted query graph of Section 3.2.2: one vertex per query
+/// (weight = query load), an undirected edge between two queries whose data
+/// interests overlap (weight = arrival rate, bytes/s, of the data
+/// interesting to both). Partitioning this graph into k balanced parts with
+/// minimum weighted edge cut assigns queries to the k entities.
+class QueryGraph {
+ public:
+  QueryGraph() = default;
+
+  /// Adds a vertex for `query` with the given load weight; returns its
+  /// dense index.
+  int AddVertex(common::QueryId query, double weight);
+
+  /// Adds (or accumulates onto) the undirected edge {a, b}. Requires
+  /// a != b and nonnegative weight; zero-weight edges are ignored.
+  void AddEdge(int a, int b, double weight);
+
+  int num_vertices() const { return static_cast<int>(weights_.size()); }
+  double vertex_weight(int v) const { return weights_[v]; }
+  common::QueryId query(int v) const { return queries_[v]; }
+  double total_vertex_weight() const { return total_weight_; }
+
+  /// Adjacency of `v` as (neighbor, weight) pairs.
+  const std::vector<std::pair<int, double>>& neighbors(int v) const {
+    return adj_[v];
+  }
+
+  /// Sum of all edge weights (each undirected edge counted once).
+  double total_edge_weight() const { return total_edge_weight_; }
+
+  /// Weighted edge cut of `assignment` (one part id per vertex).
+  double EdgeCut(const std::vector<int>& assignment) const;
+
+  /// Per-part vertex-weight sums.
+  std::vector<double> PartWeights(const std::vector<int>& assignment,
+                                  int k) const;
+
+  /// max part weight / ideal part weight (1.0 = perfectly balanced).
+  double Imbalance(const std::vector<int>& assignment, int k) const;
+
+  /// Builds the graph from queries: vertices in order, edges between every
+  /// pair with shared interest rate above `min_edge_weight` (bytes/s).
+  /// Pairwise construction: O(n^2) shared-rate computations, restricted to
+  /// pairs that share at least one stream.
+  static QueryGraph Build(const std::vector<engine::Query>& queries,
+                          const interest::StreamCatalog& catalog,
+                          double min_edge_weight = 1e-9);
+
+ private:
+  std::vector<common::QueryId> queries_;
+  std::vector<double> weights_;
+  std::vector<std::vector<std::pair<int, double>>> adj_;
+  double total_weight_ = 0.0;
+  double total_edge_weight_ = 0.0;
+};
+
+}  // namespace dsps::partition
+
+#endif  // DSPS_PARTITION_QUERY_GRAPH_H_

@@ -1,0 +1,97 @@
+#ifndef DSPS_PARTITION_REPARTITIONER_H_
+#define DSPS_PARTITION_REPARTITIONER_H_
+
+#include <memory>
+#include <vector>
+
+#include "partition/partitioner.h"
+#include "partition/query_graph.h"
+
+namespace dsps::partition {
+
+/// Outcome of one adaptive repartitioning step (Section 3.2.2's runtime
+/// adaptation): the new assignment plus the costs the paper trades off —
+/// query movements (migrations) and decision-making time.
+struct RepartitionResult {
+  std::vector<int> assignment;
+  /// Vertices whose part changed relative to the old assignment (vertices
+  /// with no previous home are not counted).
+  int migrations = 0;
+  double edge_cut = 0.0;
+  double imbalance = 1.0;
+  /// Wall-clock seconds spent deciding.
+  double decision_seconds = 0.0;
+};
+
+/// Adapts an existing assignment to a changed query graph. The old
+/// assignment may be shorter than the graph (new queries appended) and may
+/// contain -1 for unassigned vertices.
+class Repartitioner {
+ public:
+  virtual ~Repartitioner() = default;
+  virtual const char* name() const = 0;
+  virtual RepartitionResult Repartition(const QueryGraph& graph,
+                                        const std::vector<int>& old_assignment,
+                                        int k, double balance_tolerance) = 0;
+};
+
+/// Extreme 1 (paper): repartition from scratch with the multilevel
+/// partitioner, then relabel parts to minimize migrations. Near-optimal
+/// cut, long decision time, many query movements.
+class ScratchRepartitioner : public Repartitioner {
+ public:
+  explicit ScratchRepartitioner(MultilevelPartitioner::Config config = {});
+  const char* name() const override { return "scratch"; }
+  RepartitionResult Repartition(const QueryGraph& graph,
+                                const std::vector<int>& old_assignment, int k,
+                                double balance_tolerance) override;
+
+ private:
+  MultilevelPartitioner partitioner_;
+};
+
+/// Extreme 2 (paper): cut vertices from overloaded parts to underloaded
+/// ones "without considering the relationship of overlap in data
+/// interest". Fast, few migrations, but the cut degrades over time.
+class IncrementalRepartitioner : public Repartitioner {
+ public:
+  const char* name() const override { return "incremental"; }
+  RepartitionResult Repartition(const QueryGraph& graph,
+                                const std::vector<int>& old_assignment, int k,
+                                double balance_tolerance) override;
+};
+
+/// The desirable middle ground the paper calls for: restore balance by
+/// moving *boundary* vertices with the best (cut-gain, load) trade-off,
+/// then run bounded local refinement. Decision time and migrations stay
+/// near the incremental extreme while the cut stays near the scratch one.
+class HybridRepartitioner : public Repartitioner {
+ public:
+  struct Config {
+    int refine_passes = 2;
+  };
+  HybridRepartitioner();
+  explicit HybridRepartitioner(const Config& config);
+  const char* name() const override { return "hybrid"; }
+  RepartitionResult Repartition(const QueryGraph& graph,
+                                const std::vector<int>& old_assignment, int k,
+                                double balance_tolerance) override;
+
+ private:
+  Config config_;
+};
+
+/// Relabels `new_assignment`'s part ids to maximize vertex-weight overlap
+/// with `old_assignment` (greedy max-weight matching on the k x k overlap
+/// matrix). Minimizes spurious migrations after a from-scratch partition.
+void RelabelToMinimizeMigrations(const QueryGraph& graph,
+                                 const std::vector<int>& old_assignment,
+                                 std::vector<int>* new_assignment, int k);
+
+/// Counts vertices with a previous home whose part changed.
+int CountMigrations(const std::vector<int>& old_assignment,
+                    const std::vector<int>& new_assignment);
+
+}  // namespace dsps::partition
+
+#endif  // DSPS_PARTITION_REPARTITIONER_H_

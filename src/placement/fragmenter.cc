@@ -1,0 +1,83 @@
+#include "placement/fragmenter.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+
+namespace dsps::placement {
+
+std::vector<FragmentSpec> FragmentQuery(const engine::QueryPlan& plan,
+                                        common::QueryId query,
+                                        int max_fragments,
+                                        double input_tuples_per_s,
+                                        double bytes_per_tuple,
+                                        common::FragmentId* next_fragment_id) {
+  DSPS_CHECK(next_fragment_id != nullptr);
+  DSPS_CHECK(max_fragments >= 1);
+  auto order_result = plan.TopologicalOrder();
+  DSPS_CHECK(order_result.ok());
+  const std::vector<common::OperatorId>& order = order_result.value();
+
+  // Per-operator input rates (tuples/s), propagating selectivities.
+  std::vector<double> in_rate(plan.num_operators(), 0.0);
+  for (const engine::StreamBinding& b : plan.bindings()) {
+    in_rate[b.to] += input_tuples_per_s;
+  }
+  std::vector<double> op_cost(plan.num_operators(), 0.0);
+  for (common::OperatorId id : order) {
+    op_cost[id] = in_rate[id] * plan.op(id).cost_per_tuple();
+    double out_rate = in_rate[id] * plan.op(id).estimated_selectivity();
+    for (const engine::PlanEdge& e : plan.edges()) {
+      if (e.from == id) in_rate[e.to] += out_rate;
+    }
+  }
+  double total_cost = 0.0;
+  for (double c : op_cost) total_cost += c;
+
+  // Contiguous chunking of the topological order into <= max_fragments
+  // groups of roughly equal cost.
+  int n_frags = std::min<int>(max_fragments, plan.num_operators());
+  double target = total_cost / n_frags;
+  std::vector<std::vector<common::OperatorId>> groups;
+  groups.emplace_back();
+  double acc = 0.0;
+  for (common::OperatorId id : order) {
+    if (!groups.back().empty() && acc + op_cost[id] > target * 1.2 &&
+        static_cast<int>(groups.size()) < n_frags) {
+      groups.emplace_back();
+      acc = 0.0;
+    }
+    groups.back().push_back(id);
+    acc += op_cost[id];
+  }
+
+  std::vector<FragmentSpec> out;
+  out.reserve(groups.size());
+  for (const auto& ops : groups) {
+    FragmentSpec spec;
+    spec.id = (*next_fragment_id)++;
+    spec.query = query;
+    spec.ops = ops;
+    std::set<common::OperatorId> members(ops.begin(), ops.end());
+    for (common::OperatorId id : ops) spec.cpu_load += op_cost[id];
+    // External input rate: stream bindings into this group plus plan edges
+    // arriving from other groups.
+    for (const engine::StreamBinding& b : plan.bindings()) {
+      if (members.count(b.to) > 0) {
+        spec.input_rate_bytes_s += input_tuples_per_s * bytes_per_tuple;
+      }
+    }
+    for (const engine::PlanEdge& e : plan.edges()) {
+      if (members.count(e.to) > 0 && members.count(e.from) == 0) {
+        double rate =
+            in_rate[e.from] * plan.op(e.from).estimated_selectivity();
+        spec.input_rate_bytes_s += rate * bytes_per_tuple;
+      }
+    }
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+}  // namespace dsps::placement

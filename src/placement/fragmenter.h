@@ -1,0 +1,44 @@
+#ifndef DSPS_PLACEMENT_FRAGMENTER_H_
+#define DSPS_PLACEMENT_FRAGMENTER_H_
+
+#include <vector>
+
+#include "common/ids.h"
+#include "engine/plan.h"
+
+namespace dsps::placement {
+
+/// A fragment description: which plan operators are co-located. (The
+/// runnable instance is engine::FragmentInstance; this is the optimizer's
+/// view.)
+struct FragmentSpec {
+  common::FragmentId id = -1;
+  common::QueryId query = common::kInvalidQuery;
+  std::vector<common::OperatorId> ops;
+  /// Estimated CPU seconds per second this fragment consumes, given the
+  /// plan's selectivity cascade and `input_tuples_per_s` at the bindings.
+  double cpu_load = 0.0;
+  /// Estimated bytes/s entering this fragment from outside (stream
+  /// bindings and remote plan edges).
+  double input_rate_bytes_s = 0.0;
+};
+
+/// Splits `plan` into at most `max_fragments` fragments (Section 4.1's
+/// dynamic query partitioning). Operators are grouped along the
+/// topological order into contiguous chunks of roughly equal estimated CPU
+/// cost, which keeps pipeline neighbors together and bounds the number of
+/// processors a query can touch (the distribution limit).
+///
+/// `input_tuples_per_s` is the expected arrival rate per bound stream,
+/// used to estimate each fragment's cpu_load and input rate.
+/// `next_fragment_id` provides ids and is advanced.
+std::vector<FragmentSpec> FragmentQuery(const engine::QueryPlan& plan,
+                                        common::QueryId query,
+                                        int max_fragments,
+                                        double input_tuples_per_s,
+                                        double bytes_per_tuple,
+                                        common::FragmentId* next_fragment_id);
+
+}  // namespace dsps::placement
+
+#endif  // DSPS_PLACEMENT_FRAGMENTER_H_

@@ -1,0 +1,92 @@
+#include "placement/rebalancer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/check.h"
+
+namespace dsps::placement {
+
+Rebalancer::Rebalancer() : Rebalancer(Config()) {}
+Rebalancer::Rebalancer(const Config& config) : config_(config) {
+  DSPS_CHECK(config.slack > 0);
+  DSPS_CHECK(config.max_moves >= 1);
+}
+
+std::vector<MoveDecision> Rebalancer::Plan(const PlacementInput& input,
+                                           const Placement& current) const {
+  const size_t n_procs = input.processors.size();
+  if (n_procs < 2) return {};
+  // Index processors and compute utilizations.
+  std::map<common::ProcessorId, size_t> proc_index;
+  std::vector<double> util(n_procs);
+  for (size_t i = 0; i < n_procs; ++i) {
+    proc_index[input.processors[i].id] = i;
+    util[i] = input.processors[i].base_load / input.processors[i].capacity;
+  }
+  // Fragment bookkeeping: location, per-query processor sets.
+  std::map<common::FragmentId, const FragmentSpec*> spec_of;
+  std::map<common::QueryId, std::map<common::ProcessorId, int>> query_procs;
+  std::map<common::ProcessorId, std::vector<const FragmentSpec*>> on_proc;
+  Placement placement = current;
+  for (const FragmentSpec& frag : input.fragments) {
+    auto it = placement.find(frag.id);
+    DSPS_CHECK(it != placement.end());
+    spec_of[frag.id] = &frag;
+    size_t idx = proc_index.at(it->second);
+    util[idx] += frag.cpu_load / input.processors[idx].capacity;
+    query_procs[frag.query][it->second] += 1;
+    on_proc[it->second].push_back(&frag);
+  }
+  double mean_util = 0.0;
+  for (double u : util) mean_util += u;
+  mean_util /= static_cast<double>(n_procs);
+
+  std::vector<MoveDecision> moves;
+  for (int round = 0; round < config_.max_moves; ++round) {
+    size_t hot = std::max_element(util.begin(), util.end()) - util.begin();
+    if (util[hot] <= mean_util + config_.slack) break;
+    size_t cold = std::min_element(util.begin(), util.end()) - util.begin();
+    common::ProcessorId hot_id = input.processors[hot].id;
+    common::ProcessorId cold_id = input.processors[cold].id;
+    // Best fragment to evict: the one whose move most reduces the spread
+    // without overshooting (prefer load close to half the gap) and whose
+    // query stays within the distribution limit.
+    double gap = util[hot] - util[cold];
+    const FragmentSpec* best = nullptr;
+    double best_score = -1.0;
+    for (const FragmentSpec* frag : on_proc[hot_id]) {
+      double u = frag->cpu_load / input.processors[hot].capacity;
+      if (u <= 0 || u >= gap) continue;  // would overshoot
+      auto& procs = query_procs[frag->query];
+      bool new_proc = procs.count(cold_id) == 0;
+      bool leaves_hot = procs[hot_id] == 1;
+      int delta = (new_proc ? 1 : 0) - (leaves_hot ? 1 : 0);
+      if (static_cast<int>(procs.size()) + delta > input.distribution_limit) {
+        continue;
+      }
+      // Score: closeness to half the gap.
+      double score = u - std::abs(u - gap / 2);
+      if (score > best_score) {
+        best_score = score;
+        best = frag;
+      }
+    }
+    if (best == nullptr) break;
+    double u = best->cpu_load / input.processors[hot].capacity;
+    util[hot] -= u;
+    util[cold] += best->cpu_load / input.processors[cold].capacity;
+    auto& vec = on_proc[hot_id];
+    vec.erase(std::remove(vec.begin(), vec.end(), best), vec.end());
+    on_proc[cold_id].push_back(best);
+    auto& procs = query_procs[best->query];
+    if (--procs[hot_id] == 0) procs.erase(hot_id);
+    procs[cold_id] += 1;
+    placement[best->id] = cold_id;
+    moves.push_back(MoveDecision{best->id, hot_id, cold_id, best->cpu_load});
+  }
+  return moves;
+}
+
+}  // namespace dsps::placement

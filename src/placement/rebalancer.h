@@ -1,0 +1,47 @@
+#ifndef DSPS_PLACEMENT_REBALANCER_H_
+#define DSPS_PLACEMENT_REBALANCER_H_
+
+#include <vector>
+
+#include "placement/placement.h"
+
+namespace dsps::placement {
+
+/// One planned fragment migration.
+struct MoveDecision {
+  common::FragmentId fragment = -1;
+  common::ProcessorId from = common::kInvalidProcessor;
+  common::ProcessorId to = common::kInvalidProcessor;
+  double cpu_load = 0.0;
+};
+
+/// Plans fragment migrations to restore load balance at runtime
+/// (Section 4.1's *dynamic* placement: fragments are "(re)placed onto a
+/// processor" as conditions change). Greedy: while some processor exceeds
+/// the mean utilization by more than the slack, move the best-fitting
+/// fragment from the hottest processor to the coolest one that keeps the
+/// owning query within the distribution limit.
+class Rebalancer {
+ public:
+  struct Config {
+    /// A processor is overloaded when util > mean util + slack.
+    double slack = 0.15;
+    /// Max migrations per Plan call (bounds disruption per round).
+    int max_moves = 4;
+  };
+
+  Rebalancer();
+  explicit Rebalancer(const Config& config);
+
+  /// Plans moves for `current` placement of `input.fragments` on
+  /// `input.processors` (whose base_load must exclude these fragments).
+  std::vector<MoveDecision> Plan(const PlacementInput& input,
+                                 const Placement& current) const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace dsps::placement
+
+#endif  // DSPS_PLACEMENT_REBALANCER_H_

@@ -1,0 +1,128 @@
+#include "sim/network.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dsps::sim {
+
+namespace {
+/// Delivery delay for node-local sends (scheduler hop, no wire).
+constexpr double kLocalDeliveryDelay = 1e-6;
+}  // namespace
+
+double Distance(const Point& a, const Point& b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+Network::Network(Simulator* simulator) : sim_(simulator) {
+  DSPS_CHECK(simulator != nullptr);
+  default_model_ = [](const Point& from, const Point& to) {
+    LinkParams p;
+    // 1 ms base + 50 us per distance unit; 100 MB/s default WAN pipe.
+    p.latency_s = 0.001 + 5e-5 * Distance(from, to);
+    p.bandwidth_bps = 1e8;
+    return p;
+  };
+}
+
+common::SimNodeId Network::AddNode(const Point& position) {
+  nodes_.push_back(NodeState{position, nullptr, 0});
+  return static_cast<common::SimNodeId>(nodes_.size() - 1);
+}
+
+void Network::SetHandler(common::SimNodeId node, Handler handler) {
+  DSPS_CHECK(node >= 0 && static_cast<size_t>(node) < nodes_.size());
+  nodes_[node].handler = std::move(handler);
+}
+
+void Network::SetDefaultLinkModel(LinkModel model) {
+  DSPS_CHECK(model != nullptr);
+  default_model_ = std::move(model);
+}
+
+void Network::SetLink(common::SimNodeId from, common::SimNodeId to,
+                      const LinkParams& params) {
+  links_[{from, to}].params = params;
+}
+
+Network::LinkState& Network::GetOrCreateLink(common::SimNodeId from,
+                                             common::SimNodeId to) {
+  auto it = links_.find({from, to});
+  if (it != links_.end()) return it->second;
+  LinkState state;
+  state.params = default_model_(nodes_[from].position, nodes_[to].position);
+  return links_.emplace(std::make_pair(from, to), std::move(state))
+      .first->second;
+}
+
+common::Status Network::Send(Message msg) {
+  if (msg.from < 0 || static_cast<size_t>(msg.from) >= nodes_.size() ||
+      msg.to < 0 || static_cast<size_t>(msg.to) >= nodes_.size()) {
+    return common::Status::InvalidArgument("unknown node in Send");
+  }
+  if (msg.size_bytes < 0) {
+    return common::Status::InvalidArgument("negative message size");
+  }
+  double deliver_at;
+  if (msg.from == msg.to) {
+    deliver_at = sim_->now() + kLocalDeliveryDelay;
+  } else {
+    LinkState& link = GetOrCreateLink(msg.from, msg.to);
+    double start = std::max(sim_->now(), link.busy_until);
+    double tx = static_cast<double>(msg.size_bytes) / link.params.bandwidth_bps;
+    link.busy_until = start + tx;
+    deliver_at = start + tx + link.params.latency_s;
+    link.stats.messages += 1;
+    link.stats.bytes += msg.size_bytes;
+    nodes_[msg.from].egress_bytes += msg.size_bytes;
+    total_bytes_ += msg.size_bytes;
+    total_messages_ += 1;
+  }
+  common::SimNodeId to = msg.to;
+  sim_->ScheduleAt(deliver_at, [this, to, m = std::move(msg)]() {
+    const Handler& h = nodes_[to].handler;
+    if (h) h(m);
+  });
+  return common::Status::OK();
+}
+
+const Point& Network::position(common::SimNodeId node) const {
+  DSPS_CHECK(node >= 0 && static_cast<size_t>(node) < nodes_.size());
+  return nodes_[node].position;
+}
+
+LinkStats Network::link_stats(common::SimNodeId from,
+                              common::SimNodeId to) const {
+  auto it = links_.find({from, to});
+  if (it == links_.end()) return LinkStats{};
+  return it->second.stats;
+}
+
+int64_t Network::egress_bytes(common::SimNodeId node) const {
+  DSPS_CHECK(node >= 0 && static_cast<size_t>(node) < nodes_.size());
+  return nodes_[node].egress_bytes;
+}
+
+std::vector<Network::LinkRecord> Network::AllLinkStats() const {
+  std::vector<LinkRecord> out;
+  out.reserve(links_.size());
+  for (const auto& [key, link] : links_) {
+    if (link.stats.messages > 0) {
+      out.push_back(LinkRecord{key.first, key.second, link.stats});
+    }
+  }
+  return out;
+}
+
+void Network::ResetStats() {
+  total_bytes_ = 0;
+  total_messages_ = 0;
+  for (auto& node : nodes_) node.egress_bytes = 0;
+  for (auto& [key, link] : links_) link.stats = LinkStats{};
+}
+
+}  // namespace dsps::sim

@@ -1,0 +1,142 @@
+#ifndef DSPS_SIM_NETWORK_H_
+#define DSPS_SIM_NETWORK_H_
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "sim/simulator.h"
+
+namespace dsps::sim {
+
+/// 2D position used for "geographic" distances between nodes. The paper's
+/// inter-entity WAN latencies are modeled as proportional to Euclidean
+/// distance in this plane.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Euclidean distance.
+double Distance(const Point& a, const Point& b);
+
+/// A message in flight between two simulated nodes.
+struct Message {
+  common::SimNodeId from = common::kInvalidSimNode;
+  common::SimNodeId to = common::kInvalidSimNode;
+  /// Application-defined message kind (each subsystem defines its own enum).
+  int type = 0;
+  /// Size on the wire in bytes; drives bandwidth/serialization delay.
+  int64_t size_bytes = 0;
+  /// Application payload.
+  std::any payload;
+};
+
+/// Link parameters. Delivery time of a message of size S on link (a,b):
+///   start = max(now, link.busy_until); tx = S / bandwidth;
+///   deliver at start + tx + latency; busy_until = start + tx.
+struct LinkParams {
+  double latency_s = 0.001;
+  double bandwidth_bps = 1e9;  // bytes per second
+};
+
+/// Cumulative per-link transfer statistics.
+struct LinkStats {
+  int64_t messages = 0;
+  int64_t bytes = 0;
+};
+
+/// Point-to-point message-passing network on top of the Simulator.
+///
+/// Nodes are registered with a position and a receive handler. Links are
+/// created explicitly, or lazily from a default model (a function of the two
+/// endpoints' positions) the first time a pair communicates. Every link
+/// tracks bytes and serialization (one transfer at a time per direction).
+class Network {
+ public:
+  using Handler = std::function<void(const Message&)>;
+  using LinkModel =
+      std::function<LinkParams(const Point& from, const Point& to)>;
+
+  /// Creates a network driven by `simulator` (not owned; must outlive).
+  explicit Network(Simulator* simulator);
+
+  /// Registers a node at `position`; returns its id.
+  common::SimNodeId AddNode(const Point& position);
+
+  /// Installs (replaces) the receive handler for `node`.
+  void SetHandler(common::SimNodeId node, Handler handler);
+
+  /// Sets the model used to derive parameters for lazily-created links.
+  void SetDefaultLinkModel(LinkModel model);
+
+  /// Creates or replaces a directed link with explicit parameters.
+  void SetLink(common::SimNodeId from, common::SimNodeId to,
+               const LinkParams& params);
+
+  /// Sends `msg` (msg.from/msg.to must be valid node ids). Local sends
+  /// (from == to) are delivered after a fixed small epsilon with no
+  /// bandwidth cost. Returns InvalidArgument for unknown nodes.
+  common::Status Send(Message msg);
+
+  /// The node's registered position.
+  const Point& position(common::SimNodeId node) const;
+
+  size_t node_count() const { return nodes_.size(); }
+
+  /// Cumulative stats for the directed link (from, to); zeros if the pair
+  /// never communicated.
+  LinkStats link_stats(common::SimNodeId from, common::SimNodeId to) const;
+
+  /// Total bytes ever sent on non-local links.
+  int64_t total_bytes() const { return total_bytes_; }
+
+  /// Total messages ever sent on non-local links.
+  int64_t total_messages() const { return total_messages_; }
+
+  /// Total bytes sent from `node` on non-local links.
+  int64_t egress_bytes(common::SimNodeId node) const;
+
+  /// Resets all transfer statistics (link state/busy times are kept).
+  void ResetStats();
+
+  /// Every directed link that ever carried traffic, with its stats.
+  struct LinkRecord {
+    common::SimNodeId from;
+    common::SimNodeId to;
+    LinkStats stats;
+  };
+  std::vector<LinkRecord> AllLinkStats() const;
+
+  Simulator* simulator() { return sim_; }
+
+ private:
+  struct NodeState {
+    Point position;
+    Handler handler;
+    int64_t egress_bytes = 0;
+  };
+  struct LinkState {
+    LinkParams params;
+    LinkStats stats;
+    double busy_until = 0.0;
+  };
+
+  LinkState& GetOrCreateLink(common::SimNodeId from, common::SimNodeId to);
+
+  Simulator* sim_;
+  std::vector<NodeState> nodes_;
+  std::map<std::pair<common::SimNodeId, common::SimNodeId>, LinkState> links_;
+  LinkModel default_model_;
+  int64_t total_bytes_ = 0;
+  int64_t total_messages_ = 0;
+};
+
+}  // namespace dsps::sim
+
+#endif  // DSPS_SIM_NETWORK_H_

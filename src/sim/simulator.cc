@@ -1,0 +1,48 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace dsps::sim {
+
+void Simulator::Schedule(SimTime delay, Callback fn) {
+  if (delay < 0) delay = 0;
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void Simulator::ScheduleAt(SimTime t, Callback fn) {
+  DSPS_DCHECK(fn != nullptr);
+  if (t < now_) t = now_;
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-prone, so
+  // copy the callback handle (cheap: std::function with small payloads) and
+  // pop before running so the event can schedule more events.
+  Event ev = queue_.top();
+  queue_.pop();
+  DSPS_CHECK(ev.time >= now_);
+  now_ = ev.time;
+  ++events_executed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::Run() {
+  stopped_ = false;
+  while (!stopped_ && Step()) {
+  }
+}
+
+void Simulator::RunUntil(SimTime t) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.top().time <= t) {
+    Step();
+  }
+  if (now_ < t && !stopped_) now_ = t;
+}
+
+}  // namespace dsps::sim

@@ -1,0 +1,79 @@
+#ifndef DSPS_SIM_SIMULATOR_H_
+#define DSPS_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace dsps::sim {
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+/// Deterministic single-threaded discrete-event simulator.
+///
+/// Events are executed in (time, insertion order) order, so two events
+/// scheduled for the same instant run in the order they were scheduled —
+/// this makes every run exactly reproducible.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` seconds from now. Negative delays clamp
+  /// to zero (run "immediately", after already-queued same-time events).
+  void Schedule(SimTime delay, Callback fn);
+
+  /// Schedules `fn` at absolute time `t` (clamped to now()).
+  void ScheduleAt(SimTime t, Callback fn);
+
+  /// Runs until the event queue is empty or Stop() is called.
+  void Run();
+
+  /// Runs until simulated time would exceed `t`; events at exactly `t` are
+  /// executed. Returns when the next event is later than `t` or the queue
+  /// is empty.
+  void RunUntil(SimTime t);
+
+  /// Executes at most one pending event. Returns false if none remained.
+  bool Step();
+
+  /// Makes Run()/RunUntil() return after the current event.
+  void Stop() { stopped_ = true; }
+
+  /// Number of events executed so far.
+  uint64_t events_executed() const { return events_executed_; }
+
+  /// Number of events waiting in the queue.
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_executed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace dsps::sim
+
+#endif  // DSPS_SIM_SIMULATOR_H_

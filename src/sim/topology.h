@@ -1,0 +1,61 @@
+#ifndef DSPS_SIM_TOPOLOGY_H_
+#define DSPS_SIM_TOPOLOGY_H_
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "sim/network.h"
+
+namespace dsps::sim {
+
+/// Parameters of the two-layer world: entities scattered on a WAN plane,
+/// each with a cluster of processors on a fast LAN, plus stream sources.
+struct TopologyConfig {
+  int num_entities = 4;
+  int processors_per_entity = 4;
+  int num_sources = 2;
+  /// Entities and sources are placed uniformly in [0, world_size]^2.
+  double world_size = 1000.0;
+  /// Processors of one entity are placed within this radius of its center.
+  double lan_radius = 1.0;
+  /// LAN link parameters (intra-entity).
+  LinkParams lan{0.0001, 1e9};
+  /// WAN link parameters; latency grows with distance (see BuildTopology).
+  double wan_base_latency_s = 0.002;
+  double wan_latency_per_unit_s = 5e-5;
+  double wan_bandwidth_bps = 1e8;
+};
+
+/// One entity's footprint in the simulator.
+struct EntitySite {
+  common::EntityId entity = common::kInvalidEntity;
+  Point center;
+  /// One sim node per processor; processors[0] is also the entity's
+  /// wrapper/gateway node for inter-entity traffic.
+  std::vector<common::SimNodeId> processors;
+};
+
+/// One stream source's footprint.
+struct SourceSite {
+  common::StreamId stream = common::kInvalidStream;
+  Point position;
+  common::SimNodeId node = common::kInvalidSimNode;
+};
+
+/// A generated two-layer topology.
+struct Topology {
+  std::vector<EntitySite> entities;
+  std::vector<SourceSite> sources;
+};
+
+/// Creates nodes for every entity processor and every source in `network`,
+/// and installs a distance-based link model: node pairs within
+/// 2*lan_radius of each other use LAN parameters, all other pairs use WAN
+/// parameters with distance-proportional latency.
+Topology BuildTopology(Network* network, const TopologyConfig& config,
+                       common::Rng* rng);
+
+}  // namespace dsps::sim
+
+#endif  // DSPS_SIM_TOPOLOGY_H_

@@ -1,0 +1,44 @@
+#ifndef DSPS_SYSTEM_METRICS_H_
+#define DSPS_SYSTEM_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace dsps::system {
+
+/// End-to-end measurements of one experiment run, aggregated over all
+/// entities and the whole simulated network.
+struct SystemMetrics {
+  /// Query results produced.
+  int64_t results = 0;
+  /// Result delays d_k (seconds).
+  common::Histogram latency;
+  /// Performance Ratios PR_k = d_k / p_k (Section 4.1's metric).
+  common::Histogram pr;
+  /// Bytes on inter-entity (WAN) links, including source->entity.
+  int64_t wan_bytes = 0;
+  /// Bytes on intra-entity (LAN) links.
+  int64_t lan_bytes = 0;
+  /// Bytes leaving stream sources (source load; the paper's scalability
+  /// bottleneck under non-cooperative transfer).
+  int64_t source_egress_bytes = 0;
+  /// Max children any source serves directly.
+  int max_source_fanout = 0;
+  /// Tuples delivered to entities by the dissemination layer.
+  int64_t delivered_tuples = 0;
+  /// Load imbalance across entities: max entity load / mean entity load.
+  double entity_load_imbalance = 1.0;
+  /// Max/mean processor utilization across all entities.
+  double max_processor_utilization = 0.0;
+  double mean_processor_utilization = 0.0;
+  /// Client-perceived result latency (only when clients are modeled):
+  /// result timestamp -> arrival at the client's node over the WAN.
+  common::Histogram client_latency;
+  int64_t client_results = 0;
+};
+
+}  // namespace dsps::system
+
+#endif  // DSPS_SYSTEM_METRICS_H_

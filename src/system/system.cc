@@ -1,0 +1,556 @@
+#include "system/system.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+#include "dissemination/reorganizer.h"
+#include "placement/rebalancer.h"
+
+namespace dsps::system {
+
+System::System(const Config& config) : config_(config), rng_(config.seed) {
+  simulator_ = std::make_unique<sim::Simulator>();
+  network_ = std::make_unique<sim::Network>(simulator_.get());
+  common::Rng topo_rng = rng_.Fork(1);
+  topology_ = sim::BuildTopology(network_.get(), config.topology, &topo_rng);
+  placement_policy_ = std::make_unique<placement::PrAwarePlacement>();
+
+  // Entities. The delegate-side interest index reads the catalog, which
+  // fills in at AddStreams time.
+  entity::Entity::Config entity_config = config.entity;
+  entity_config.catalog = &catalog_;
+  for (int e = 0; e < config.topology.num_entities; ++e) {
+    auto entity = std::make_unique<entity::Entity>(
+        topology_.entities[e].entity, network_.get(),
+        topology_.entities[e].processors, MakeEngineFactory(e),
+        placement_policy_.get(), entity_config);
+    common::EntityId eid = topology_.entities[e].entity;
+    entity->SetResultHandler(
+        [this, eid](const entity::Entity::ResultRecord& record,
+                    const engine::Tuple& tuple) {
+          metrics_.results += 1;
+          metrics_.latency.Add(record.latency);
+          metrics_.pr.Add(record.pr);
+          ShipResultToClient(eid, record.query, tuple);
+        });
+    entities_.push_back(std::move(entity));
+  }
+  entity_interest_.resize(entities_.size());
+  alive_.assign(entities_.size(), true);
+
+  // Clients (the paper's "huge number of clients" at the access portal).
+  if (config.num_clients > 0) {
+    common::Rng client_rng = rng_.Fork(2);
+    for (int c = 0; c < config.num_clients; ++c) {
+      sim::Point pos{client_rng.Uniform(0, config.topology.world_size),
+                     client_rng.Uniform(0, config.topology.world_size)};
+      common::SimNodeId node = network_->AddNode(pos);
+      network_->SetHandler(node, [this](const sim::Message& msg) {
+        if (msg.type != kMsgClientResult) return;
+        const auto* env =
+            std::any_cast<ClientResultEnvelope>(&msg.payload);
+        if (env == nullptr) return;
+        metrics_.client_results += 1;
+        metrics_.client_latency.Add(
+            std::max(0.0, simulator_->now() - env->result_timestamp));
+      });
+      client_nodes_.push_back(node);
+      client_positions_.push_back(pos);
+    }
+  }
+
+  // Dissemination layer.
+  disseminator_ = std::make_unique<dissemination::Disseminator>(
+      network_.get(), config.dissemination);
+  disseminator_->SetDeliveryHandler(
+      [this](common::EntityId entity, const engine::Tuple& tuple) {
+        metrics_.delivered_tuples += 1;
+        entities_[entity]->OnStreamTuple(tuple);
+      });
+
+  // Coordinator tree over the entities.
+  coordinator_ = std::make_unique<coordinator::CoordinatorTree>(
+      config.coordinator);
+  for (const sim::EntitySite& site : topology_.entities) {
+    auto join = coordinator_->Join(site.entity, site.center);
+    DSPS_CHECK(join.ok());
+  }
+
+  // Network handler dispatch: gateway nodes receive both dissemination and
+  // intra-entity messages; other processor nodes only intra-entity ones.
+  for (size_t e = 0; e < entities_.size(); ++e) {
+    entity::Entity* ent = entities_[e].get();
+    for (common::SimNodeId node : topology_.entities[e].processors) {
+      network_->SetHandler(node, [this, ent](const sim::Message& msg) {
+        if (ent->HandleMessage(msg)) return;
+        disseminator_->HandleMessage(msg);
+      });
+    }
+  }
+}
+
+void System::ShipResultToClient(common::EntityId entity,
+                                common::QueryId query,
+                                const engine::Tuple& tuple) {
+  if (client_nodes_.empty()) return;
+  auto it = client_of_query_.find(query);
+  if (it == client_of_query_.end()) return;
+  ClientResultEnvelope env;
+  env.result_timestamp = tuple.timestamp;
+  sim::Message msg;
+  msg.from = entities_[entity]->gateway_node();
+  msg.to = client_nodes_[it->second];
+  msg.type = kMsgClientResult;
+  msg.size_bytes = tuple.SizeBytes();
+  msg.payload = env;
+  common::Status s = network_->Send(std::move(msg));
+  DSPS_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
+}
+
+entity::Entity::EngineFactory System::MakeEngineFactory(
+    int entity_index) const {
+  const char* family = config_.engine_family;
+  bool batch;
+  if (std::strcmp(family, "basic") == 0) {
+    batch = false;
+  } else if (std::strcmp(family, "batch") == 0) {
+    batch = true;
+  } else {
+    batch = (entity_index % 2 == 1);  // "mixed": alternate engine families
+  }
+  if (batch) {
+    return [] {
+      return std::unique_ptr<engine::ExecutionEngine>(
+          new engine::BatchEngine(16));
+    };
+  }
+  return [] {
+    return std::unique_ptr<engine::ExecutionEngine>(new engine::BasicEngine());
+  };
+}
+
+void System::AddStreams(
+    std::vector<std::unique_ptr<workload::StreamGen>> gens) {
+  for (auto& gen : gens) {
+    common::StreamId stream = gen->stream();
+    DSPS_CHECK_MSG(
+        static_cast<size_t>(stream) < topology_.sources.size(),
+        "stream %d has no source site (increase topology.num_sources)",
+        stream);
+    catalog_.Register(stream, gen->stats());
+    common::Status s = disseminator_->AddSource(
+        stream, topology_.sources[stream].node);
+    DSPS_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
+    streams_.push_back(std::move(gen));
+  }
+  // Entities join every stream's tree once sources exist.
+  for (const sim::EntitySite& site : topology_.entities) {
+    common::Status s = disseminator_->AddEntity(
+        site.entity, entities_[site.entity]->gateway_node());
+    DSPS_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
+  }
+  // AddEntity installed the disseminator's own handlers on the gateways;
+  // restore the combined dispatcher.
+  for (size_t e = 0; e < entities_.size(); ++e) {
+    entity::Entity* ent = entities_[e].get();
+    common::SimNodeId node = ent->gateway_node();
+    network_->SetHandler(node, [this, ent](const sim::Message& msg) {
+      if (ent->HandleMessage(msg)) return;
+      disseminator_->HandleMessage(msg);
+    });
+  }
+}
+
+common::EntityId System::AllocateOne(const engine::Query& query) {
+  switch (config_.allocation) {
+    case AllocationMode::kRoundRobin: {
+      for (int tries = 0; tries < num_entities(); ++tries) {
+        common::EntityId e = round_robin_next_;
+        round_robin_next_ = (round_robin_next_ + 1) % num_entities();
+        if (alive_[e]) return e;
+      }
+      return 0;
+    }
+    case AllocationMode::kIsolatedZipf: {
+      for (int tries = 0; tries < 64; ++tries) {
+        auto e = static_cast<common::EntityId>(
+            rng_.Zipf(static_cast<uint64_t>(num_entities()), 0.8));
+        if (alive_[e]) return e;
+      }
+      return AllocateOne(query);  // practically unreachable
+    }
+    case AllocationMode::kCoordinatorTree:
+    case AllocationMode::kCoordinatorInterest: {
+      // Route by the position of the query's primary stream source (data
+      // locality) balanced against entity load — and, in the interest
+      // mode, against the coarse subtree interest summaries.
+      sim::Point pos{0, 0};
+      if (config_.query_anchor == Config::QueryAnchor::kClient &&
+          !client_positions_.empty() &&
+          client_of_query_.count(query.id) > 0) {
+        pos = client_positions_[client_of_query_.at(query.id)];
+      } else {
+        std::vector<common::StreamId> streams = query.interest.streams();
+        if (!streams.empty() &&
+            static_cast<size_t>(streams[0]) < topology_.sources.size()) {
+          pos = topology_.sources[streams[0]].position;
+        }
+      }
+      if (config_.allocation == AllocationMode::kCoordinatorInterest) {
+        auto route = coordinator_->RouteQueryByInterest(query.interest,
+                                                        catalog_, pos,
+                                                        query.load);
+        DSPS_CHECK(route.ok());
+        return route.value().entity;
+      }
+      auto route = coordinator_->RouteQuery(pos, query.load);
+      DSPS_CHECK(route.ok());
+      return route.value().entity;
+    }
+    case AllocationMode::kGraphPartition: {
+      // Single query under partition mode: place by interest affinity to
+      // existing entity interests, tie-broken by load.
+      double best_score = -1e300;
+      common::EntityId best = 0;
+      double mean_load = 1e-9;
+      for (const auto& ent : entities_) mean_load += ent->TotalCommittedLoad();
+      mean_load /= num_entities();
+      for (int e = 0; e < num_entities(); ++e) {
+        if (!alive_[e]) continue;
+        double shared = interest::SharedRateBytesPerSec(
+            query.interest, entity_interest_[e], catalog_);
+        double load = entities_[e]->TotalCommittedLoad();
+        double score = shared - load / mean_load;
+        if (score > best_score) {
+          best_score = score;
+          best = e;
+        }
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+common::Status System::InstallOn(common::EntityId entity,
+                                 const engine::Query& query) {
+  // Expected per-binding arrival at the entity: the query's leaf filters
+  // see every tuple of their stream that the dissemination layer delivers
+  // to this entity — bounded by the full stream rate. (The filter's
+  // interest coverage shrinks its OUTPUT, which the fragmenter's
+  // selectivity cascade models; using coverage here would systematically
+  // underestimate leaf-operator load.)
+  double tps = 1.0;
+  for (common::StreamId s : query.interest.streams()) {
+    if (!catalog_.Contains(s)) continue;
+    tps = std::max(tps, catalog_.stats(s).tuples_per_s);
+  }
+  DSPS_RETURN_IF_ERROR(entities_[entity]->InstallQuery(query, tps));
+  query_home_[query.id] = entity;
+  queries_[query.id] = query;
+  // Update the entity's aggregated interest and its dissemination-tree
+  // registrations for every stream the query reads.
+  entity_interest_[entity].MergeFrom(query.interest);
+  entity_interest_[entity].Simplify();
+  coordinator_->SetEntityInterest(entity, entity_interest_[entity]);
+  for (common::StreamId s : entity_interest_[entity].streams()) {
+    const std::vector<interest::Box>* boxes =
+        entity_interest_[entity].boxes_for(s);
+    if (boxes == nullptr) continue;
+    common::Status st = disseminator_->SetEntityInterest(entity, s, *boxes);
+    if (!st.ok()) return st;
+  }
+  return common::Status::OK();
+}
+
+common::Status System::SubmitQuery(const engine::Query& query) {
+  if (entities_.empty()) {
+    return common::Status::FailedPrecondition("no entities");
+  }
+  if (!client_nodes_.empty() && client_of_query_.count(query.id) == 0) {
+    client_of_query_[query.id] = next_client_;
+    next_client_ = (next_client_ + 1) % static_cast<int>(client_nodes_.size());
+  }
+  common::EntityId e = AllocateOne(query);
+  return InstallOn(e, query);
+}
+
+common::Status System::SubmitBatch(const std::vector<engine::Query>& queries) {
+  if (config_.allocation != AllocationMode::kGraphPartition) {
+    for (const engine::Query& q : queries) {
+      DSPS_RETURN_IF_ERROR(SubmitQuery(q));
+    }
+    return common::Status::OK();
+  }
+  // Partition across the alive entities only.
+  std::vector<common::EntityId> alive_ids;
+  for (int e = 0; e < num_entities(); ++e) {
+    if (alive_[e]) alive_ids.push_back(e);
+  }
+  if (alive_ids.empty()) {
+    return common::Status::FailedPrecondition("no alive entities");
+  }
+  partition::QueryGraph graph = partition::QueryGraph::Build(queries, catalog_);
+  partition::MultilevelPartitioner partitioner;
+  auto assignment = partitioner.Partition(
+      graph, static_cast<int>(alive_ids.size()), config_.balance_tolerance);
+  if (!assignment.ok()) return assignment.status();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    DSPS_RETURN_IF_ERROR(
+        InstallOn(alive_ids[assignment.value()[i]], queries[i]));
+  }
+  return common::Status::OK();
+}
+
+void System::RecomputeEntityInterest(common::EntityId entity) {
+  interest::InterestSet fresh;
+  for (const auto& [qid, query] : queries_) {
+    auto home_it = query_home_.find(qid);
+    if (home_it != query_home_.end() && home_it->second == entity) {
+      fresh.MergeFrom(query.interest);
+    }
+  }
+  fresh.Simplify();
+  entity_interest_[entity] = std::move(fresh);
+  if (IsAlive(entity)) {
+    coordinator_->SetEntityInterest(entity, entity_interest_[entity]);
+  }
+  // Refresh every stream's registration (empty boxes clear stale ones).
+  for (common::StreamId s : catalog_.streams()) {
+    const std::vector<interest::Box>* boxes =
+        entity_interest_[entity].boxes_for(s);
+    common::Status st = disseminator_->SetEntityInterest(
+        entity, s, boxes == nullptr ? std::vector<interest::Box>() : *boxes);
+    // The entity may have been removed from the trees (failure path).
+    (void)st;
+  }
+}
+
+common::Status System::RemoveQuery(common::QueryId query) {
+  auto home_it = query_home_.find(query);
+  if (home_it == query_home_.end()) {
+    return common::Status::NotFound("unknown query");
+  }
+  common::EntityId home = home_it->second;
+  DSPS_RETURN_IF_ERROR(entities_[home]->RemoveQuery(query));
+  query_home_.erase(home_it);
+  queries_.erase(query);
+  RecomputeEntityInterest(home);
+  return common::Status::OK();
+}
+
+common::Result<int> System::FailEntity(common::EntityId entity) {
+  if (entity < 0 || entity >= num_entities()) {
+    return common::Status::InvalidArgument("unknown entity");
+  }
+  if (!alive_[entity]) {
+    return common::Status::FailedPrecondition("entity already failed");
+  }
+  if (num_alive() <= 1) {
+    return common::Status::FailedPrecondition("last alive entity");
+  }
+  alive_[entity] = false;
+  // Leave the federation structures (same repair path as graceful leave).
+  (void)coordinator_->Leave(entity);
+  if (disseminator_ != nullptr) {
+    (void)disseminator_->RemoveEntity(entity);
+  }
+  // Re-home its queries on the survivors.
+  std::vector<engine::Query> orphans;
+  for (const auto& [qid, home] : query_home_) {
+    if (home == entity) orphans.push_back(queries_.at(qid));
+  }
+  for (const engine::Query& q : orphans) {
+    (void)entities_[entity]->RemoveQuery(q.id);
+    query_home_.erase(q.id);
+    queries_.erase(q.id);
+  }
+  entity_interest_[entity].Clear();
+  int rehomed = 0;
+  for (const engine::Query& q : orphans) {
+    if (SubmitQuery(q).ok()) ++rehomed;
+  }
+  return rehomed;
+}
+
+bool System::IsAlive(common::EntityId entity) const {
+  return entity >= 0 && entity < num_entities() && alive_[entity];
+}
+
+int System::num_alive() const {
+  int n = 0;
+  for (bool a : alive_) n += a ? 1 : 0;
+  return n;
+}
+
+common::Status System::MigrateQuery(common::QueryId query,
+                                    common::EntityId to) {
+  auto home_it = query_home_.find(query);
+  if (home_it == query_home_.end()) {
+    return common::Status::NotFound("unknown query");
+  }
+  if (!IsAlive(to)) {
+    return common::Status::InvalidArgument("target entity not alive");
+  }
+  common::EntityId from = home_it->second;
+  if (from == to) return common::Status::OK();
+  engine::Query q = queries_.at(query);
+  DSPS_RETURN_IF_ERROR(entities_[from]->RemoveQuery(query));
+  query_home_.erase(query);
+  queries_.erase(query);
+  RecomputeEntityInterest(from);
+  return InstallOn(to, q);
+}
+
+common::Result<System::RepartitionReport> System::RepartitionQueries(
+    partition::Repartitioner* repartitioner) {
+  DSPS_CHECK(repartitioner != nullptr);
+  std::vector<common::EntityId> alive_ids;
+  for (int e = 0; e < num_entities(); ++e) {
+    if (alive_[e]) alive_ids.push_back(e);
+  }
+  if (alive_ids.empty() || queries_.empty()) {
+    return common::Status::FailedPrecondition("nothing to repartition");
+  }
+  std::map<common::EntityId, int> part_of_entity;
+  for (size_t i = 0; i < alive_ids.size(); ++i) {
+    part_of_entity[alive_ids[i]] = static_cast<int>(i);
+  }
+  // Live query graph in stable query-id order.
+  std::vector<engine::Query> live;
+  std::vector<int> old_assignment;
+  for (const auto& [qid, q] : queries_) {
+    live.push_back(q);
+    auto it = part_of_entity.find(query_home_.at(qid));
+    old_assignment.push_back(it == part_of_entity.end() ? -1 : it->second);
+  }
+  partition::QueryGraph graph = partition::QueryGraph::Build(live, catalog_);
+  partition::RepartitionResult result = repartitioner->Repartition(
+      graph, old_assignment, static_cast<int>(alive_ids.size()),
+      config_.balance_tolerance);
+  RepartitionReport report;
+  report.edge_cut = result.edge_cut;
+  report.imbalance = result.imbalance;
+  report.decision_seconds = result.decision_seconds;
+  for (size_t i = 0; i < live.size(); ++i) {
+    common::EntityId target = alive_ids[result.assignment[i]];
+    if (old_assignment[i] >= 0 && target == alive_ids[old_assignment[i]]) {
+      continue;
+    }
+    if (MigrateQuery(live[i].id, target).ok()) ++report.migrations;
+  }
+  return report;
+}
+
+void System::MaintenanceRound() {
+  maintenance_stats_.rounds += 1;
+  maintenance_stats_.coordinator_messages += coordinator_->Maintain();
+  if (disseminator_ != nullptr) {
+    dissemination::TreeReorganizer reorganizer;
+    for (common::StreamId s : catalog_.streams()) {
+      dissemination::DisseminationTree* tree = disseminator_->mutable_tree(s);
+      if (tree != nullptr) {
+        maintenance_stats_.tree_moves += reorganizer.Round(tree).moves;
+      }
+    }
+  }
+  placement::Rebalancer rebalancer;
+  for (int e = 0; e < num_entities(); ++e) {
+    if (alive_[e]) {
+      maintenance_stats_.fragment_moves += entities_[e]->Rebalance(rebalancer);
+    }
+  }
+}
+
+void System::EnableMaintenance(double period_s, double until) {
+  DSPS_CHECK(period_s > 0);
+  double next = simulator_->now() + period_s;
+  if (next > until) return;
+  simulator_->ScheduleAt(next, [this, period_s, until]() {
+    MaintenanceRound();
+    EnableMaintenance(period_s, until);
+  });
+}
+
+void System::ScheduleEmission(size_t stream_index, double end_time) {
+  workload::StreamGen* gen = streams_[stream_index].get();
+  double rate = catalog_.stats(gen->stream()).tuples_per_s;
+  double delay = rng_.Exponential(rate);
+  double t = simulator_->now() + delay;
+  if (t > end_time) return;
+  simulator_->ScheduleAt(t, [this, stream_index, end_time]() {
+    workload::StreamGen* g = streams_[stream_index].get();
+    engine::Tuple tuple = g->Next(simulator_->now());
+    common::Status s = disseminator_->Publish(tuple);
+    DSPS_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
+    ScheduleEmission(stream_index, end_time);
+  });
+}
+
+void System::GenerateTraffic(double duration_s) {
+  double end_time = simulator_->now() + duration_s;
+  for (size_t i = 0; i < streams_.size(); ++i) {
+    ScheduleEmission(i, end_time);
+  }
+}
+
+void System::RunUntil(double t) { simulator_->RunUntil(t); }
+
+double System::now() const { return simulator_->now(); }
+
+common::EntityId System::EntityOf(common::QueryId query) const {
+  auto it = query_home_.find(query);
+  return it == query_home_.end() ? common::kInvalidEntity : it->second;
+}
+
+SystemMetrics System::Collect() const {
+  SystemMetrics m = metrics_;
+  // Classify link traffic: a link is LAN iff both endpoints belong to the
+  // same entity's processor set.
+  std::map<common::SimNodeId, int> entity_of_node;
+  for (const sim::EntitySite& site : topology_.entities) {
+    for (common::SimNodeId node : site.processors) {
+      entity_of_node[node] = site.entity;
+    }
+  }
+  for (const sim::Network::LinkRecord& link : network_->AllLinkStats()) {
+    auto a = entity_of_node.find(link.from);
+    auto b = entity_of_node.find(link.to);
+    bool lan = a != entity_of_node.end() && b != entity_of_node.end() &&
+               a->second == b->second;
+    if (lan) {
+      m.lan_bytes += link.stats.bytes;
+    } else {
+      m.wan_bytes += link.stats.bytes;
+    }
+  }
+  for (const sim::SourceSite& src : topology_.sources) {
+    m.source_egress_bytes += network_->egress_bytes(src.node);
+    if (disseminator_ != nullptr) {
+      const dissemination::DisseminationTree* tree =
+          disseminator_->tree(src.stream);
+      if (tree != nullptr) {
+        m.max_source_fanout =
+            std::max(m.max_source_fanout, tree->source_fanout());
+      }
+    }
+  }
+  // Entity load imbalance and processor utilization.
+  double total_load = 0.0, max_load = 0.0;
+  for (const auto& ent : entities_) {
+    double load = ent->TotalCommittedLoad();
+    total_load += load;
+    max_load = std::max(max_load, load);
+    m.max_processor_utilization =
+        std::max(m.max_processor_utilization, ent->MaxUtilization());
+    m.mean_processor_utilization += ent->MeanUtilization();
+  }
+  m.mean_processor_utilization /= std::max<size_t>(1, entities_.size());
+  double mean_load = total_load / std::max<size_t>(1, entities_.size());
+  m.entity_load_imbalance = mean_load > 0 ? max_load / mean_load : 1.0;
+  return m;
+}
+
+}  // namespace dsps::system

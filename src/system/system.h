@@ -1,0 +1,213 @@
+#ifndef DSPS_SYSTEM_SYSTEM_H_
+#define DSPS_SYSTEM_SYSTEM_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "coordinator/coordinator_tree.h"
+#include "dissemination/disseminator.h"
+#include "engine/engine.h"
+#include "entity/entity.h"
+#include "interest/measure.h"
+#include "partition/partitioner.h"
+#include "partition/repartitioner.h"
+#include "placement/placement.h"
+#include "sim/topology.h"
+#include "system/metrics.h"
+#include "workload/stream_gen.h"
+
+namespace dsps::system {
+
+/// Message type for entity->client result delivery.
+inline constexpr int kMsgClientResult = 401;
+
+/// Payload of kMsgClientResult.
+struct ClientResultEnvelope {
+  double result_timestamp = 0.0;
+};
+
+/// How arriving queries are allocated to entities (Section 3.2).
+enum class AllocationMode {
+  /// Level-by-level routing down the hierarchical coordinator tree
+  /// (Section 3.2.1) — scalable to fast query streams.
+  kCoordinatorTree,
+  /// Coordinator-tree routing that additionally steers by coarse subtree
+  /// interest summaries, so overlapping queries co-locate (Section 3.2.2's
+  /// goal at 3.2.1's cost).
+  kCoordinatorInterest,
+  /// Batch weighted graph partitioning (Section 3.2.2) — interest-aware.
+  kGraphPartition,
+  /// Round-robin baseline (no load or interest awareness).
+  kRoundRobin,
+  /// Isolated regime (Table 1): each query sticks to the entity its client
+  /// happens to use — Zipf-skewed random, no load sharing at all.
+  kIsolatedZipf,
+};
+
+/// The full two-layer system of the paper: stream sources, a WAN of
+/// entities (each a LAN cluster of processors), per-source dissemination
+/// trees with early filtering, a coordinator tree or graph partitioner
+/// for query distribution, and the intra-entity runtime (delegation,
+/// placement, PR accounting). Everything runs on one deterministic
+/// discrete-event simulation.
+class System {
+ public:
+  struct Config {
+    sim::TopologyConfig topology;
+    coordinator::CoordinatorTree::Config coordinator;
+    dissemination::Disseminator::Config dissemination;
+    entity::Entity::Config entity;
+    AllocationMode allocation = AllocationMode::kCoordinatorTree;
+    /// Balance tolerance for graph-partition allocation.
+    double balance_tolerance = 1.2;
+    /// Engine family per entity: "basic", "batch", or "mixed" (entities
+    /// alternate — the heterogeneity the loose coupling must tolerate).
+    const char* engine_family = "mixed";
+    /// When positive, models the paper's clients: each query belongs to a
+    /// client at a WAN position; results are shipped from the hosting
+    /// entity's gateway to the client and client-perceived latency is
+    /// recorded (SystemMetrics::client_latency).
+    int num_clients = 0;
+    /// Where the coordinator anchors a query geographically: near its
+    /// data (the primary stream's source) or near its client. The tension
+    /// between the two is experiment E9.
+    enum class QueryAnchor { kSource, kClient };
+    QueryAnchor query_anchor = QueryAnchor::kSource;
+    uint64_t seed = 1;
+  };
+
+  explicit System(const Config& config);
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  /// Registers stream generators (their streams enter the catalog, their
+  /// sources join the dissemination layer). Call before SubmitQuery.
+  void AddStreams(std::vector<std::unique_ptr<workload::StreamGen>> gens);
+
+  /// Admits one query: allocates it to an entity (per the allocation
+  /// mode), installs it there, and updates the entity's dissemination
+  /// interest.
+  common::Status SubmitQuery(const engine::Query& query);
+
+  /// Admits a batch at once. Under kGraphPartition the whole batch is
+  /// partitioned jointly; other modes submit one by one.
+  common::Status SubmitBatch(const std::vector<engine::Query>& queries);
+
+  /// Schedules source emissions for `duration_s` of simulated time
+  /// starting now (each stream at its catalog rate).
+  void GenerateTraffic(double duration_s);
+
+  /// Runs the simulation until simulated time `t`.
+  void RunUntil(double t);
+
+  /// Simulated now.
+  double now() const;
+
+  /// Gathers all metrics accumulated so far.
+  SystemMetrics Collect() const;
+
+  const interest::StreamCatalog& catalog() const { return catalog_; }
+  entity::Entity* entity_at(int index) { return entities_[index].get(); }
+  int num_entities() const { return static_cast<int>(entities_.size()); }
+  sim::Network* network() { return network_.get(); }
+  dissemination::Disseminator* disseminator() { return disseminator_.get(); }
+  coordinator::CoordinatorTree* coordinator_tree() {
+    return coordinator_.get();
+  }
+
+  /// Which entity hosts `query` (kInvalidEntity if unknown).
+  common::EntityId EntityOf(common::QueryId query) const;
+
+  /// Withdraws a query: uninstalls it from its entity and recomputes the
+  /// entity's aggregated dissemination interest from its remaining
+  /// queries (so ancestors stop forwarding data nobody wants).
+  common::Status RemoveQuery(common::QueryId query);
+
+  /// Simulates the failure (or departure) of an entity: it leaves the
+  /// coordinator tree and every dissemination tree, and its queries are
+  /// re-allocated to the surviving entities — the loose-coupling payoff:
+  /// nothing else changes. Returns the number of queries re-homed.
+  common::Result<int> FailEntity(common::EntityId entity);
+
+  bool IsAlive(common::EntityId entity) const;
+  int num_alive() const;
+
+  /// Moves a live query to another entity. Because entities may run
+  /// different engines, operator state cannot cross the boundary (the
+  /// paper's Section 3 argument): the move is a query-level reinstall —
+  /// window state restarts on the new entity.
+  common::Status MigrateQuery(common::QueryId query, common::EntityId to);
+
+  /// One round of runtime adaptive repartitioning (Section 3.2.2): builds
+  /// the live query graph from the installed queries, lets `repartitioner`
+  /// adapt the current assignment, and executes the resulting migrations.
+  struct RepartitionReport {
+    int migrations = 0;
+    double edge_cut = 0.0;
+    double imbalance = 1.0;
+    double decision_seconds = 0.0;
+  };
+  common::Result<RepartitionReport> RepartitionQueries(
+      partition::Repartitioner* repartitioner);
+
+  /// Starts periodic self-maintenance at the given cadence: coordinator
+  /// re-centering (rule 5), dissemination-tree reorganization rounds, and
+  /// intra-entity placement rebalancing. Runs until `until` (simulated).
+  void EnableMaintenance(double period_s, double until);
+
+  /// Cumulative maintenance actions (for experiments).
+  struct MaintenanceStats {
+    int rounds = 0;
+    int tree_moves = 0;
+    int fragment_moves = 0;
+    int coordinator_messages = 0;
+  };
+  const MaintenanceStats& maintenance_stats() const {
+    return maintenance_stats_;
+  }
+
+ private:
+  common::Status InstallOn(common::EntityId entity, const engine::Query& query);
+  common::EntityId AllocateOne(const engine::Query& query);
+  void ScheduleEmission(size_t stream_index, double end_time);
+  entity::Entity::EngineFactory MakeEngineFactory(int entity_index) const;
+
+  Config config_;
+  common::Rng rng_;
+  std::unique_ptr<sim::Simulator> simulator_;
+  std::unique_ptr<sim::Network> network_;
+  sim::Topology topology_;
+  interest::StreamCatalog catalog_;
+  std::vector<std::unique_ptr<workload::StreamGen>> streams_;
+  std::vector<std::unique_ptr<entity::Entity>> entities_;
+  std::unique_ptr<placement::PrAwarePlacement> placement_policy_;
+  std::unique_ptr<dissemination::Disseminator> disseminator_;
+  std::unique_ptr<coordinator::CoordinatorTree> coordinator_;
+  /// Per-entity aggregated interest (union over its queries).
+  std::vector<interest::InterestSet> entity_interest_;
+  std::map<common::QueryId, common::EntityId> query_home_;
+  /// Installed queries (needed to re-home them on entity failure and to
+  /// recompute interests on removal).
+  std::map<common::QueryId, engine::Query> queries_;
+  std::vector<bool> alive_;
+  /// Client modeling (when config_.num_clients > 0).
+  std::vector<common::SimNodeId> client_nodes_;
+  std::vector<sim::Point> client_positions_;
+  std::map<common::QueryId, int> client_of_query_;
+  int next_client_ = 0;
+  int round_robin_next_ = 0;
+  SystemMetrics metrics_;
+  MaintenanceStats maintenance_stats_;
+  void RecomputeEntityInterest(common::EntityId entity);
+  void MaintenanceRound();
+  void ShipResultToClient(common::EntityId entity, common::QueryId query,
+                          const engine::Tuple& tuple);
+};
+
+}  // namespace dsps::system
+
+#endif  // DSPS_SYSTEM_SYSTEM_H_

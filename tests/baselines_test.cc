@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "baselines/regimes.h"
+
+namespace dsps::baselines {
+namespace {
+
+RegimeWorkload SmallWorkload() {
+  RegimeWorkload wl;
+  wl.num_entities = 4;
+  wl.processors_per_entity = 2;
+  wl.num_streams = 2;
+  wl.num_queries = 24;
+  wl.duration_s = 2.0;
+  wl.ticker_config.tuples_per_s = 100.0;
+  wl.seed = 5;
+  return wl;
+}
+
+TEST(RegimesTest, NamesAreStable) {
+  EXPECT_STREQ(RegimeName(Regime::kIsolatedDirect), "isolated+direct");
+  EXPECT_STREQ(RegimeName(Regime::kQueryLevelTree), "query-level+tree");
+}
+
+TEST(RegimesTest, AllRegimesProduceResults) {
+  for (const RegimeResult& r : RunAllRegimes(SmallWorkload())) {
+    EXPECT_GT(r.results, 0) << RegimeName(r.regime);
+    EXPECT_GT(r.wan_bytes, 0) << RegimeName(r.regime);
+    EXPECT_GE(r.load_imbalance, 1.0) << RegimeName(r.regime);
+  }
+}
+
+TEST(RegimesTest, TreeTransferCutsSourceLoad) {
+  RegimeWorkload wl = SmallWorkload();
+  RegimeResult direct = RunRegime(Regime::kQueryLevelDirect, wl);
+  RegimeResult tree = RunRegime(Regime::kQueryLevelTree, wl);
+  // Cooperative dissemination bounds the source fan-out.
+  EXPECT_LE(tree.max_source_fanout, direct.max_source_fanout);
+  EXPECT_LT(tree.source_egress_bytes, direct.source_egress_bytes + 1);
+}
+
+TEST(RegimesTest, LoadSharingBeatsIsolation) {
+  RegimeWorkload wl = SmallWorkload();
+  RegimeResult isolated = RunRegime(Regime::kIsolatedDirect, wl);
+  RegimeResult shared = RunRegime(Regime::kQueryLevelDirect, wl);
+  EXPECT_LT(shared.load_imbalance, isolated.load_imbalance);
+}
+
+TEST(RegimesTest, FusedRegimeBalancesBestButPaysWan) {
+  RegimeWorkload wl = SmallWorkload();
+  RegimeResult fused = RunRegime(Regime::kOperatorLevelFused, wl);
+  RegimeResult ours = RunRegime(Regime::kQueryLevelTree, wl);
+  // Operator-level fusion balances across sites at least as well as
+  // query-level sharing...
+  EXPECT_LE(fused.load_imbalance, ours.load_imbalance + 0.5);
+  // ...but ships more bytes across the WAN (operators scatter anywhere).
+  EXPECT_GT(fused.wan_bytes, ours.wan_bytes);
+}
+
+}  // namespace
+}  // namespace dsps::baselines

@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "dissemination/disseminator.h"
+#include "dissemination/tree.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace dsps::dissemination {
+namespace {
+
+using interest::Box;
+using interest::Interval;
+using sim::Point;
+
+DisseminationTree::Config TreeConfig(TreePolicy policy, int fanout = 3) {
+  DisseminationTree::Config cfg;
+  cfg.policy = policy;
+  cfg.max_fanout = fanout;
+  return cfg;
+}
+
+TEST(DisseminationTreeTest, SourceDirectIsAStar) {
+  DisseminationTree tree(0, {0, 0}, TreeConfig(TreePolicy::kSourceDirect));
+  for (int e = 0; e < 10; ++e) {
+    ASSERT_TRUE(tree.AddEntity(e, {static_cast<double>(e), 0}).ok());
+  }
+  EXPECT_EQ(tree.source_fanout(), 10);
+  EXPECT_EQ(tree.MaxDepth(), 1);
+  for (int e = 0; e < 10; ++e) {
+    EXPECT_EQ(tree.Parent(e).value(), common::kInvalidEntity);
+  }
+}
+
+TEST(DisseminationTreeTest, ClosestParentBoundsFanout) {
+  DisseminationTree tree(0, {0, 0}, TreeConfig(TreePolicy::kClosestParent, 3));
+  common::Rng rng(1);
+  for (int e = 0; e < 40; ++e) {
+    ASSERT_TRUE(
+        tree.AddEntity(e, {rng.Uniform(0, 100), rng.Uniform(0, 100)}).ok());
+  }
+  EXPECT_LE(tree.source_fanout(), 3);
+  for (int e = 0; e < 40; ++e) {
+    EXPECT_LE(tree.Children(e).size(), 3u);
+  }
+  EXPECT_GT(tree.MaxDepth(), 1);
+  EXPECT_EQ(tree.size(), 40u);
+}
+
+TEST(DisseminationTreeTest, DuplicateAndMissingEntities) {
+  DisseminationTree tree(0, {0, 0}, TreeConfig(TreePolicy::kClosestParent));
+  ASSERT_TRUE(tree.AddEntity(1, {1, 1}).ok());
+  EXPECT_FALSE(tree.AddEntity(1, {2, 2}).ok());
+  EXPECT_FALSE(tree.RemoveEntity(99).ok());
+  EXPECT_FALSE(tree.Parent(99).ok());
+  EXPECT_FALSE(tree.Depth(99).ok());
+}
+
+TEST(DisseminationTreeTest, RemoveReattachesChildren) {
+  DisseminationTree tree(0, {0, 0}, TreeConfig(TreePolicy::kClosestParent, 2));
+  // Chain: source -> 0 -> 1 -> 2 (positions force this shape).
+  ASSERT_TRUE(tree.AddEntity(0, {1, 0}).ok());
+  ASSERT_TRUE(tree.AddEntity(1, {1.1, 0}).ok());
+  ASSERT_TRUE(tree.AddEntity(2, {1.2, 0}).ok());
+  int depth2_before = tree.Depth(2).value();
+  ASSERT_TRUE(tree.RemoveEntity(1).ok());
+  EXPECT_EQ(tree.size(), 2u);
+  // Entity 2 re-attached to 1's parent.
+  EXPECT_LE(tree.Depth(2).value(), depth2_before);
+  EXPECT_TRUE(tree.Contains(2));
+}
+
+TEST(DisseminationTreeTest, SubtreeInterestAggregates) {
+  DisseminationTree tree(0, {0, 0}, TreeConfig(TreePolicy::kClosestParent, 2));
+  ASSERT_TRUE(tree.AddEntity(0, {1, 0}).ok());
+  ASSERT_TRUE(tree.AddEntity(1, {1.1, 0}).ok());  // child of 0
+  ASSERT_EQ(tree.Parent(1).value(), 0);
+  tree.SetLocalInterest(0, {Box{Interval{0, 10}}});
+  int updates = tree.SetLocalInterest(1, {Box{Interval{20, 30}}});
+  EXPECT_GE(updates, 1);  // 1's aggregate changed, then 0's
+  // 0's subtree covers both ranges.
+  double p5 = 5, p25 = 25, p50 = 50;
+  auto matches = [&](common::EntityId id, double* p) {
+    for (const Box& b : tree.SubtreeInterest(id)) {
+      if (interest::BoxContains(b, p)) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(matches(0, &p5));
+  EXPECT_TRUE(matches(0, &p25));
+  EXPECT_FALSE(matches(0, &p50));
+  // 1's subtree only has its own.
+  EXPECT_FALSE(matches(1, &p5));
+  EXPECT_TRUE(matches(1, &p25));
+}
+
+TEST(DisseminationTreeTest, ForwardTargetsEarlyFiltering) {
+  DisseminationTree tree(0, {0, 0}, TreeConfig(TreePolicy::kSourceDirect));
+  ASSERT_TRUE(tree.AddEntity(0, {1, 0}).ok());
+  ASSERT_TRUE(tree.AddEntity(1, {2, 0}).ok());
+  tree.SetLocalInterest(0, {Box{Interval{0, 10}}});
+  tree.SetLocalInterest(1, {Box{Interval{5, 20}}});
+  double p7 = 7, p15 = 15, p99 = 99;
+  std::vector<common::EntityId> targets;
+  tree.ForwardTargets(common::kInvalidEntity, &p7, true, &targets);
+  EXPECT_EQ(targets.size(), 2u);
+  tree.ForwardTargets(common::kInvalidEntity, &p15, true, &targets);
+  ASSERT_EQ(targets.size(), 1u);
+  EXPECT_EQ(targets[0], 1);
+  tree.ForwardTargets(common::kInvalidEntity, &p99, true, &targets);
+  EXPECT_TRUE(targets.empty());
+  // Without early filtering everything goes everywhere.
+  tree.ForwardTargets(common::kInvalidEntity, &p99, false, &targets);
+  EXPECT_EQ(targets.size(), 2u);
+}
+
+TEST(DisseminationTreeTest, InterestUpdateCostBounded) {
+  // Updating a leaf's interest sends at most depth updates upstream.
+  DisseminationTree tree(0, {0, 0}, TreeConfig(TreePolicy::kClosestParent, 2));
+  common::Rng rng(3);
+  for (int e = 0; e < 20; ++e) {
+    ASSERT_TRUE(
+        tree.AddEntity(e, {rng.Uniform(0, 10), rng.Uniform(0, 10)}).ok());
+  }
+  for (int e = 0; e < 20; ++e) {
+    double lo = rng.Uniform(0, 90);
+    int updates = tree.SetLocalInterest(e, {Box{Interval{lo, lo + 10}}});
+    EXPECT_LE(updates, tree.Depth(e).value());
+  }
+}
+
+// --------------------------------------------------------------- End-to-end
+
+class DisseminatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = std::make_unique<sim::Network>(&sim_);
+    source_node_ = network_->AddNode({0, 0});
+    for (int e = 0; e < 4; ++e) {
+      gateways_.push_back(
+          network_->AddNode({100.0 * (e + 1), 50.0 * (e % 2)}));
+    }
+  }
+
+  engine::Tuple MakeTuple(double value) {
+    engine::Tuple t;
+    t.stream = 0;
+    t.timestamp = sim_.now();
+    t.values = {engine::Value{value}};
+    return t;
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<sim::Network> network_;
+  common::SimNodeId source_node_;
+  std::vector<common::SimNodeId> gateways_;
+};
+
+TEST_F(DisseminatorTest, DeliversExactlyMatchingTuples) {
+  Disseminator::Config cfg;
+  cfg.tree.policy = TreePolicy::kClosestParent;
+  cfg.tree.max_fanout = 2;
+  Disseminator dissem(network_.get(), cfg);
+  ASSERT_TRUE(dissem.AddSource(0, source_node_).ok());
+  for (int e = 0; e < 4; ++e) {
+    ASSERT_TRUE(dissem.AddEntity(e, gateways_[e]).ok());
+  }
+  // Entity e wants [10e, 10e+10).
+  for (int e = 0; e < 4; ++e) {
+    ASSERT_TRUE(dissem
+                    .SetEntityInterest(
+                        e, 0, {Box{Interval{10.0 * e, 10.0 * e + 9.99}}})
+                    .ok());
+  }
+  std::map<common::EntityId, std::vector<double>> got;
+  dissem.SetDeliveryHandler(
+      [&](common::EntityId e, const engine::Tuple& t) {
+        got[e].push_back(engine::AsDouble(t.values[0]));
+      });
+  // Publish values 0..39; value v should reach exactly entity v/10.
+  for (int v = 0; v < 40; ++v) {
+    ASSERT_TRUE(dissem.Publish(MakeTuple(static_cast<double>(v))).ok());
+  }
+  sim_.Run();
+  int64_t total = 0;
+  for (int e = 0; e < 4; ++e) {
+    for (double v : got[e]) {
+      EXPECT_EQ(static_cast<int>(v) / 10, e);
+    }
+    total += static_cast<int64_t>(got[e].size());
+    EXPECT_EQ(got[e].size(), 10u) << "entity " << e;
+  }
+  EXPECT_EQ(dissem.delivered_count(), total);
+}
+
+TEST_F(DisseminatorTest, EarlyFilterReducesTraffic) {
+  auto run = [&](bool early) {
+    sim::Simulator sim;
+    sim::Network net(&sim);
+    auto src = net.AddNode({0, 0});
+    std::vector<common::SimNodeId> gws;
+    for (int e = 0; e < 8; ++e) {
+      gws.push_back(net.AddNode({10.0 + e, 0}));
+    }
+    Disseminator::Config cfg;
+    cfg.tree.policy = TreePolicy::kClosestParent;
+    cfg.tree.max_fanout = 2;
+    cfg.early_filter = early;
+    Disseminator dissem(&net, cfg);
+    EXPECT_TRUE(dissem.AddSource(0, src).ok());
+    for (int e = 0; e < 8; ++e) {
+      EXPECT_TRUE(dissem.AddEntity(e, gws[e]).ok());
+      // Narrow interest: only [0, 5).
+      EXPECT_TRUE(dissem.SetEntityInterest(e, 0, {Box{Interval{0, 5}}}).ok());
+    }
+    common::Rng rng(7);
+    for (int i = 0; i < 100; ++i) {
+      engine::Tuple t;
+      t.stream = 0;
+      t.timestamp = sim.now();
+      t.values = {engine::Value{rng.Uniform(0, 100)}};
+      EXPECT_TRUE(dissem.Publish(t).ok());
+    }
+    sim.Run();
+    return net.total_bytes();
+  };
+  int64_t filtered = run(true);
+  int64_t unfiltered = run(false);
+  EXPECT_LT(filtered, unfiltered / 2);
+}
+
+TEST_F(DisseminatorTest, TreeCutsSourceFanout) {
+  Disseminator::Config cfg;
+  cfg.tree.policy = TreePolicy::kClosestParent;
+  cfg.tree.max_fanout = 2;
+  Disseminator dissem(network_.get(), cfg);
+  ASSERT_TRUE(dissem.AddSource(0, source_node_).ok());
+  for (int e = 0; e < 4; ++e) {
+    ASSERT_TRUE(dissem.AddEntity(e, gateways_[e]).ok());
+  }
+  EXPECT_LE(dissem.tree(0)->source_fanout(), 2);
+}
+
+TEST_F(DisseminatorTest, RemoveEntityStopsDeliveryAndRepairsTree) {
+  Disseminator::Config cfg;
+  cfg.tree.policy = TreePolicy::kClosestParent;
+  cfg.tree.max_fanout = 1;  // force a chain so removal has children
+  Disseminator dissem(network_.get(), cfg);
+  ASSERT_TRUE(dissem.AddSource(0, source_node_).ok());
+  for (int e = 0; e < 4; ++e) {
+    ASSERT_TRUE(dissem.AddEntity(e, gateways_[e]).ok());
+    ASSERT_TRUE(
+        dissem.SetEntityInterest(e, 0, {Box{Interval{0, 100}}}).ok());
+  }
+  std::map<common::EntityId, int> got;
+  dissem.SetDeliveryHandler(
+      [&](common::EntityId e, const engine::Tuple&) { got[e] += 1; });
+  ASSERT_TRUE(dissem.Publish(MakeTuple(5)).ok());
+  sim_.Run();
+  EXPECT_EQ(got.size(), 4u);
+  // Remove a mid-chain entity: descendants must keep receiving.
+  ASSERT_TRUE(dissem.RemoveEntity(1).ok());
+  EXPECT_FALSE(dissem.RemoveEntity(1).ok());
+  got.clear();
+  ASSERT_TRUE(dissem.Publish(MakeTuple(5)).ok());
+  sim_.Run();
+  EXPECT_EQ(got.count(1), 0u);
+  EXPECT_EQ(got.size(), 3u);
+  for (auto [e, n] : got) EXPECT_EQ(n, 1) << e;
+}
+
+TEST_F(DisseminatorTest, UnknownStreamRejected) {
+  Disseminator dissem(network_.get(), Disseminator::Config{});
+  engine::Tuple t;
+  t.stream = 5;
+  EXPECT_FALSE(dissem.Publish(t).ok());
+  EXPECT_FALSE(dissem.SetEntityInterest(0, 5, {}).ok());
+}
+
+}  // namespace
+}  // namespace dsps::dissemination

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/operators.h"
+
+namespace dsps::engine {
+namespace {
+
+Tuple KeyedTuple(double ts, int64_t key, double val) {
+  Tuple t;
+  t.stream = 0;
+  t.timestamp = ts;
+  t.values = {Value{key}, Value{val}};
+  return t;
+}
+
+// --------------------------------------------------- SlidingWindowAggregate
+
+TEST(SlidingWindowAggregateTest, OverlappingWindowsCountCorrectly) {
+  // Window 10 s, slide 5 s, global count.
+  SlidingWindowAggregateOp agg(10.0, 5.0, WindowAggregateOp::Func::kCount, -1,
+                               1);
+  std::vector<Tuple> out;
+  // Tuples at t = 1, 2, 6, 7.
+  for (double ts : {1.0, 2.0}) agg.Process(0, KeyedTuple(ts, 0, 1), &out);
+  EXPECT_TRUE(out.empty());
+  for (double ts : {6.0, 7.0}) agg.Process(0, KeyedTuple(ts, 0, 1), &out);
+  // Crossing t=5 emitted window (-5,5]... emission at t=5 covers ts<5: 2.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(AsDouble(out[0].values[1]), 2.0);
+  EXPECT_DOUBLE_EQ(out[0].timestamp, 5.0);
+  out.clear();
+  // A tuple at t=11 crosses the t=10 boundary: window (0,10] has all 4.
+  agg.Process(0, KeyedTuple(11.0, 0, 1), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(AsDouble(out[0].values[1]), 4.0);
+  out.clear();
+  // t=16 crosses t=15: window (5,15] holds tuples at 6, 7, 11 -> 3.
+  agg.Process(0, KeyedTuple(16.0, 0, 1), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(AsDouble(out[0].values[1]), 3.0);
+}
+
+TEST(SlidingWindowAggregateTest, PerKeySums) {
+  SlidingWindowAggregateOp agg(10.0, 10.0, WindowAggregateOp::Func::kSum, 0,
+                               1);
+  std::vector<Tuple> out;
+  agg.Process(0, KeyedTuple(1.0, 1, 10), &out);
+  agg.Process(0, KeyedTuple(2.0, 2, 20), &out);
+  agg.Process(0, KeyedTuple(3.0, 1, 5), &out);
+  agg.Process(0, KeyedTuple(11.0, 1, 0), &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(AsInt64(out[0].values[0]), 1);
+  EXPECT_DOUBLE_EQ(AsDouble(out[0].values[1]), 15.0);
+  EXPECT_EQ(AsInt64(out[1].values[0]), 2);
+  EXPECT_DOUBLE_EQ(AsDouble(out[1].values[1]), 20.0);
+}
+
+TEST(SlidingWindowAggregateTest, StateAndClone) {
+  SlidingWindowAggregateOp agg(10.0, 5.0, WindowAggregateOp::Func::kAvg, 0, 1);
+  std::vector<Tuple> out;
+  agg.Process(0, KeyedTuple(1.0, 1, 10), &out);
+  EXPECT_GT(agg.StateBytes(), 0);
+  auto clone = agg.Clone();
+  EXPECT_EQ(clone->StateBytes(), 0);
+  EXPECT_STREQ(clone->name(), "SlidingWindowAggregate");
+}
+
+TEST(SlidingWindowAggregateTest, EmptySlidesEmitNothing) {
+  SlidingWindowAggregateOp agg(5.0, 5.0, WindowAggregateOp::Func::kCount, -1,
+                               1);
+  std::vector<Tuple> out;
+  agg.Process(0, KeyedTuple(1.0, 0, 1), &out);
+  // Jump far ahead: intermediate empty windows produce no tuples (only
+  // windows holding data emit).
+  agg.Process(0, KeyedTuple(100.0, 0, 1), &out);
+  ASSERT_EQ(out.size(), 1u);  // the window containing the t=1 tuple
+}
+
+// ------------------------------------------------------------------ Distinct
+
+TEST(DistinctOpTest, SuppressesDuplicatesWithinWindow) {
+  DistinctOp d(10.0, 0);
+  std::vector<Tuple> out;
+  d.Process(0, KeyedTuple(0.0, 7, 1), &out);
+  d.Process(0, KeyedTuple(1.0, 7, 2), &out);
+  d.Process(0, KeyedTuple(2.0, 8, 3), &out);
+  EXPECT_EQ(out.size(), 2u);  // 7 (first) and 8
+  // After the window, 7 passes again.
+  d.Process(0, KeyedTuple(12.0, 7, 4), &out);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(DistinctOpTest, RefreshExtendsSuppression) {
+  DistinctOp d(10.0, 0);
+  std::vector<Tuple> out;
+  d.Process(0, KeyedTuple(0.0, 7, 1), &out);
+  d.Process(0, KeyedTuple(9.0, 7, 1), &out);   // suppressed, refreshes
+  d.Process(0, KeyedTuple(15.0, 7, 1), &out);  // 15-9=6 < 10: suppressed
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(DistinctOpTest, StateBytesTrackKeys) {
+  DistinctOp d(10.0, 0);
+  std::vector<Tuple> out;
+  for (int64_t k = 0; k < 5; ++k) d.Process(0, KeyedTuple(0.0, k, 1), &out);
+  EXPECT_EQ(d.StateBytes(), 5 * 16);
+}
+
+// --------------------------------------------------------------------- TopK
+
+TEST(TopKOpTest, EmitsTopKeysDescending) {
+  TopKOp topk(10.0, 2, 0, 1);
+  std::vector<Tuple> out;
+  topk.Process(0, KeyedTuple(1.0, 1, 10), &out);
+  topk.Process(0, KeyedTuple(2.0, 2, 30), &out);
+  topk.Process(0, KeyedTuple(3.0, 3, 20), &out);
+  topk.Process(0, KeyedTuple(4.0, 1, 5), &out);
+  EXPECT_TRUE(out.empty());
+  topk.Process(0, KeyedTuple(11.0, 1, 1), &out);  // closes window [0,10)
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(AsInt64(out[0].values[0]), 2);  // 30
+  EXPECT_DOUBLE_EQ(AsDouble(out[0].values[1]), 30.0);
+  EXPECT_EQ(AsInt64(out[1].values[0]), 3);  // 20
+}
+
+TEST(TopKOpTest, FewerKeysThanK) {
+  TopKOp topk(10.0, 5, 0, 1);
+  std::vector<Tuple> out;
+  topk.Process(0, KeyedTuple(1.0, 1, 10), &out);
+  topk.Process(0, KeyedTuple(11.0, 1, 1), &out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(TopKOpTest, CloneFresh) {
+  TopKOp topk(10.0, 2, 0, 1);
+  std::vector<Tuple> out;
+  topk.Process(0, KeyedTuple(1.0, 1, 10), &out);
+  EXPECT_GT(topk.StateBytes(), 0);
+  auto clone = topk.Clone();
+  EXPECT_EQ(clone->StateBytes(), 0);
+}
+
+/// Property: for uniform data, sliding-window counts with slide == window
+/// match the tumbling WindowAggregateOp exactly.
+TEST(SlidingVsTumblingTest, DegenerateSlideMatchesTumbling) {
+  common::Rng rng(3);
+  SlidingWindowAggregateOp sliding(5.0, 5.0,
+                                   WindowAggregateOp::Func::kCount, 0, 1);
+  WindowAggregateOp tumbling(5.0, WindowAggregateOp::Func::kCount, 0, 1);
+  std::vector<Tuple> out_s, out_t;
+  double ts = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    ts += rng.Exponential(20.0);
+    Tuple t = KeyedTuple(ts, static_cast<int64_t>(rng.NextUint64(3)),
+                         rng.Uniform(0, 1));
+    sliding.Process(0, t, &out_s);
+    tumbling.Process(0, t, &out_t);
+  }
+  // Compare multisets of (key, count) ignoring emission timing details.
+  auto extract = [](const std::vector<Tuple>& v) {
+    std::vector<std::pair<int64_t, double>> out;
+    for (const Tuple& t : v) {
+      out.emplace_back(AsInt64(t.values[0]), AsDouble(t.values[1]));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(extract(out_s), extract(out_t));
+}
+
+}  // namespace
+}  // namespace dsps::engine

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ordering/adaptation_module.h"
+#include "ordering/pipeline_sim.h"
+
+namespace dsps::ordering {
+namespace {
+
+TEST(AdaptationModuleTest, CandidatesRegistration) {
+  AdaptationModule am;
+  EXPECT_EQ(am.candidates(1), nullptr);
+  am.SetCandidates(1, {{0, 10}, {1, 11}});
+  ASSERT_NE(am.candidates(1), nullptr);
+  EXPECT_EQ(am.candidates(1)->size(), 2u);
+  EXPECT_FALSE(am.NextHop(2, {}).ok());  // unknown query
+}
+
+TEST(AdaptationModuleTest, SelectivityEwmaConverges) {
+  AdaptationModule::Config cfg;
+  cfg.ema_alpha = 0.3;
+  AdaptationModule am(cfg);
+  // Feed 30% pass rate.
+  common::Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    am.ReportSelectivity(1, 10, rng.Bernoulli(0.3) ? 1.0 : 0.0);
+  }
+  EXPECT_NEAR(am.EstimatedSelectivity(1, 10), 0.3, 0.2);
+}
+
+TEST(AdaptationModuleTest, FirstObservationReplacesPrior) {
+  AdaptationModule am;
+  am.ReportSelectivity(1, 10, 1.0);
+  EXPECT_DOUBLE_EQ(am.EstimatedSelectivity(1, 10), 1.0);
+  EXPECT_DOUBLE_EQ(am.EstimatedSelectivity(1, 11), 0.5);  // prior
+}
+
+TEST(AdaptationModuleTest, NextHopPicksBestRank) {
+  AdaptationModule am;
+  am.SetCandidates(1, {{0, 10}, {1, 11}});
+  // Op 10: cheap + selective. Op 11: expensive + passes everything.
+  for (int i = 0; i < 50; ++i) {
+    am.ReportSelectivity(1, 10, 0.0);
+    am.ReportSelectivity(1, 11, 1.0);
+    am.ReportCost(1, 10, 1e-6);
+    am.ReportCost(1, 11, 1e-5);
+  }
+  auto hop = am.NextHop(1, {});
+  ASSERT_TRUE(hop.ok());
+  EXPECT_EQ(hop.value().op, 10);
+  // After visiting 10, the only remaining candidate is 11.
+  auto hop2 = am.NextHop(1, {10});
+  ASSERT_TRUE(hop2.ok());
+  EXPECT_EQ(hop2.value().op, 11);
+  EXPECT_FALSE(am.NextHop(1, {10, 11}).ok());
+}
+
+TEST(AdaptationModuleTest, BacklogSteersAwayFromBusyProcessor) {
+  AdaptationModule am;
+  am.SetCandidates(1, {{0, 10}, {1, 11}});
+  // Identical operators, but processor 0 is heavily backlogged.
+  for (int i = 0; i < 50; ++i) {
+    am.ReportSelectivity(1, 10, 0.5);
+    am.ReportSelectivity(1, 11, 0.5);
+    am.ReportCost(1, 10, 1e-6);
+    am.ReportCost(1, 11, 1e-6);
+  }
+  am.ReportBacklog(0, 100.0);
+  am.ReportBacklog(1, 0.0);
+  auto hop = am.NextHop(1, {});
+  ASSERT_TRUE(hop.ok());
+  EXPECT_EQ(hop.value().proc, 1);
+}
+
+TEST(AdaptationModuleTest, CurrentOrderSortsByRank) {
+  AdaptationModule am;
+  am.SetCandidates(1, {{0, 10}, {1, 11}, {2, 12}});
+  for (int i = 0; i < 50; ++i) {
+    am.ReportSelectivity(1, 10, 0.9);
+    am.ReportSelectivity(1, 11, 0.1);
+    am.ReportSelectivity(1, 12, 0.5);
+    am.ReportCost(1, 10, 1e-6);
+    am.ReportCost(1, 11, 1e-6);
+    am.ReportCost(1, 12, 1e-6);
+  }
+  auto order = am.CurrentOrder(1);
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(order.value()[0].op, 11);  // most selective first
+  EXPECT_EQ(order.value()[1].op, 12);
+  EXPECT_EQ(order.value()[2].op, 10);
+}
+
+// ------------------------------------------------------------ PipelineSim
+
+std::vector<PipelineOp> DriftingPipeline() {
+  // Four filters; op 1 and op 2 swap selectivities halfway through.
+  std::vector<PipelineOp> ops(4);
+  for (int i = 0; i < 4; ++i) {
+    ops[i].op = i;
+    ops[i].proc = i % 2;
+    ops[i].cost = 1e-6;
+  }
+  ops[0].selectivity = [](int64_t) { return 0.8; };
+  ops[1].selectivity = [](int64_t t) { return t < 10000 ? 0.1 : 0.95; };
+  ops[2].selectivity = [](int64_t t) { return t < 10000 ? 0.95 : 0.1; };
+  ops[3].selectivity = [](int64_t) { return 0.5; };
+  return ops;
+}
+
+TEST(PipelineSimTest, OracleBeatsStaticUnderDrift) {
+  auto ops = DriftingPipeline();
+  common::Rng r1(1), r2(1);
+  auto oracle = RunPipeline(ops, OrderingPolicy::kOracle, 20000, &r1);
+  auto fixed = RunPipeline(ops, OrderingPolicy::kStatic, 20000, &r2);
+  EXPECT_LT(oracle.evaluations, fixed.evaluations);
+  EXPECT_LT(oracle.total_cost, fixed.total_cost);
+}
+
+TEST(PipelineSimTest, AdaptiveTracksDriftCloserToOracle) {
+  auto ops = DriftingPipeline();
+  common::Rng r1(1), r2(1), r3(1);
+  auto oracle = RunPipeline(ops, OrderingPolicy::kOracle, 20000, &r1);
+  auto fixed = RunPipeline(ops, OrderingPolicy::kStatic, 20000, &r2);
+  auto adaptive = RunPipeline(ops, OrderingPolicy::kAdaptive, 20000, &r3);
+  // Adaptive lands between oracle and static, much nearer the oracle.
+  EXPECT_LT(adaptive.total_cost, fixed.total_cost);
+  double gap_static = fixed.total_cost - oracle.total_cost;
+  double gap_adaptive = adaptive.total_cost - oracle.total_cost;
+  EXPECT_LT(gap_adaptive, 0.5 * gap_static);
+}
+
+TEST(PipelineSimTest, NoDriftStaticIsNearOptimal) {
+  std::vector<PipelineOp> ops(3);
+  for (int i = 0; i < 3; ++i) {
+    ops[i].op = i;
+    ops[i].proc = 0;
+    ops[i].cost = 1e-6;
+    double sel = 0.2 + 0.3 * i;
+    ops[i].selectivity = [sel](int64_t) { return sel; };
+  }
+  common::Rng r1(2), r2(2);
+  auto oracle = RunPipeline(ops, OrderingPolicy::kOracle, 10000, &r1);
+  auto fixed = RunPipeline(ops, OrderingPolicy::kStatic, 10000, &r2);
+  EXPECT_NEAR(static_cast<double>(fixed.evaluations),
+              static_cast<double>(oracle.evaluations),
+              0.02 * static_cast<double>(oracle.evaluations));
+}
+
+TEST(PipelineSimTest, SurvivorsMatchSelectivityProduct) {
+  std::vector<PipelineOp> ops(2);
+  for (int i = 0; i < 2; ++i) {
+    ops[i].op = i;
+    ops[i].proc = 0;
+    ops[i].cost = 1e-6;
+    ops[i].selectivity = [](int64_t) { return 0.5; };
+  }
+  common::Rng rng(3);
+  auto r = RunPipeline(ops, OrderingPolicy::kStatic, 40000, &rng);
+  // Survival probability 0.25.
+  EXPECT_NEAR(static_cast<double>(r.survivors), 10000.0, 600.0);
+  EXPECT_NEAR(static_cast<double>(r.evaluations), r.total_cost / 1e-6, 1.0);
+}
+
+TEST(PipelineSimTest, ResultsAccounting) {
+  std::vector<PipelineOp> ops(1);
+  ops[0].op = 0;
+  ops[0].proc = 3;
+  ops[0].cost = 2e-6;
+  ops[0].selectivity = [](int64_t) { return 1.0; };
+  common::Rng rng(4);
+  auto r = RunPipeline(ops, OrderingPolicy::kAdaptive, 100, &rng);
+  EXPECT_EQ(r.survivors, 100);
+  EXPECT_EQ(r.evaluations, 100);
+  EXPECT_NEAR(r.total_cost, 100 * 2e-6, 1e-12);
+  EXPECT_NEAR(r.max_processor_cost, 100 * 2e-6, 1e-12);
+}
+
+}  // namespace
+}  // namespace dsps::ordering

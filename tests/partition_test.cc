@@ -1,0 +1,348 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "partition/partitioner.h"
+#include "partition/query_graph.h"
+#include "partition/repartitioner.h"
+#include "workload/query_gen.h"
+#include "workload/stream_gen.h"
+
+namespace dsps::partition {
+namespace {
+
+/// The query graph of the paper's Figure 2, reconstructed from the text's
+/// constraints: 5 queries; the figure's printed weights are
+/// {2, 1, 8, 10} (edges, bytes/s) and {0.1, 0.04, 0.04, 0.2, 0.1}
+/// (vertex loads). Plan (a) = {Q3,Q4} vs rest and plan (b) = {Q3,Q5} vs
+/// rest are BOTH load-balanced (0.24 / 0.24), plan (a) duplicates
+/// 8 bytes/s across the cut while plan (b) duplicates only 3, and Q3/Q5
+/// share no edge ("not similar in their data interest but allocating them
+/// together results in a better scheme"). The unique instance satisfying
+/// all of that (up to relabeling): loads Q1=0.1, Q2=0.1, Q3=0.2,
+/// Q4=0.04, Q5=0.04; edges Q1-Q2:10, Q1-Q4:8, Q3-Q4:2, Q1-Q5:1.
+QueryGraph Figure2Graph() {
+  QueryGraph g;
+  int q1 = g.AddVertex(1, 0.1);
+  int q2 = g.AddVertex(2, 0.1);
+  int q3 = g.AddVertex(3, 0.2);
+  int q4 = g.AddVertex(4, 0.04);
+  int q5 = g.AddVertex(5, 0.04);
+  g.AddEdge(q1, q2, 10);
+  g.AddEdge(q1, q4, 8);
+  g.AddEdge(q3, q4, 2);
+  g.AddEdge(q1, q5, 1);
+  return g;
+}
+
+// -------------------------------------------------------------- QueryGraph
+
+TEST(QueryGraphTest, VertexAndEdgeAccounting) {
+  QueryGraph g = Figure2Graph();
+  EXPECT_EQ(g.num_vertices(), 5);
+  EXPECT_NEAR(g.total_vertex_weight(), 0.48, 1e-12);
+  EXPECT_NEAR(g.total_edge_weight(), 21.0, 1e-12);
+  EXPECT_EQ(g.neighbors(0).size(), 3u);  // Q1: edges to Q2, Q4, Q5
+}
+
+TEST(QueryGraphTest, DuplicateEdgeAccumulates) {
+  QueryGraph g;
+  g.AddVertex(1, 1);
+  g.AddVertex(2, 1);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(0, 1, 2.0);
+  EXPECT_EQ(g.neighbors(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(g.neighbors(0)[0].second, 3.0);
+  EXPECT_DOUBLE_EQ(g.total_edge_weight(), 3.0);
+}
+
+TEST(QueryGraphTest, EdgeCutOfFigure2Plans) {
+  QueryGraph g = Figure2Graph();
+  // Plan (a): {Q3, Q4} on one entity, {Q1, Q2, Q5} on the other.
+  std::vector<int> plan_a{1, 1, 0, 0, 1};
+  // Plan (b): {Q3, Q5} on one entity, {Q1, Q2, Q4} on the other.
+  std::vector<int> plan_b{1, 1, 0, 1, 0};
+  // The paper: plan (a) ships 8 bytes/s of duplicate data, plan (b) 3.
+  EXPECT_NEAR(g.EdgeCut(plan_a), 8.0, 1e-12);
+  EXPECT_NEAR(g.EdgeCut(plan_b), 3.0, 1e-12);
+  // Both plans achieve load balance (0.24 vs 0.24).
+  EXPECT_DOUBLE_EQ(g.Imbalance(plan_a, 2), 1.0);
+  EXPECT_DOUBLE_EQ(g.Imbalance(plan_b, 2), 1.0);
+}
+
+TEST(QueryGraphTest, PartWeightsAndImbalance) {
+  QueryGraph g = Figure2Graph();
+  std::vector<int> a{0, 0, 1, 1, 0};  // {Q1,Q2,Q5}=0.24, {Q3,Q4}=0.24
+  auto pw = g.PartWeights(a, 2);
+  EXPECT_NEAR(pw[0], 0.24, 1e-12);
+  EXPECT_NEAR(pw[1], 0.24, 1e-12);
+  EXPECT_DOUBLE_EQ(g.Imbalance(a, 2), 1.0);
+  std::vector<int> b{0, 0, 0, 0, 1};
+  EXPECT_NEAR(g.Imbalance(b, 2), 0.44 / 0.24, 1e-9);
+}
+
+TEST(QueryGraphTest, BuildFromQueries) {
+  interest::StreamCatalog catalog;
+  common::Rng rng(1);
+  workload::MakeTickerStreams(2, workload::StockTickerGen::Config{}, &catalog,
+                              &rng);
+  workload::QueryGen::Config cfg;
+  cfg.join_prob = 0;
+  cfg.agg_prob = 0;
+  cfg.hotspot_prob = 1.0;
+  cfg.num_hotspots = 1;  // everything overlaps
+  cfg.stream_zipf_s = 100.0;
+  workload::QueryGen gen(cfg, &catalog, common::Rng(2));
+  auto queries = gen.Batch(20);
+  QueryGraph g = QueryGraph::Build(queries, catalog);
+  EXPECT_EQ(g.num_vertices(), 20);
+  EXPECT_GT(g.total_edge_weight(), 0.0);
+  // Vertex weights mirror query loads.
+  for (int v = 0; v < 20; ++v) {
+    EXPECT_DOUBLE_EQ(g.vertex_weight(v), queries[v].load);
+    EXPECT_EQ(g.query(v), queries[v].id);
+  }
+}
+
+// ------------------------------------------------------------- Partitioners
+
+QueryGraph RandomGraph(int n, double edge_prob, common::Rng* rng) {
+  QueryGraph g;
+  for (int i = 0; i < n; ++i) {
+    g.AddVertex(i, rng->Uniform(0.5, 2.0));
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng->Bernoulli(edge_prob)) g.AddEdge(i, j, rng->Uniform(0.1, 5.0));
+    }
+  }
+  return g;
+}
+
+/// Clustered graph: `clusters` groups with dense heavy internal edges and
+/// sparse light cross edges — the structure interest hotspots induce.
+QueryGraph ClusteredGraph(int clusters, int per_cluster, common::Rng* rng) {
+  QueryGraph g;
+  int n = clusters * per_cluster;
+  for (int i = 0; i < n; ++i) g.AddVertex(i, 1.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      bool same = (i / per_cluster) == (j / per_cluster);
+      if (same && rng->Bernoulli(0.6)) {
+        g.AddEdge(i, j, rng->Uniform(5.0, 10.0));
+      } else if (!same && rng->Bernoulli(0.02)) {
+        g.AddEdge(i, j, rng->Uniform(0.1, 0.5));
+      }
+    }
+  }
+  return g;
+}
+
+TEST(LoadOnlyPartitionerTest, BalancesWeights) {
+  common::Rng rng(3);
+  QueryGraph g = RandomGraph(100, 0.05, &rng);
+  LoadOnlyPartitioner p;
+  auto result = p.Partition(g, 4, 1.1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(g.Imbalance(result.value(), 4), 1.1);
+}
+
+TEST(LoadOnlyPartitionerTest, RejectsBadArgs) {
+  QueryGraph g;
+  LoadOnlyPartitioner p;
+  EXPECT_FALSE(p.Partition(g, 2, 1.1).ok());  // empty graph
+  g.AddVertex(0, 1);
+  EXPECT_FALSE(p.Partition(g, 0, 1.1).ok());  // k = 0
+}
+
+TEST(MultilevelPartitionerTest, ValidAssignmentAndBalance) {
+  common::Rng rng(5);
+  QueryGraph g = RandomGraph(200, 0.05, &rng);
+  MultilevelPartitioner p;
+  auto result = p.Partition(g, 8, 1.15);
+  ASSERT_TRUE(result.ok());
+  const auto& a = result.value();
+  EXPECT_EQ(a.size(), 200u);
+  for (int part : a) {
+    EXPECT_GE(part, 0);
+    EXPECT_LT(part, 8);
+  }
+  EXPECT_LT(g.Imbalance(a, 8), 1.3);
+}
+
+TEST(MultilevelPartitionerTest, RecoversPlantedClusters) {
+  common::Rng rng(7);
+  QueryGraph g = ClusteredGraph(4, 25, &rng);
+  MultilevelPartitioner p;
+  auto result = p.Partition(g, 4, 1.2);
+  ASSERT_TRUE(result.ok());
+  // Cut should be tiny relative to total edge weight (clusters found).
+  double cut = g.EdgeCut(result.value());
+  EXPECT_LT(cut, 0.15 * g.total_edge_weight());
+}
+
+TEST(MultilevelPartitionerTest, BeatsLoadOnlyOnClusteredGraphs) {
+  common::Rng rng(9);
+  for (int trial = 0; trial < 3; ++trial) {
+    QueryGraph g = ClusteredGraph(4, 20, &rng);
+    MultilevelPartitioner ml;
+    LoadOnlyPartitioner lo;
+    double cut_ml = g.EdgeCut(ml.Partition(g, 4, 1.2).value());
+    double cut_lo = g.EdgeCut(lo.Partition(g, 4, 1.2).value());
+    EXPECT_LT(cut_ml, cut_lo * 0.5) << "trial " << trial;
+  }
+}
+
+TEST(MultilevelPartitionerTest, SolvesFigure2) {
+  // The partitioner must find plan (b): {Q3,Q5} vs {Q1,Q2,Q4}, cut 3 —
+  // the paper's point that pure similarity clustering (which would never
+  // co-locate the non-overlapping Q3 and Q5) is not enough.
+  QueryGraph g = Figure2Graph();
+  MultilevelPartitioner p;
+  auto result = p.Partition(g, 2, 1.01);
+  ASSERT_TRUE(result.ok());
+  const auto& a = result.value();
+  EXPECT_EQ(a[2], a[4]);  // Q3 and Q5 together
+  EXPECT_NE(a[2], a[0]);
+  EXPECT_NEAR(g.EdgeCut(a), 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(g.Imbalance(a, 2), 1.0);
+}
+
+TEST(FmRefineTest, NeverWorsensCut) {
+  common::Rng rng(11);
+  for (int trial = 0; trial < 5; ++trial) {
+    QueryGraph g = RandomGraph(80, 0.1, &rng);
+    std::vector<int> a(80);
+    for (auto& x : a) x = static_cast<int>(rng.NextUint64(4));
+    double before = g.EdgeCut(a);
+    FmRefine(g, &a, 4, 1.5, 3);
+    EXPECT_LE(g.EdgeCut(a), before + 1e-9);
+  }
+}
+
+TEST(GreedyGrowTest, RespectsBalanceCap) {
+  common::Rng rng(13);
+  QueryGraph g = RandomGraph(100, 0.05, &rng);
+  auto a = GreedyGrowPartition(g, 5, 1.1, &rng);
+  EXPECT_LT(g.Imbalance(a, 5), 1.2);
+}
+
+// ----------------------------------------------------------- Repartitioners
+
+TEST(RepartitionerTest, ScratchRelabelsToReduceMigrations) {
+  common::Rng rng(15);
+  QueryGraph g = ClusteredGraph(4, 20, &rng);
+  MultilevelPartitioner p;
+  auto initial = p.Partition(g, 4, 1.2).value();
+  ScratchRepartitioner scratch;
+  // Repartitioning an unchanged graph should keep most vertices in place
+  // thanks to relabeling.
+  auto r = scratch.Repartition(g, initial, 4, 1.2);
+  EXPECT_LT(r.migrations, 20);
+  EXPECT_LE(r.edge_cut, 0.15 * g.total_edge_weight());
+}
+
+TEST(RepartitionerTest, IncrementalRestoresBalanceCheaply) {
+  common::Rng rng(17);
+  QueryGraph g = ClusteredGraph(4, 20, &rng);
+  // Start from a wildly imbalanced assignment: everything on part 0.
+  std::vector<int> skewed(g.num_vertices(), 0);
+  IncrementalRepartitioner inc;
+  auto r = inc.Repartition(g, skewed, 4, 1.15);
+  EXPECT_LT(r.imbalance, 1.2);
+  EXPECT_GT(r.migrations, 0);
+}
+
+TEST(RepartitionerTest, HybridBalancesAndKeepsCutLow) {
+  common::Rng rng(19);
+  QueryGraph g = ClusteredGraph(4, 20, &rng);
+  MultilevelPartitioner p;
+  auto initial = p.Partition(g, 4, 1.2).value();
+  // Perturb: double the weight of one cluster by re-adding... simulate by
+  // moving some vertices to part 0 to overload it.
+  std::vector<int> perturbed = initial;
+  for (int v = 0; v < 30; ++v) perturbed[v] = 0;
+  HybridRepartitioner hybrid;
+  IncrementalRepartitioner inc;
+  auto rh = hybrid.Repartition(g, perturbed, 4, 1.2);
+  auto ri = inc.Repartition(g, perturbed, 4, 1.2);
+  EXPECT_LT(rh.imbalance, 1.25);
+  EXPECT_LE(rh.edge_cut, ri.edge_cut + 1e-9);
+}
+
+TEST(RepartitionerTest, NewVerticesGetHomes) {
+  common::Rng rng(21);
+  QueryGraph g = RandomGraph(50, 0.1, &rng);
+  std::vector<int> old_assignment(30, 0);  // only first 30 assigned
+  for (int v = 0; v < 30; ++v) {
+    old_assignment[v] = static_cast<int>(rng.NextUint64(4));
+  }
+  for (auto* rp :
+       std::initializer_list<Repartitioner*>{new ScratchRepartitioner(),
+                                             new IncrementalRepartitioner(),
+                                             new HybridRepartitioner()}) {
+    auto r = rp->Repartition(g, old_assignment, 4, 1.3);
+    EXPECT_EQ(r.assignment.size(), 50u);
+    for (int part : r.assignment) {
+      EXPECT_GE(part, 0);
+      EXPECT_LT(part, 4);
+    }
+    delete rp;
+  }
+}
+
+TEST(RepartitionerTest, CountMigrationsIgnoresHomeless) {
+  std::vector<int> old_a{0, 1, -1, 2};
+  std::vector<int> new_a{0, 2, 3, 2};
+  EXPECT_EQ(CountMigrations(old_a, new_a), 1);
+}
+
+TEST(RepartitionerTest, DecisionTimeOrdering) {
+  // Scratch must not be faster than incremental on a nontrivial graph
+  // (sanity of the decision-time metric; not a strict guarantee, so use a
+  // large graph to separate them).
+  common::Rng rng(23);
+  QueryGraph g = ClusteredGraph(8, 50, &rng);
+  std::vector<int> skewed(g.num_vertices(), 0);
+  ScratchRepartitioner scratch;
+  IncrementalRepartitioner inc;
+  auto rs = scratch.Repartition(g, skewed, 8, 1.2);
+  auto ri = inc.Repartition(g, skewed, 8, 1.2);
+  EXPECT_GE(rs.decision_seconds, 0.0);
+  EXPECT_GE(ri.decision_seconds, 0.0);
+  // Scratch migrates more from a degenerate start.
+  EXPECT_GE(rs.migrations, ri.migrations / 2);
+}
+
+/// Property sweep: all partitioners produce valid balanced-ish assignments
+/// across sizes and k.
+class PartitionSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PartitionSweep, AllPartitionersValid) {
+  auto [n, k] = GetParam();
+  common::Rng rng(static_cast<uint64_t>(n * 31 + k));
+  QueryGraph g = RandomGraph(n, 5.0 / n, &rng);
+  MultilevelPartitioner ml;
+  LoadOnlyPartitioner lo;
+  for (Partitioner* p : std::initializer_list<Partitioner*>{&ml, &lo}) {
+    auto result = p->Partition(g, k, 1.2);
+    ASSERT_TRUE(result.ok()) << p->name();
+    const auto& a = result.value();
+    ASSERT_EQ(static_cast<int>(a.size()), n);
+    for (int part : a) {
+      ASSERT_GE(part, 0);
+      ASSERT_LT(part, k);
+    }
+    EXPECT_LT(g.Imbalance(a, k), 2.0) << p->name() << " n=" << n << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PartitionSweep,
+                         ::testing::Combine(::testing::Values(16, 64, 256),
+                                            ::testing::Values(2, 4, 8)));
+
+}  // namespace
+}  // namespace dsps::partition

@@ -1,0 +1,328 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "sim/topology.h"
+
+namespace dsps::sim {
+namespace {
+
+// --------------------------------------------------------------- Simulator
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(3.0, [&] { order.push_back(3); });
+  sim.Schedule(1.0, [&] { order.push_back(1); });
+  sim.Schedule(2.0, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(SimulatorTest, SameTimeFifoOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(1.0, [&] {
+    sim.Schedule(1.0, [&] { fired = 1; });
+  });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.Schedule(static_cast<double>(i), [&] { ++count; });
+  }
+  sim.RunUntil(5.0);
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  sim.RunUntil(20.0);
+  EXPECT_EQ(count, 10);
+  // Clock advances to the requested horizon even with no events there.
+  EXPECT_DOUBLE_EQ(sim.now(), 20.0);
+}
+
+TEST(SimulatorTest, StopAbortsRun) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.Schedule(static_cast<double>(i), [&] {
+      ++count;
+      if (count == 3) sim.Stop();
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.pending_events(), 7u);
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  double t = -1;
+  sim.Schedule(5.0, [&] {
+    sim.Schedule(-3.0, [&] { t = sim.now(); });
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(t, 5.0);
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Step());
+  sim.Schedule(1.0, [] {});
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+}
+
+// ----------------------------------------------------------------- Network
+
+TEST(NetworkTest, DeliversMessageWithLatency) {
+  Simulator sim;
+  Network net(&sim);
+  auto a = net.AddNode({0, 0});
+  auto b = net.AddNode({0, 0});
+  net.SetLink(a, b, LinkParams{0.5, 1e9});
+  double arrival = -1;
+  int got_type = 0;
+  net.SetHandler(b, [&](const Message& m) {
+    arrival = sim.now();
+    got_type = m.type;
+  });
+  Message m;
+  m.from = a;
+  m.to = b;
+  m.type = 7;
+  m.size_bytes = 0;
+  ASSERT_TRUE(net.Send(m).ok());
+  sim.Run();
+  EXPECT_DOUBLE_EQ(arrival, 0.5);
+  EXPECT_EQ(got_type, 7);
+}
+
+TEST(NetworkTest, BandwidthAddsTransferTime) {
+  Simulator sim;
+  Network net(&sim);
+  auto a = net.AddNode({0, 0});
+  auto b = net.AddNode({0, 0});
+  net.SetLink(a, b, LinkParams{0.1, 1000.0});  // 1000 B/s
+  double arrival = -1;
+  net.SetHandler(b, [&](const Message&) { arrival = sim.now(); });
+  Message m;
+  m.from = a;
+  m.to = b;
+  m.size_bytes = 500;  // 0.5 s of transfer
+  ASSERT_TRUE(net.Send(m).ok());
+  sim.Run();
+  EXPECT_NEAR(arrival, 0.6, 1e-9);
+}
+
+TEST(NetworkTest, LinkSerializesBackToBackSends) {
+  Simulator sim;
+  Network net(&sim);
+  auto a = net.AddNode({0, 0});
+  auto b = net.AddNode({0, 0});
+  net.SetLink(a, b, LinkParams{0.0, 1000.0});
+  std::vector<double> arrivals;
+  net.SetHandler(b, [&](const Message&) { arrivals.push_back(sim.now()); });
+  for (int i = 0; i < 3; ++i) {
+    Message m;
+    m.from = a;
+    m.to = b;
+    m.size_bytes = 1000;  // 1 s each
+    ASSERT_TRUE(net.Send(m).ok());
+  }
+  sim.Run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_NEAR(arrivals[0], 1.0, 1e-9);
+  EXPECT_NEAR(arrivals[1], 2.0, 1e-9);
+  EXPECT_NEAR(arrivals[2], 3.0, 1e-9);
+}
+
+TEST(NetworkTest, TracksLinkAndEgressStats) {
+  Simulator sim;
+  Network net(&sim);
+  auto a = net.AddNode({0, 0});
+  auto b = net.AddNode({3, 4});
+  net.SetHandler(b, [](const Message&) {});
+  Message m;
+  m.from = a;
+  m.to = b;
+  m.size_bytes = 100;
+  ASSERT_TRUE(net.Send(m).ok());
+  ASSERT_TRUE(net.Send(m).ok());
+  sim.Run();
+  EXPECT_EQ(net.link_stats(a, b).messages, 2);
+  EXPECT_EQ(net.link_stats(a, b).bytes, 200);
+  EXPECT_EQ(net.link_stats(b, a).messages, 0);
+  EXPECT_EQ(net.total_bytes(), 200);
+  EXPECT_EQ(net.total_messages(), 2);
+  EXPECT_EQ(net.egress_bytes(a), 200);
+  EXPECT_EQ(net.egress_bytes(b), 0);
+  net.ResetStats();
+  EXPECT_EQ(net.total_bytes(), 0);
+  EXPECT_EQ(net.link_stats(a, b).bytes, 0);
+}
+
+TEST(NetworkTest, LocalSendIsFreeAndFast) {
+  Simulator sim;
+  Network net(&sim);
+  auto a = net.AddNode({0, 0});
+  bool got = false;
+  net.SetHandler(a, [&](const Message&) { got = true; });
+  Message m;
+  m.from = a;
+  m.to = a;
+  m.size_bytes = 1 << 20;
+  ASSERT_TRUE(net.Send(m).ok());
+  sim.Run();
+  EXPECT_TRUE(got);
+  EXPECT_EQ(net.total_bytes(), 0);
+  EXPECT_LT(sim.now(), 0.001);
+}
+
+TEST(NetworkTest, UnknownNodeRejected) {
+  Simulator sim;
+  Network net(&sim);
+  auto a = net.AddNode({0, 0});
+  Message m;
+  m.from = a;
+  m.to = 99;
+  EXPECT_FALSE(net.Send(m).ok());
+  m.to = a;
+  m.from = -5;
+  EXPECT_FALSE(net.Send(m).ok());
+}
+
+TEST(NetworkTest, DefaultLinkModelUsesDistance) {
+  Simulator sim;
+  Network net(&sim);
+  auto a = net.AddNode({0, 0});
+  auto near = net.AddNode({0, 10});
+  auto far = net.AddNode({0, 1000});
+  double t_near = -1, t_far = -1;
+  net.SetHandler(near, [&](const Message&) { t_near = sim.now(); });
+  net.SetHandler(far, [&](const Message&) { t_far = sim.now(); });
+  Message m;
+  m.from = a;
+  m.to = near;
+  ASSERT_TRUE(net.Send(m).ok());
+  m.to = far;
+  ASSERT_TRUE(net.Send(m).ok());
+  sim.Run();
+  EXPECT_GT(t_far, t_near);
+}
+
+TEST(NetworkTest, DroppedWhenNoHandler) {
+  Simulator sim;
+  Network net(&sim);
+  auto a = net.AddNode({0, 0});
+  auto b = net.AddNode({1, 1});
+  Message m;
+  m.from = a;
+  m.to = b;
+  ASSERT_TRUE(net.Send(m).ok());
+  sim.Run();  // must not crash
+  EXPECT_EQ(net.total_messages(), 1);
+}
+
+// ---------------------------------------------------------------- Topology
+
+TEST(TopologyTest, BuildsRequestedShape) {
+  Simulator sim;
+  Network net(&sim);
+  common::Rng rng(1);
+  TopologyConfig cfg;
+  cfg.num_entities = 5;
+  cfg.processors_per_entity = 3;
+  cfg.num_sources = 2;
+  Topology topo = BuildTopology(&net, cfg, &rng);
+  EXPECT_EQ(topo.entities.size(), 5u);
+  EXPECT_EQ(topo.sources.size(), 2u);
+  for (const auto& e : topo.entities) {
+    EXPECT_EQ(e.processors.size(), 3u);
+  }
+  EXPECT_EQ(net.node_count(), 5u * 3u + 2u);
+}
+
+TEST(TopologyTest, ProcessorsNearTheirCenter) {
+  Simulator sim;
+  Network net(&sim);
+  common::Rng rng(2);
+  TopologyConfig cfg;
+  cfg.num_entities = 4;
+  cfg.processors_per_entity = 8;
+  cfg.lan_radius = 1.0;
+  Topology topo = BuildTopology(&net, cfg, &rng);
+  for (const auto& e : topo.entities) {
+    for (auto p : e.processors) {
+      EXPECT_LE(Distance(net.position(p), e.center), cfg.lan_radius + 1e-9);
+    }
+  }
+}
+
+TEST(TopologyTest, IntraEntityLatencyMuchLowerThanWan) {
+  Simulator sim;
+  Network net(&sim);
+  common::Rng rng(3);
+  TopologyConfig cfg;
+  cfg.num_entities = 2;
+  cfg.processors_per_entity = 2;
+  cfg.num_sources = 0;
+  Topology topo = BuildTopology(&net, cfg, &rng);
+  auto p0 = topo.entities[0].processors[0];
+  auto p1 = topo.entities[0].processors[1];
+  auto q0 = topo.entities[1].processors[0];
+  double t_lan = -1, t_wan = -1;
+  net.SetHandler(p1, [&](const Message&) { t_lan = sim.now(); });
+  net.SetHandler(q0, [&](const Message&) { t_wan = sim.now(); });
+  Message m;
+  m.from = p0;
+  m.to = p1;
+  ASSERT_TRUE(net.Send(m).ok());
+  m.to = q0;
+  ASSERT_TRUE(net.Send(m).ok());
+  sim.Run();
+  ASSERT_GT(t_lan, 0);
+  ASSERT_GT(t_wan, 0);
+  EXPECT_LT(t_lan * 5, t_wan);  // LAN at least 5x faster here
+}
+
+TEST(TopologyTest, DeterministicForSeed) {
+  for (int trial = 0; trial < 2; ++trial) {
+    static std::vector<double> first_xs;
+    Simulator sim;
+    Network net(&sim);
+    common::Rng rng(42);
+    TopologyConfig cfg;
+    cfg.num_entities = 3;
+    Topology topo = BuildTopology(&net, cfg, &rng);
+    std::vector<double> xs;
+    for (const auto& e : topo.entities) xs.push_back(e.center.x);
+    if (trial == 0) {
+      first_xs = xs;
+    } else {
+      EXPECT_EQ(xs, first_xs);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dsps::sim

@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "partition/repartitioner.h"
+#include "system/system.h"
+#include "workload/query_gen.h"
+#include "workload/stream_gen.h"
+
+namespace dsps::system {
+namespace {
+
+System::Config SmallConfig(AllocationMode mode = AllocationMode::kRoundRobin) {
+  System::Config cfg;
+  cfg.topology.num_entities = 4;
+  cfg.topology.processors_per_entity = 2;
+  cfg.topology.num_sources = 2;
+  cfg.allocation = mode;
+  cfg.seed = 7;
+  return cfg;
+}
+
+std::vector<std::unique_ptr<workload::StreamGen>> SmallStreams(
+    int n, double rate = 200.0) {
+  workload::StockTickerGen::Config tcfg;
+  tcfg.tuples_per_s = rate;
+  interest::StreamCatalog scratch;
+  common::Rng rng(3);
+  return workload::MakeTickerStreams(n, tcfg, &scratch, &rng);
+}
+
+engine::Query WideQuery(common::QueryId id, common::StreamId stream) {
+  engine::Query q;
+  q.id = id;
+  auto plan = std::make_shared<engine::QueryPlan>();
+  // Accept all symbols/prices/volumes (wide interest so results flow).
+  interest::Box box{{-1, 1000}, {-1, 1000}, {-1, 1e9}};
+  auto f = plan->AddOperator(std::make_unique<engine::FilterOp>(
+      std::vector<int>{0, 1, 2}, box));
+  EXPECT_TRUE(plan->BindStream(stream, f, 0).ok());
+  q.plan = plan;
+  q.interest.Add(stream, box);
+  q.load = 1.0;
+  return q;
+}
+
+TEST(SystemTest, EndToEndResultsFlow) {
+  System sys(SmallConfig());
+  sys.AddStreams(SmallStreams(2));
+  ASSERT_TRUE(sys.SubmitQuery(WideQuery(1, 0)).ok());
+  ASSERT_TRUE(sys.SubmitQuery(WideQuery(2, 1)).ok());
+  sys.GenerateTraffic(2.0);
+  sys.RunUntil(3.0);
+  SystemMetrics m = sys.Collect();
+  EXPECT_GT(m.results, 100);
+  EXPECT_GT(m.delivered_tuples, 100);
+  EXPECT_GT(m.wan_bytes, 0);
+  EXPECT_GT(m.latency.p50(), 0.0);
+  EXPECT_GT(m.pr.p50(), 0.0);
+}
+
+TEST(SystemTest, QueriesLandOnEntities) {
+  System sys(SmallConfig(AllocationMode::kCoordinatorTree));
+  sys.AddStreams(SmallStreams(2));
+  for (int i = 1; i <= 8; ++i) {
+    ASSERT_TRUE(sys.SubmitQuery(WideQuery(i, i % 2)).ok());
+    EXPECT_NE(sys.EntityOf(i), common::kInvalidEntity);
+  }
+  EXPECT_EQ(sys.EntityOf(99), common::kInvalidEntity);
+}
+
+TEST(SystemTest, GraphPartitionBatchAllocation) {
+  System::Config cfg = SmallConfig(AllocationMode::kGraphPartition);
+  System sys(cfg);
+  sys.AddStreams(SmallStreams(2));
+  workload::QueryGen::Config qcfg;
+  qcfg.join_prob = 0.0;
+  workload::QueryGen gen(qcfg, &sys.catalog(), common::Rng(5));
+  auto queries = gen.Batch(16);
+  ASSERT_TRUE(sys.SubmitBatch(queries).ok());
+  // Every query got a home; homes cover multiple entities.
+  std::set<common::EntityId> homes;
+  for (const auto& q : queries) {
+    ASSERT_NE(sys.EntityOf(q.id), common::kInvalidEntity);
+    homes.insert(sys.EntityOf(q.id));
+  }
+  EXPECT_GT(homes.size(), 1u);
+}
+
+TEST(SystemTest, EarlyFilterCutsWanBytes) {
+  auto run = [&](bool early) {
+    System::Config cfg = SmallConfig();
+    cfg.dissemination.early_filter = early;
+    System sys(cfg);
+    sys.AddStreams(SmallStreams(2));
+    // One narrow query: most tuples are uninteresting.
+    engine::Query q;
+    q.id = 1;
+    auto plan = std::make_shared<engine::QueryPlan>();
+    interest::Box box{{0, 2}, {0, 100}, {0, 1e9}};
+    auto f = plan->AddOperator(std::make_unique<engine::FilterOp>(
+        std::vector<int>{0, 1, 2}, box));
+    EXPECT_TRUE(plan->BindStream(0, f, 0).ok());
+    q.plan = plan;
+    q.interest.Add(0, box);
+    EXPECT_TRUE(sys.SubmitQuery(q).ok());
+    sys.GenerateTraffic(2.0);
+    sys.RunUntil(3.0);
+    return sys.Collect().wan_bytes;
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+TEST(SystemTest, CoordinatorBalancesBetterThanIsolated) {
+  auto imbalance = [&](AllocationMode mode) {
+    System sys(SmallConfig(mode));
+    sys.AddStreams(SmallStreams(2));
+    workload::QueryGen gen(workload::QueryGen::Config{}, &sys.catalog(),
+                           common::Rng(11));
+    for (const auto& q : gen.Batch(40)) {
+      EXPECT_TRUE(sys.SubmitQuery(q).ok());
+    }
+    return sys.Collect().entity_load_imbalance;
+  };
+  double coord = imbalance(AllocationMode::kCoordinatorTree);
+  double isolated = imbalance(AllocationMode::kIsolatedZipf);
+  EXPECT_LT(coord, isolated);
+}
+
+TEST(SystemTest, MixedEnginesInteroperate) {
+  // Entities run different engine families ("mixed") yet the system
+  // produces results from all of them — the loose-coupling property.
+  System::Config cfg = SmallConfig(AllocationMode::kRoundRobin);
+  cfg.engine_family = "mixed";
+  System sys(cfg);
+  sys.AddStreams(SmallStreams(2));
+  for (int i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(sys.SubmitQuery(WideQuery(i, 0)).ok());
+  }
+  sys.GenerateTraffic(2.0);
+  sys.RunUntil(3.5);
+  // All four entities host one query each (round robin) and each produced
+  // results.
+  for (int e = 0; e < sys.num_entities(); ++e) {
+    EXPECT_GT(sys.entity_at(e)->results_count(), 0) << "entity " << e;
+  }
+}
+
+TEST(SystemTest, InterestAwareAllocationCutsWanBytes) {
+  auto run = [&](AllocationMode mode) {
+    System::Config cfg = SmallConfig(mode);
+    cfg.topology.num_entities = 8;
+    System sys(cfg);
+    sys.AddStreams(SmallStreams(2));
+    // Hotspot workload: heavy interest overlap between queries.
+    workload::QueryGen::Config qcfg;
+    qcfg.join_prob = 0;
+    qcfg.agg_prob = 0;
+    qcfg.num_hotspots = 2;
+    qcfg.hotspot_prob = 0.95;
+    qcfg.width_min_frac = 0.2;
+    qcfg.width_max_frac = 0.5;
+    workload::QueryGen gen(qcfg, &sys.catalog(), common::Rng(13));
+    for (const auto& q : gen.Batch(48)) {
+      EXPECT_TRUE(sys.SubmitQuery(q).ok());
+    }
+    sys.GenerateTraffic(2.0);
+    sys.RunUntil(3.0);
+    SystemMetrics m = sys.Collect();
+    return std::make_pair(m.wan_bytes, m.entity_load_imbalance);
+  };
+  auto [wan_plain, imb_plain] = run(AllocationMode::kCoordinatorTree);
+  auto [wan_interest, imb_interest] = run(AllocationMode::kCoordinatorInterest);
+  // Co-locating overlapping queries reduces duplicate dissemination.
+  EXPECT_LT(wan_interest, wan_plain);
+  // Balance must not collapse.
+  EXPECT_LT(imb_interest, 8.0);
+}
+
+TEST(SystemTest, RemoveQueryClearsInterest) {
+  System sys(SmallConfig());
+  sys.AddStreams(SmallStreams(2));
+  ASSERT_TRUE(sys.SubmitQuery(WideQuery(1, 0)).ok());
+  common::EntityId home = sys.EntityOf(1);
+  ASSERT_TRUE(sys.RemoveQuery(1).ok());
+  EXPECT_EQ(sys.EntityOf(1), common::kInvalidEntity);
+  EXPECT_FALSE(sys.RemoveQuery(1).ok());
+  EXPECT_EQ(sys.entity_at(home)->query_count(), 0u);
+  // With no interest left, traffic produces no deliveries to that entity.
+  sys.GenerateTraffic(1.0);
+  sys.RunUntil(2.0);
+  EXPECT_EQ(sys.Collect().results, 0);
+}
+
+TEST(SystemTest, FailEntityRehomesQueries) {
+  System sys(SmallConfig(AllocationMode::kRoundRobin));
+  sys.AddStreams(SmallStreams(2));
+  for (int i = 1; i <= 8; ++i) {
+    ASSERT_TRUE(sys.SubmitQuery(WideQuery(i, i % 2)).ok());
+  }
+  // Fail the entity hosting query 1.
+  common::EntityId victim = sys.EntityOf(1);
+  auto rehomed = sys.FailEntity(victim);
+  ASSERT_TRUE(rehomed.ok());
+  EXPECT_GE(rehomed.value(), 1);
+  EXPECT_FALSE(sys.IsAlive(victim));
+  EXPECT_EQ(sys.num_alive(), 3);
+  // Every query has a live home now.
+  for (int i = 1; i <= 8; ++i) {
+    common::EntityId home = sys.EntityOf(i);
+    ASSERT_NE(home, common::kInvalidEntity) << "query " << i;
+    EXPECT_NE(home, victim);
+    EXPECT_TRUE(sys.IsAlive(home));
+  }
+  // The system still produces results after the failure.
+  sys.GenerateTraffic(1.5);
+  sys.RunUntil(3.0);
+  EXPECT_GT(sys.Collect().results, 50);
+  // Double failure is rejected; failing everyone is rejected.
+  EXPECT_FALSE(sys.FailEntity(victim).ok());
+  EXPECT_FALSE(sys.FailEntity(99).ok());
+}
+
+TEST(SystemTest, MaintenanceRunsAndKeepsResultsFlowing) {
+  System::Config cfg = SmallConfig();
+  cfg.dissemination.tree.policy = dissemination::TreePolicy::kRandom;
+  System sys(cfg);
+  sys.AddStreams(SmallStreams(2));
+  for (int i = 1; i <= 6; ++i) {
+    ASSERT_TRUE(sys.SubmitQuery(WideQuery(i, i % 2)).ok());
+  }
+  sys.EnableMaintenance(0.5, 3.0);
+  sys.GenerateTraffic(3.0);
+  sys.RunUntil(4.0);
+  EXPECT_GE(sys.maintenance_stats().rounds, 4);
+  EXPECT_GT(sys.Collect().results, 100);
+}
+
+TEST(SystemTest, MigrateQueryMovesHomeAndKeepsResults) {
+  System sys(SmallConfig(AllocationMode::kRoundRobin));
+  sys.AddStreams(SmallStreams(2));
+  ASSERT_TRUE(sys.SubmitQuery(WideQuery(1, 0)).ok());
+  common::EntityId from = sys.EntityOf(1);
+  common::EntityId to = (from + 1) % sys.num_entities();
+  ASSERT_TRUE(sys.MigrateQuery(1, to).ok());
+  EXPECT_EQ(sys.EntityOf(1), to);
+  EXPECT_EQ(sys.entity_at(from)->query_count(), 0u);
+  EXPECT_EQ(sys.entity_at(to)->query_count(), 1u);
+  sys.GenerateTraffic(1.0);
+  sys.RunUntil(2.0);
+  EXPECT_GT(sys.Collect().results, 50);
+  EXPECT_FALSE(sys.MigrateQuery(99, to).ok());
+  EXPECT_TRUE(sys.MigrateQuery(1, to).ok());  // no-op move
+}
+
+TEST(SystemTest, LiveRepartitioningImprovesPlacement) {
+  // Pile everything on one entity (isolated-zipf-like), then one hybrid
+  // repartitioning round must spread it out.
+  System sys(SmallConfig(AllocationMode::kRoundRobin));
+  sys.AddStreams(SmallStreams(2));
+  workload::QueryGen gen(workload::QueryGen::Config{}, &sys.catalog(),
+                         common::Rng(21));
+  auto queries = gen.Batch(24);
+  for (const auto& q : queries) {
+    ASSERT_TRUE(sys.SubmitQuery(q).ok());
+  }
+  // Force-migrate everything to entity 0 to create a degenerate start.
+  for (const auto& q : queries) {
+    ASSERT_TRUE(sys.MigrateQuery(q.id, 0).ok());
+  }
+  partition::HybridRepartitioner hybrid;
+  auto report = sys.RepartitionQueries(&hybrid);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report.value().migrations, 0);
+  EXPECT_LT(report.value().imbalance, 1.5);
+  // Homes now span several entities.
+  std::set<common::EntityId> homes;
+  for (const auto& q : queries) homes.insert(sys.EntityOf(q.id));
+  EXPECT_GE(homes.size(), 3u);
+}
+
+TEST(SystemTest, ClientLatencyRecorded) {
+  System::Config cfg = SmallConfig(AllocationMode::kCoordinatorTree);
+  cfg.num_clients = 4;
+  System sys(cfg);
+  sys.AddStreams(SmallStreams(2));
+  for (int i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(sys.SubmitQuery(WideQuery(i, i % 2)).ok());
+  }
+  sys.GenerateTraffic(1.5);
+  sys.RunUntil(3.0);
+  SystemMetrics m = sys.Collect();
+  EXPECT_GT(m.client_results, 50);
+  EXPECT_GT(m.client_latency.p50(), 0.0);
+  // Client latency includes the entity->client WAN hop, so it dominates
+  // the entity-side latency.
+  EXPECT_GE(m.client_latency.p50(), m.latency.p50());
+}
+
+TEST(SystemTest, DeterministicForSeed) {
+  auto run = [] {
+    System sys(SmallConfig());
+    sys.AddStreams(SmallStreams(2));
+    EXPECT_TRUE(sys.SubmitQuery(WideQuery(1, 0)).ok());
+    sys.GenerateTraffic(1.0);
+    sys.RunUntil(2.0);
+    SystemMetrics m = sys.Collect();
+    return std::make_tuple(m.results, m.wan_bytes, m.delivered_tuples);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace dsps::system
