@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_live_repartition.dir/bench/bench_e10_live_repartition.cc.o"
+  "CMakeFiles/bench_e10_live_repartition.dir/bench/bench_e10_live_repartition.cc.o.d"
+  "bench/bench_e10_live_repartition"
+  "bench/bench_e10_live_repartition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_live_repartition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_dissemination.dir/bench/bench_e1_dissemination.cc.o"
+  "CMakeFiles/bench_e1_dissemination.dir/bench/bench_e1_dissemination.cc.o.d"
+  "bench/bench_e1_dissemination"
+  "bench/bench_e1_dissemination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_dissemination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_coordinator.dir/bench/bench_e2_coordinator.cc.o"
+  "CMakeFiles/bench_e2_coordinator.dir/bench/bench_e2_coordinator.cc.o.d"
+  "bench/bench_e2_coordinator"
+  "bench/bench_e2_coordinator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_coordinator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_repartition.dir/bench/bench_e3_repartition.cc.o"
+  "CMakeFiles/bench_e3_repartition.dir/bench/bench_e3_repartition.cc.o.d"
+  "bench/bench_e3_repartition"
+  "bench/bench_e3_repartition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_repartition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

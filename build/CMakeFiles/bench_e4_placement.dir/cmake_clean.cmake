@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_placement.dir/bench/bench_e4_placement.cc.o"
+  "CMakeFiles/bench_e4_placement.dir/bench/bench_e4_placement.cc.o.d"
+  "bench/bench_e4_placement"
+  "bench/bench_e4_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e5_ordering.cc" "CMakeFiles/bench_e5_ordering.dir/bench/bench_e5_ordering.cc.o" "gcc" "CMakeFiles/bench_e5_ordering.dir/bench/bench_e5_ordering.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ordering/CMakeFiles/dsps_ordering.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/dsps_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/interest/CMakeFiles/dsps_interest.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dsps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dsps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_ordering.dir/bench/bench_e5_ordering.cc.o"
+  "CMakeFiles/bench_e5_ordering.dir/bench/bench_e5_ordering.cc.o.d"
+  "bench/bench_e5_ordering"
+  "bench/bench_e5_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

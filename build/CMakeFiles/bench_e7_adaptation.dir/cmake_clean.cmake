@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_adaptation.dir/bench/bench_e7_adaptation.cc.o"
+  "CMakeFiles/bench_e7_adaptation.dir/bench/bench_e7_adaptation.cc.o.d"
+  "bench/bench_e7_adaptation"
+  "bench/bench_e7_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_clients.dir/bench/bench_e9_clients.cc.o"
+  "CMakeFiles/bench_e9_clients.dir/bench/bench_e9_clients.cc.o.d"
+  "bench/bench_e9_clients"
+  "bench/bench_e9_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_delegation.cc" "CMakeFiles/bench_fig3_delegation.dir/bench/bench_fig3_delegation.cc.o" "gcc" "CMakeFiles/bench_fig3_delegation.dir/bench/bench_fig3_delegation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/entity/CMakeFiles/dsps_entity.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dsps_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/dsps_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/ordering/CMakeFiles/dsps_ordering.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dsps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/dsps_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/interest/CMakeFiles/dsps_interest.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dsps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

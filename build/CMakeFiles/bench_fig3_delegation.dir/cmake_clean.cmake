@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_delegation.dir/bench/bench_fig3_delegation.cc.o"
+  "CMakeFiles/bench_fig3_delegation.dir/bench/bench_fig3_delegation.cc.o.d"
+  "bench/bench_fig3_delegation"
+  "bench/bench_fig3_delegation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_delegation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

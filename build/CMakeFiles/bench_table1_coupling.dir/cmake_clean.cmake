@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_coupling.dir/bench/bench_table1_coupling.cc.o"
+  "CMakeFiles/bench_table1_coupling.dir/bench/bench_table1_coupling.cc.o.d"
+  "bench/bench_table1_coupling"
+  "bench/bench_table1_coupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_coupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

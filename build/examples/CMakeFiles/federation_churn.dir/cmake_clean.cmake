@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federation_churn.dir/federation_churn.cpp.o"
+  "CMakeFiles/federation_churn.dir/federation_churn.cpp.o.d"
+  "federation_churn"
+  "federation_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federation_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

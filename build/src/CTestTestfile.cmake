@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("interest")
+subdirs("engine")
+subdirs("workload")
+subdirs("dissemination")
+subdirs("coordinator")
+subdirs("partition")
+subdirs("placement")
+subdirs("ordering")
+subdirs("entity")
+subdirs("system")
+subdirs("baselines")

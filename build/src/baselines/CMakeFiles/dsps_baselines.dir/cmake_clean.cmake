@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsps_baselines.dir/regimes.cc.o"
+  "CMakeFiles/dsps_baselines.dir/regimes.cc.o.d"
+  "libdsps_baselines.a"
+  "libdsps_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsps_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

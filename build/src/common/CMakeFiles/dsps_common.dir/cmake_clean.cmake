@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsps_common.dir/rng.cc.o"
+  "CMakeFiles/dsps_common.dir/rng.cc.o.d"
+  "CMakeFiles/dsps_common.dir/stats.cc.o"
+  "CMakeFiles/dsps_common.dir/stats.cc.o.d"
+  "CMakeFiles/dsps_common.dir/status.cc.o"
+  "CMakeFiles/dsps_common.dir/status.cc.o.d"
+  "CMakeFiles/dsps_common.dir/table.cc.o"
+  "CMakeFiles/dsps_common.dir/table.cc.o.d"
+  "libdsps_common.a"
+  "libdsps_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsps_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coordinator/coordinator_tree.cc" "src/coordinator/CMakeFiles/dsps_coordinator.dir/coordinator_tree.cc.o" "gcc" "src/coordinator/CMakeFiles/dsps_coordinator.dir/coordinator_tree.cc.o.d"
+  "/root/repo/src/coordinator/heartbeat_monitor.cc" "src/coordinator/CMakeFiles/dsps_coordinator.dir/heartbeat_monitor.cc.o" "gcc" "src/coordinator/CMakeFiles/dsps_coordinator.dir/heartbeat_monitor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dsps_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dsps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/interest/CMakeFiles/dsps_interest.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsps_coordinator.dir/coordinator_tree.cc.o"
+  "CMakeFiles/dsps_coordinator.dir/coordinator_tree.cc.o.d"
+  "CMakeFiles/dsps_coordinator.dir/heartbeat_monitor.cc.o"
+  "CMakeFiles/dsps_coordinator.dir/heartbeat_monitor.cc.o.d"
+  "libdsps_coordinator.a"
+  "libdsps_coordinator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsps_coordinator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

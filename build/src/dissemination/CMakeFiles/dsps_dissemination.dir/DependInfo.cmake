@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dissemination/disseminator.cc" "src/dissemination/CMakeFiles/dsps_dissemination.dir/disseminator.cc.o" "gcc" "src/dissemination/CMakeFiles/dsps_dissemination.dir/disseminator.cc.o.d"
+  "/root/repo/src/dissemination/reorganizer.cc" "src/dissemination/CMakeFiles/dsps_dissemination.dir/reorganizer.cc.o" "gcc" "src/dissemination/CMakeFiles/dsps_dissemination.dir/reorganizer.cc.o.d"
+  "/root/repo/src/dissemination/tree.cc" "src/dissemination/CMakeFiles/dsps_dissemination.dir/tree.cc.o" "gcc" "src/dissemination/CMakeFiles/dsps_dissemination.dir/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dsps_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dsps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/interest/CMakeFiles/dsps_interest.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/dsps_engine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

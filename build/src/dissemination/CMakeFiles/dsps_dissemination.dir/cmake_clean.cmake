@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsps_dissemination.dir/disseminator.cc.o"
+  "CMakeFiles/dsps_dissemination.dir/disseminator.cc.o.d"
+  "CMakeFiles/dsps_dissemination.dir/reorganizer.cc.o"
+  "CMakeFiles/dsps_dissemination.dir/reorganizer.cc.o.d"
+  "CMakeFiles/dsps_dissemination.dir/tree.cc.o"
+  "CMakeFiles/dsps_dissemination.dir/tree.cc.o.d"
+  "libdsps_dissemination.a"
+  "libdsps_dissemination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsps_dissemination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

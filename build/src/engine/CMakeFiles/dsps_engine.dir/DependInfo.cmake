@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/engine.cc" "src/engine/CMakeFiles/dsps_engine.dir/engine.cc.o" "gcc" "src/engine/CMakeFiles/dsps_engine.dir/engine.cc.o.d"
+  "/root/repo/src/engine/fragment.cc" "src/engine/CMakeFiles/dsps_engine.dir/fragment.cc.o" "gcc" "src/engine/CMakeFiles/dsps_engine.dir/fragment.cc.o.d"
+  "/root/repo/src/engine/operators.cc" "src/engine/CMakeFiles/dsps_engine.dir/operators.cc.o" "gcc" "src/engine/CMakeFiles/dsps_engine.dir/operators.cc.o.d"
+  "/root/repo/src/engine/plan.cc" "src/engine/CMakeFiles/dsps_engine.dir/plan.cc.o" "gcc" "src/engine/CMakeFiles/dsps_engine.dir/plan.cc.o.d"
+  "/root/repo/src/engine/plan_io.cc" "src/engine/CMakeFiles/dsps_engine.dir/plan_io.cc.o" "gcc" "src/engine/CMakeFiles/dsps_engine.dir/plan_io.cc.o.d"
+  "/root/repo/src/engine/query_builder.cc" "src/engine/CMakeFiles/dsps_engine.dir/query_builder.cc.o" "gcc" "src/engine/CMakeFiles/dsps_engine.dir/query_builder.cc.o.d"
+  "/root/repo/src/engine/tuple.cc" "src/engine/CMakeFiles/dsps_engine.dir/tuple.cc.o" "gcc" "src/engine/CMakeFiles/dsps_engine.dir/tuple.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dsps_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/interest/CMakeFiles/dsps_interest.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

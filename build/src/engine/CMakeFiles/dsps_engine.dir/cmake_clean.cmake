@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsps_engine.dir/engine.cc.o"
+  "CMakeFiles/dsps_engine.dir/engine.cc.o.d"
+  "CMakeFiles/dsps_engine.dir/fragment.cc.o"
+  "CMakeFiles/dsps_engine.dir/fragment.cc.o.d"
+  "CMakeFiles/dsps_engine.dir/operators.cc.o"
+  "CMakeFiles/dsps_engine.dir/operators.cc.o.d"
+  "CMakeFiles/dsps_engine.dir/plan.cc.o"
+  "CMakeFiles/dsps_engine.dir/plan.cc.o.d"
+  "CMakeFiles/dsps_engine.dir/plan_io.cc.o"
+  "CMakeFiles/dsps_engine.dir/plan_io.cc.o.d"
+  "CMakeFiles/dsps_engine.dir/query_builder.cc.o"
+  "CMakeFiles/dsps_engine.dir/query_builder.cc.o.d"
+  "CMakeFiles/dsps_engine.dir/tuple.cc.o"
+  "CMakeFiles/dsps_engine.dir/tuple.cc.o.d"
+  "libdsps_engine.a"
+  "libdsps_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsps_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

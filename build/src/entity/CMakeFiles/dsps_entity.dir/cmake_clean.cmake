@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsps_entity.dir/entity.cc.o"
+  "CMakeFiles/dsps_entity.dir/entity.cc.o.d"
+  "CMakeFiles/dsps_entity.dir/processor.cc.o"
+  "CMakeFiles/dsps_entity.dir/processor.cc.o.d"
+  "libdsps_entity.a"
+  "libdsps_entity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsps_entity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interest/box_index.cc" "src/interest/CMakeFiles/dsps_interest.dir/box_index.cc.o" "gcc" "src/interest/CMakeFiles/dsps_interest.dir/box_index.cc.o.d"
+  "/root/repo/src/interest/interest.cc" "src/interest/CMakeFiles/dsps_interest.dir/interest.cc.o" "gcc" "src/interest/CMakeFiles/dsps_interest.dir/interest.cc.o.d"
+  "/root/repo/src/interest/measure.cc" "src/interest/CMakeFiles/dsps_interest.dir/measure.cc.o" "gcc" "src/interest/CMakeFiles/dsps_interest.dir/measure.cc.o.d"
+  "/root/repo/src/interest/summarize.cc" "src/interest/CMakeFiles/dsps_interest.dir/summarize.cc.o" "gcc" "src/interest/CMakeFiles/dsps_interest.dir/summarize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dsps_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsps_interest.dir/box_index.cc.o"
+  "CMakeFiles/dsps_interest.dir/box_index.cc.o.d"
+  "CMakeFiles/dsps_interest.dir/interest.cc.o"
+  "CMakeFiles/dsps_interest.dir/interest.cc.o.d"
+  "CMakeFiles/dsps_interest.dir/measure.cc.o"
+  "CMakeFiles/dsps_interest.dir/measure.cc.o.d"
+  "CMakeFiles/dsps_interest.dir/summarize.cc.o"
+  "CMakeFiles/dsps_interest.dir/summarize.cc.o.d"
+  "libdsps_interest.a"
+  "libdsps_interest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsps_interest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

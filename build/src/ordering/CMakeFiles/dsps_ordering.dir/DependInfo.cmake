@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ordering/adaptation_module.cc" "src/ordering/CMakeFiles/dsps_ordering.dir/adaptation_module.cc.o" "gcc" "src/ordering/CMakeFiles/dsps_ordering.dir/adaptation_module.cc.o.d"
+  "/root/repo/src/ordering/distributed_chain.cc" "src/ordering/CMakeFiles/dsps_ordering.dir/distributed_chain.cc.o" "gcc" "src/ordering/CMakeFiles/dsps_ordering.dir/distributed_chain.cc.o.d"
+  "/root/repo/src/ordering/pipeline_sim.cc" "src/ordering/CMakeFiles/dsps_ordering.dir/pipeline_sim.cc.o" "gcc" "src/ordering/CMakeFiles/dsps_ordering.dir/pipeline_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dsps_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/dsps_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dsps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/interest/CMakeFiles/dsps_interest.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsps_ordering.dir/adaptation_module.cc.o"
+  "CMakeFiles/dsps_ordering.dir/adaptation_module.cc.o.d"
+  "CMakeFiles/dsps_ordering.dir/distributed_chain.cc.o"
+  "CMakeFiles/dsps_ordering.dir/distributed_chain.cc.o.d"
+  "CMakeFiles/dsps_ordering.dir/pipeline_sim.cc.o"
+  "CMakeFiles/dsps_ordering.dir/pipeline_sim.cc.o.d"
+  "libdsps_ordering.a"
+  "libdsps_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsps_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

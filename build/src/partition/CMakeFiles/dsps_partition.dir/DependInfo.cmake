@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/partitioner.cc" "src/partition/CMakeFiles/dsps_partition.dir/partitioner.cc.o" "gcc" "src/partition/CMakeFiles/dsps_partition.dir/partitioner.cc.o.d"
+  "/root/repo/src/partition/query_graph.cc" "src/partition/CMakeFiles/dsps_partition.dir/query_graph.cc.o" "gcc" "src/partition/CMakeFiles/dsps_partition.dir/query_graph.cc.o.d"
+  "/root/repo/src/partition/repartitioner.cc" "src/partition/CMakeFiles/dsps_partition.dir/repartitioner.cc.o" "gcc" "src/partition/CMakeFiles/dsps_partition.dir/repartitioner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dsps_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/interest/CMakeFiles/dsps_interest.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/dsps_engine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsps_partition.dir/partitioner.cc.o"
+  "CMakeFiles/dsps_partition.dir/partitioner.cc.o.d"
+  "CMakeFiles/dsps_partition.dir/query_graph.cc.o"
+  "CMakeFiles/dsps_partition.dir/query_graph.cc.o.d"
+  "CMakeFiles/dsps_partition.dir/repartitioner.cc.o"
+  "CMakeFiles/dsps_partition.dir/repartitioner.cc.o.d"
+  "libdsps_partition.a"
+  "libdsps_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsps_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

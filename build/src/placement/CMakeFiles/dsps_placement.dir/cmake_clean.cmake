@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsps_placement.dir/fragmenter.cc.o"
+  "CMakeFiles/dsps_placement.dir/fragmenter.cc.o.d"
+  "CMakeFiles/dsps_placement.dir/placement.cc.o"
+  "CMakeFiles/dsps_placement.dir/placement.cc.o.d"
+  "CMakeFiles/dsps_placement.dir/rebalancer.cc.o"
+  "CMakeFiles/dsps_placement.dir/rebalancer.cc.o.d"
+  "libdsps_placement.a"
+  "libdsps_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsps_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

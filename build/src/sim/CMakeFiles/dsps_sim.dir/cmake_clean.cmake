@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsps_sim.dir/network.cc.o"
+  "CMakeFiles/dsps_sim.dir/network.cc.o.d"
+  "CMakeFiles/dsps_sim.dir/simulator.cc.o"
+  "CMakeFiles/dsps_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/dsps_sim.dir/topology.cc.o"
+  "CMakeFiles/dsps_sim.dir/topology.cc.o.d"
+  "libdsps_sim.a"
+  "libdsps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsps_system.dir/system.cc.o"
+  "CMakeFiles/dsps_system.dir/system.cc.o.d"
+  "libdsps_system.a"
+  "libdsps_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsps_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

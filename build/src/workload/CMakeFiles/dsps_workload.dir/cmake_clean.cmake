@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsps_workload.dir/query_gen.cc.o"
+  "CMakeFiles/dsps_workload.dir/query_gen.cc.o.d"
+  "CMakeFiles/dsps_workload.dir/stream_gen.cc.o"
+  "CMakeFiles/dsps_workload.dir/stream_gen.cc.o.d"
+  "libdsps_workload.a"
+  "libdsps_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsps_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

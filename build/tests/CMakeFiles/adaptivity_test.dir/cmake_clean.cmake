@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptivity_test.dir/adaptivity_test.cc.o"
+  "CMakeFiles/adaptivity_test.dir/adaptivity_test.cc.o.d"
+  "adaptivity_test"
+  "adaptivity_test.pdb"
+  "adaptivity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptivity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

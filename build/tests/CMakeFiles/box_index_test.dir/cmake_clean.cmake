@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/box_index_test.dir/box_index_test.cc.o"
+  "CMakeFiles/box_index_test.dir/box_index_test.cc.o.d"
+  "box_index_test"
+  "box_index_test.pdb"
+  "box_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/box_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dissemination_test.dir/dissemination_test.cc.o"
+  "CMakeFiles/dissemination_test.dir/dissemination_test.cc.o.d"
+  "dissemination_test"
+  "dissemination_test.pdb"
+  "dissemination_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dissemination_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fragment_equivalence_test.dir/fragment_equivalence_test.cc.o"
+  "CMakeFiles/fragment_equivalence_test.dir/fragment_equivalence_test.cc.o.d"
+  "fragment_equivalence_test"
+  "fragment_equivalence_test.pdb"
+  "fragment_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fragment_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/interest_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_test[1]_include.cmake")
+include("/root/repo/build/tests/coordinator_test[1]_include.cmake")
+include("/root/repo/build/tests/dissemination_test[1]_include.cmake")
+include("/root/repo/build/tests/placement_test[1]_include.cmake")
+include("/root/repo/build/tests/ordering_test[1]_include.cmake")
+include("/root/repo/build/tests/entity_test[1]_include.cmake")
+include("/root/repo/build/tests/system_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/operators_ext_test[1]_include.cmake")
+include("/root/repo/build/tests/adaptivity_test[1]_include.cmake")
+include("/root/repo/build/tests/query_builder_test[1]_include.cmake")
+include("/root/repo/build/tests/fragment_equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_io_test[1]_include.cmake")
+include("/root/repo/build/tests/box_index_test[1]_include.cmake")
