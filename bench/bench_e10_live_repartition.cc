@@ -13,6 +13,7 @@
 #include "common/table.h"
 #include "partition/repartitioner.h"
 #include "system/system.h"
+#include "telemetry/bench_report.h"
 #include "workload/query_gen.h"
 #include "workload/stream_gen.h"
 
@@ -48,13 +49,15 @@ struct ChurnResult {
   double mean_decision_ms = 0.0;
 };
 
-ChurnResult RunChurn(const char* policy, int rounds) {
+ChurnResult RunChurn(const char* policy, int rounds,
+                     dsps::telemetry::MetricsRegistry* metrics = nullptr) {
   dsps::system::System::Config cfg;
   cfg.topology.num_entities = 8;
   cfg.topology.processors_per_entity = 2;
   cfg.topology.num_sources = 2;
   cfg.allocation = dsps::system::AllocationMode::kGraphPartition;
   cfg.seed = 55;
+  cfg.metrics = metrics;
   dsps::system::System sys(cfg);
   dsps::workload::StockTickerGen::Config tcfg;
   dsps::interest::StreamCatalog scratch;
@@ -114,14 +117,24 @@ BENCHMARK(BM_RepartitionRound)->Unit(benchmark::kMillisecond);
 
 void PrintE10() {
   const int rounds = 5;
+  dsps::telemetry::BenchReport report("e10_live_repartition");
   Table table({"policy", "final subscribed B/s", "migrations",
                "decision ms/round"});
   for (const char* policy : {"none", "hybrid", "scratch"}) {
-    ChurnResult r = RunChurn(policy, rounds);
+    // Migration and repartition counters flow through the system registry.
+    dsps::telemetry::MetricsRegistry metrics;
+    ChurnResult r = RunChurn(policy, rounds, &metrics);
     table.AddRow({policy, Table::Num(r.final_subscribed, 0),
                   Table::Int(r.total_migrations),
                   Table::Num(r.mean_decision_ms, 2)});
+    dsps::telemetry::Labels labels =
+        dsps::telemetry::MakeLabels({{"policy", policy}});
+    report.SetHeadline("final_subscribed_bps", r.final_subscribed, labels);
+    report.SetHeadline("migrations", r.total_migrations, labels);
+    report.SetHeadline("decision_ms_per_round", r.mean_decision_ms, labels);
+    report.MergeSnapshot(metrics.Snapshot(), labels);
   }
+  report.WriteFileOrDie();
   table.Print(
       "E10 (Section 3.2.2, live): query churn erodes the clustered "
       "assignment; periodic repartitioning of LIVE queries restores "

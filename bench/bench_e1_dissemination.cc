@@ -13,6 +13,7 @@
 #include "dissemination/disseminator.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
+#include "telemetry/bench_report.h"
 #include "workload/stream_gen.h"
 
 namespace {
@@ -31,9 +32,11 @@ struct DissemResult {
 };
 
 DissemResult Run(int entities, double coverage, TreePolicy policy,
-                 bool early_filter, int tuples, uint64_t seed) {
+                 bool early_filter, int tuples, uint64_t seed,
+                 dsps::telemetry::MetricsRegistry* metrics = nullptr) {
   dsps::sim::Simulator sim;
   dsps::sim::Network net(&sim);
+  if (metrics != nullptr) net.SetMetrics(metrics);
   dsps::common::Rng rng(seed);
   auto src = net.AddNode({500, 500});
   Disseminator::Config cfg;
@@ -94,6 +97,7 @@ BENCHMARK(BM_Publish)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
 
 void PrintE1() {
   const int tuples = 400;
+  dsps::telemetry::BenchReport report("e1_dissemination");
   Table table({"entities", "coverage", "scheme", "total MB", "source MB",
                "src fanout", "depth", "p99 deliver ms", "delivered"});
   for (int entities : {8, 32, 128}) {
@@ -107,17 +111,27 @@ void PrintE1() {
            {Scheme{"direct", TreePolicy::kSourceDirect, true},
             Scheme{"tree", TreePolicy::kClosestParent, false},
             Scheme{"tree+filter", TreePolicy::kClosestParent, true}}) {
+        dsps::telemetry::MetricsRegistry row_metrics;
         DissemResult r = Run(entities, coverage, s.policy, s.filter, tuples,
-                             77 + entities);
+                             77 + entities, &row_metrics);
         table.AddRow({Table::Int(entities), Table::Num(coverage, 2), s.name,
                       Table::Num(r.total_bytes / 1e6, 3),
                       Table::Num(r.source_bytes / 1e6, 3),
                       Table::Int(r.max_fanout), Table::Int(r.max_depth),
                       Table::Num(r.p99_delivery_latency * 1e3, 2),
                       Table::Int(r.delivered)});
+        dsps::telemetry::Labels row = dsps::telemetry::MakeLabels(
+            {{"entities", std::to_string(entities)},
+             {"coverage", std::to_string(coverage)},
+             {"scheme", s.name}});
+        report.SetHeadline("total_mb", r.total_bytes / 1e6, row);
+        report.SetHeadline("source_mb", r.source_bytes / 1e6, row);
+        report.SetHeadline("delivered", r.delivered, row);
+        report.MergeSnapshot(row_metrics.Snapshot(), row);
       }
     }
   }
+  report.WriteFileOrDie();
   table.Print(
       "E1 (Section 3.1): dissemination schemes — source fan-out stays "
       "bounded under trees; early filtering cuts bytes when coverage is "

@@ -14,11 +14,14 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "coordinator/coordinator_tree.h"
+#include "telemetry/bench_report.h"
 
 namespace {
 
 using dsps::common::Table;
 using dsps::coordinator::CoordinatorTree;
+
+dsps::telemetry::BenchReport* g_report = nullptr;
 
 void BM_Join(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
@@ -91,6 +94,11 @@ void PrintE2Scale() {
                     Table::Int(tree.HeartbeatRound()), ok ? "OK" : "VIOLATED",
                     Table::Num(hops.mean(), 2),
                     Table::Num(max_load / (total / n), 2)});
+      dsps::telemetry::Labels row = dsps::telemetry::MakeLabels(
+          {{"entities", std::to_string(n)}, {"k", std::to_string(k)}});
+      g_report->SetHeadline("height", tree.height(), row);
+      g_report->SetHeadline("join_msgs_mean", join_msgs.mean(), row);
+      g_report->SetHeadline("route_hops_mean", hops.mean(), row);
     }
   }
   table.Print(
@@ -105,6 +113,10 @@ void PrintE2Churn() {
     CoordinatorTree::Config cfg;
     cfg.k = 3;
     CoordinatorTree tree(cfg);
+    // Cluster-maintenance event counts flow into the report registry,
+    // labeled with this churn run's scale.
+    dsps::telemetry::MetricsRegistry churn_metrics;
+    tree.SetMetrics(&churn_metrics);
     dsps::common::Rng rng(5);
     std::set<int> alive;
     int next_id = 0;
@@ -139,6 +151,11 @@ void PrintE2Churn() {
                   Table::Num(leave_msgs.mean(), 1),
                   Table::Num(join_msgs.mean(), 1), Table::Int(maintain),
                   ok ? "OK" : "VIOLATED"});
+    dsps::telemetry::Labels row =
+        dsps::telemetry::MakeLabels({{"entities", std::to_string(n)}});
+    g_report->SetHeadline("leave_msgs_mean", leave_msgs.mean(), row);
+    g_report->SetHeadline("maintain_msgs", maintain, row);
+    g_report->MergeSnapshot(churn_metrics.Snapshot(), row);
   }
   table.Print(
       "E2b (Section 3.2.1): coordinator tree under churn — repair costs stay "
@@ -214,6 +231,10 @@ void PrintE2InterestRouting() {
                   Table::Num(subscribed / (4 * single), 2),
                   Table::Num(max_load / (total / n), 2),
                   Table::Int(queries)});
+    dsps::telemetry::Labels row =
+        dsps::telemetry::MakeLabels({{"routing", label}});
+    g_report->SetHeadline("subscribed_bps", subscribed, row);
+    g_report->SetHeadline("duplicate_factor", subscribed / (4 * single), row);
   }
   table.Print(
       "E2c (Sections 3.2.1+3.2.2): interest-aware query routing on coarse "
@@ -226,8 +247,11 @@ void PrintE2InterestRouting() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dsps::telemetry::BenchReport report("e2_coordinator");
+  g_report = &report;
   PrintE2Scale();
   PrintE2Churn();
   PrintE2InterestRouting();
+  report.WriteFileOrDie();
   return 0;
 }

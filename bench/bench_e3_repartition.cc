@@ -11,6 +11,7 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "partition/repartitioner.h"
+#include "telemetry/bench_report.h"
 
 namespace {
 
@@ -97,6 +98,7 @@ BENCHMARK(BM_Repartition)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
 
 void PrintE3() {
   const int rounds = 10;
+  dsps::telemetry::BenchReport report("e3_repartition");
   Table table({"repartitioner", "mean cut B/s", "mean imbalance",
                "migrations/round", "decision ms/round"});
   ScratchRepartitioner scratch;
@@ -104,12 +106,23 @@ void PrintE3() {
   HybridRepartitioner hybrid;
   for (Repartitioner* rp : std::initializer_list<Repartitioner*>{
            &scratch, &inc, &hybrid}) {
+    // Each strategy's migration counters land in its own registry slice.
+    dsps::telemetry::MetricsRegistry metrics;
+    rp->SetMetrics(&metrics);
     EpisodeStats s = RunDrift(rp, rounds, 21);
     table.AddRow({rp->name(), Table::Num(s.cut.mean(), 0),
                   Table::Num(s.imbalance.mean(), 3),
                   Table::Num(s.migrations.mean(), 1),
                   Table::Num(s.decision_ms.mean(), 2)});
+    dsps::telemetry::Labels row =
+        dsps::telemetry::MakeLabels({{"strategy", rp->name()}});
+    report.SetHeadline("cut_mean", s.cut.mean(), row);
+    report.SetHeadline("imbalance_mean", s.imbalance.mean(), row);
+    report.SetHeadline("migrations_per_round", s.migrations.mean(), row);
+    report.MergeSnapshot(metrics.Snapshot());
+    rp->SetMetrics(nullptr);
   }
+  report.WriteFileOrDie();
   table.Print(
       "E3 (Section 3.2.2): adaptive repartitioning over 10 drift episodes, "
       "512 queries, 8 entities — hybrid holds the cut near from-scratch at "

@@ -15,6 +15,7 @@
 #include "placement/placement.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
+#include "telemetry/bench_report.h"
 #include "workload/query_gen.h"
 #include "workload/stream_gen.h"
 
@@ -117,7 +118,7 @@ void BM_InstallQueries(benchmark::State& state) {
 }
 BENCHMARK(BM_InstallQueries)->Unit(benchmark::kMillisecond);
 
-void PrintE4Policies() {
+void PrintE4Policies(dsps::telemetry::BenchReport* report) {
   Table table({"policy", "PR p99", "PR mean", "LAN MB", "max util",
                "mean util", "results"});
   dsps::placement::PrAwarePlacement pr;
@@ -134,13 +135,19 @@ void PrintE4Policies() {
                   Table::Num(r.pr_mean, 0), Table::Num(r.lan_bytes / 1e6, 2),
                   Table::Num(r.max_util, 3), Table::Num(r.mean_util, 3),
                   Table::Int(r.results)});
+    dsps::telemetry::Labels labels =
+        dsps::telemetry::MakeLabels({{"policy", row.name}});
+    report->SetHeadline("pr_p99", r.pr_p99, labels);
+    report->SetHeadline("pr_mean", r.pr_mean, labels);
+    report->SetHeadline("lan_mb", r.lan_bytes / 1e6, labels);
+    report->SetHeadline("max_util", r.max_util, labels);
   }
   table.Print(
       "E4a (Section 4.1): placement policies, 16 processors, 128 queries — "
       "PR-aware minimizes the worst Performance Ratio");
 }
 
-void PrintE4LimitSweep() {
+void PrintE4LimitSweep(dsps::telemetry::BenchReport* report) {
   Table table({"distribution limit L", "PR p99", "PR mean", "LAN MB",
                "max util"});
   dsps::placement::PrAwarePlacement pr;
@@ -149,6 +156,10 @@ void PrintE4LimitSweep() {
     table.AddRow({Table::Int(limit), Table::Num(r.pr_p99, 0),
                   Table::Num(r.pr_mean, 0), Table::Num(r.lan_bytes / 1e6, 2),
                   Table::Num(r.max_util, 3)});
+    dsps::telemetry::Labels labels =
+        dsps::telemetry::MakeLabels({{"limit", std::to_string(limit)}});
+    report->SetHeadline("pr_p99", r.pr_p99, labels);
+    report->SetHeadline("lan_mb", r.lan_bytes / 1e6, labels);
   }
   table.Print(
       "E4b (Section 4.1): distribution-limit sweep — small L caps "
@@ -160,7 +171,9 @@ void PrintE4LimitSweep() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  PrintE4Policies();
-  PrintE4LimitSweep();
+  dsps::telemetry::BenchReport report("e4_placement");
+  PrintE4Policies(&report);
+  PrintE4LimitSweep(&report);
+  report.WriteFileOrDie();
   return 0;
 }

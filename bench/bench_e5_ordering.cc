@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "common/table.h"
 #include "ordering/pipeline_sim.h"
+#include "telemetry/bench_report.h"
 
 namespace {
 
@@ -55,6 +56,7 @@ BENCHMARK(BM_Pipeline)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
 
 void PrintE5() {
   const int64_t tuples = 60000;
+  dsps::telemetry::BenchReport report("e5_ordering");
   Table table({"drift", "policy", "evaluations", "CPU ms", "vs oracle",
                "survivors"});
   for (double magnitude : {0.0, 0.5, 1.0}) {
@@ -75,8 +77,15 @@ void PrintE5() {
                     Table::Num(row.r->total_cost * 1e3, 2),
                     Table::Num(row.r->total_cost / ro.total_cost, 3),
                     Table::Int(row.r->survivors)});
+      dsps::telemetry::Labels labels = dsps::telemetry::MakeLabels(
+          {{"drift", Table::Num(magnitude, 1)}, {"policy", row.name}});
+      report.SetHeadline("cpu_ms", row.r->total_cost * 1e3, labels);
+      report.SetHeadline("vs_oracle", row.r->total_cost / ro.total_cost,
+                         labels);
+      report.SetHeadline("evaluations", row.r->evaluations, labels);
     }
   }
+  report.WriteFileOrDie();
   table.Print(
       "E5 (Section 4.2): adaptive operator ordering under selectivity "
       "drift, 5 distributed filters — the AM tracks the oracle; static "

@@ -8,6 +8,7 @@
 
 #include "baselines/regimes.h"
 #include "common/table.h"
+#include "telemetry/bench_report.h"
 
 namespace {
 
@@ -73,6 +74,7 @@ BENCHMARK(BM_Ablation)->Unit(benchmark::kMillisecond);
 
 void PrintE6() {
   RegimeWorkload wl = Workload();
+  dsps::telemetry::BenchReport report("e6_coupling_ablation");
   Table table({"coupling degree", "WAN MB", "load imbalance", "p99 lat ms",
                "hetero engines", "upgrade blast radius"});
   for (Regime regime :
@@ -85,7 +87,15 @@ void PrintE6() {
                   Table::Num(r.latency_p99 * 1e3, 2),
                   facts.heterogeneous_engines,
                   Table::Int(facts.upgrade_blast_radius)});
+    dsps::telemetry::Labels labels =
+        dsps::telemetry::MakeLabels({{"regime", RegimeName(regime)}});
+    report.SetHeadline("wan_mb", r.wan_bytes / 1e6, labels);
+    report.SetHeadline("load_imbalance", r.load_imbalance, labels);
+    report.SetHeadline("latency_p99_ms", r.latency_p99 * 1e3, labels);
+    report.SetHeadline("upgrade_blast_radius", facts.upgrade_blast_radius,
+                       labels);
   }
+  report.WriteFileOrDie();
   table.Print(
       "E6 (Section 2): coupling-degree ablation — efficiency rises with "
       "tighter coupling while deployability falls; the paper's two-layer "

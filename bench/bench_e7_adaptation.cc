@@ -18,6 +18,7 @@
 #include "interest/summarize.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
+#include "telemetry/bench_report.h"
 #include "workload/stream_gen.h"
 
 namespace {
@@ -77,7 +78,7 @@ BudgetResult RunBudget(int budget, int entities, int boxes_per_entity,
   return r;
 }
 
-void PrintE7Summarization() {
+void PrintE7Summarization(dsps::telemetry::BenchReport* report) {
   Table table({"box budget", "summary boxes", "forwarded KB", "delivered",
                "traffic overhead"});
   const int entities = 64, boxes = 6, tuples = 600;
@@ -93,6 +94,14 @@ void PrintE7Summarization() {
                   Table::Num(static_cast<double>(r.total_bytes) /
                                  static_cast<double>(exact.total_bytes),
                              2)});
+    dsps::telemetry::Labels labels = dsps::telemetry::MakeLabels(
+        {{"budget", budget == 0 ? "unbounded" : std::to_string(budget)}});
+    report->SetHeadline("summary_boxes", r.summary_boxes, labels);
+    report->SetHeadline("forwarded_kb", r.total_bytes / 1e3, labels);
+    report->SetHeadline("traffic_overhead",
+                        static_cast<double>(r.total_bytes) /
+                            static_cast<double>(exact.total_bytes),
+                        labels);
   }
   table.Print(
       "E7a (Section 3.1 open issue): interest-summary box budget — smaller "
@@ -163,7 +172,7 @@ ReorgResult RunReorg(int entities, uint64_t seed) {
   return r;
 }
 
-void PrintE7Reorganization() {
+void PrintE7Reorganization(dsps::telemetry::BenchReport* report) {
   Table table({"entities", "tree cost before", "after", "moves",
                "p50 deliver ms before", "after"});
   for (int entities : {16, 64}) {
@@ -172,6 +181,11 @@ void PrintE7Reorganization() {
                   Table::Num(r.cost_after, 0), Table::Int(r.moves),
                   Table::Num(r.p50_before * 1e3, 1),
                   Table::Num(r.p50_after * 1e3, 1)});
+    dsps::telemetry::Labels labels = dsps::telemetry::MakeLabels(
+        {{"entities", std::to_string(entities)}});
+    report->SetHeadline("tree_cost_before", r.cost_before, labels);
+    report->SetHeadline("tree_cost_after", r.cost_after, labels);
+    report->SetHeadline("reorg_moves", r.moves, labels);
   }
   table.Print(
       "E7b: adaptive tree reorganization — greedy re-attachment shrinks the "
@@ -217,7 +231,9 @@ BENCHMARK(BM_CoarsenBoxes);
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  PrintE7Summarization();
-  PrintE7Reorganization();
+  dsps::telemetry::BenchReport report("e7_adaptation");
+  PrintE7Summarization(&report);
+  PrintE7Reorganization(&report);
+  report.WriteFileOrDie();
   return 0;
 }

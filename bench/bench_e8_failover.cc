@@ -12,6 +12,7 @@
 #include "common/table.h"
 #include "engine/query_builder.h"
 #include "system/system.h"
+#include "telemetry/bench_report.h"
 #include "workload/query_gen.h"
 #include "workload/stream_gen.h"
 
@@ -25,13 +26,15 @@ struct FailoverRun {
   int64_t lost_queries = 0;
 };
 
-FailoverRun Run(bool with_failure) {
+FailoverRun Run(bool with_failure,
+                dsps::telemetry::MetricsRegistry* metrics = nullptr) {
   dsps::system::System::Config cfg;
   cfg.topology.num_entities = 8;
   cfg.topology.processors_per_entity = 2;
   cfg.topology.num_sources = 2;
   cfg.allocation = dsps::system::AllocationMode::kCoordinatorTree;
   cfg.seed = 99;
+  cfg.metrics = metrics;
   dsps::system::System sys(cfg);
   dsps::workload::StockTickerGen::Config tcfg;
   tcfg.tuples_per_s = 200.0;
@@ -83,14 +86,26 @@ void BM_Failover(benchmark::State& state) {
 BENCHMARK(BM_Failover)->Unit(benchmark::kMillisecond);
 
 void PrintE8() {
+  dsps::telemetry::BenchReport report("e8_failover");
+  dsps::telemetry::MetricsRegistry failed_metrics;
   FailoverRun healthy = Run(false);
-  FailoverRun failed = Run(true);
+  FailoverRun failed = Run(true, &failed_metrics);
   Table table({"interval (s)", "results/s healthy", "results/s with failure"});
   for (size_t i = 0; i < healthy.results_per_interval.size(); ++i) {
     table.AddRow({Table::Int(static_cast<int64_t>(i)),
                   Table::Int(healthy.results_per_interval[i]),
                   Table::Int(failed.results_per_interval[i])});
+    dsps::telemetry::Labels labels =
+        dsps::telemetry::MakeLabels({{"interval", std::to_string(i)}});
+    report.SetHeadline("results_healthy", healthy.results_per_interval[i],
+                       labels);
+    report.SetHeadline("results_failed", failed.results_per_interval[i],
+                       labels);
   }
+  report.SetHeadline("rehomed", failed.rehomed);
+  report.SetHeadline("lost_queries", failed.lost_queries);
+  report.MergeSnapshot(failed_metrics.Snapshot());
+  report.WriteFileOrDie();
   table.Print(
       "E8: entity failure at t=3s — queries re-homed on survivors "
       "(rehomed=" +

@@ -13,6 +13,7 @@
 #include "common/table.h"
 #include "engine/query_builder.h"
 #include "system/system.h"
+#include "telemetry/bench_report.h"
 #include "workload/stream_gen.h"
 
 namespace {
@@ -77,20 +78,27 @@ void BM_ClientRun(benchmark::State& state) {
 BENCHMARK(BM_ClientRun)->Unit(benchmark::kMillisecond);
 
 void PrintE9() {
+  dsps::telemetry::BenchReport report("e9_clients");
   Table table({"selectivity", "anchor", "WAN MB", "client p50 ms",
                "client p99 ms", "client results"});
   for (double sel : {0.1, 0.4}) {
     for (QueryAnchor anchor : {QueryAnchor::kSource, QueryAnchor::kClient}) {
       AnchorResult r = Run(anchor, sel);
-      table.AddRow({Table::Num(sel, 1),
-                    anchor == QueryAnchor::kSource ? "near-data"
-                                                   : "near-client",
+      const char* anchor_name =
+          anchor == QueryAnchor::kSource ? "near-data" : "near-client";
+      table.AddRow({Table::Num(sel, 1), anchor_name,
                     Table::Num(r.wan_bytes / 1e6, 3),
                     Table::Num(r.client_p50_ms, 1),
                     Table::Num(r.client_p99_ms, 1),
                     Table::Int(r.client_results)});
+      dsps::telemetry::Labels labels = dsps::telemetry::MakeLabels(
+          {{"selectivity", Table::Num(sel, 1)}, {"anchor", anchor_name}});
+      report.SetHeadline("wan_mb", r.wan_bytes / 1e6, labels);
+      report.SetHeadline("client_p99_ms", r.client_p99_ms, labels);
+      report.SetHeadline("client_results", r.client_results, labels);
     }
   }
+  report.WriteFileOrDie();
   table.Print(
       "E9: query anchoring — near-data allocation consistently ships fewer "
       "WAN bytes (streams are high-volume and shared), while client latency "

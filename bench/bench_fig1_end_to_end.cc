@@ -9,6 +9,7 @@
 
 #include "common/table.h"
 #include "system/system.h"
+#include "telemetry/bench_report.h"
 #include "workload/query_gen.h"
 #include "workload/stream_gen.h"
 
@@ -21,13 +22,15 @@ struct RunResult {
   double duration = 1.0;
 };
 
-RunResult RunScale(int entities, int queries, double duration) {
+RunResult RunScale(int entities, int queries, double duration,
+                   dsps::telemetry::MetricsRegistry* metrics = nullptr) {
   dsps::system::System::Config cfg;
   cfg.topology.num_entities = entities;
   cfg.topology.processors_per_entity = 4;
   cfg.topology.num_sources = 4;
   cfg.allocation = dsps::system::AllocationMode::kCoordinatorTree;
   cfg.seed = 7;
+  cfg.metrics = metrics;
   dsps::system::System sys(cfg);
 
   dsps::workload::StockTickerGen::Config tcfg;
@@ -59,10 +62,14 @@ void BM_EndToEnd(benchmark::State& state) {
 BENCHMARK(BM_EndToEnd)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
 
 void PrintFigure1() {
+  dsps::telemetry::BenchReport report("fig1_end_to_end");
   Table table({"entities", "queries", "results/s", "p50 lat ms", "p99 lat ms",
                "WAN MB", "source MB", "src fanout", "max util %"});
   for (int entities : {4, 8, 16, 32}) {
-    RunResult r = RunScale(entities, entities * 6, 3.0);
+    // Per-row registry: each scale point's full metric snapshot lands in
+    // the report labeled with its sweep coordinate.
+    dsps::telemetry::MetricsRegistry row_metrics;
+    RunResult r = RunScale(entities, entities * 6, 3.0, &row_metrics);
     const auto& m = r.metrics;
     table.AddRow({Table::Int(entities), Table::Int(entities * 6),
                   Table::Num(m.results / r.duration, 0),
@@ -72,10 +79,17 @@ void PrintFigure1() {
                   Table::Num(m.source_egress_bytes / 1e6, 2),
                   Table::Int(m.max_source_fanout),
                   Table::Num(m.max_processor_utilization * 100, 3)});
+    dsps::telemetry::Labels row =
+        dsps::telemetry::MakeLabels({{"entities", std::to_string(entities)}});
+    report.SetHeadline("results_per_s", m.results / r.duration, row);
+    report.SetHeadline("latency_p99_ms", m.latency.p99() * 1e3, row);
+    report.SetHeadline("wan_mb", m.wan_bytes / 1e6, row);
+    report.MergeSnapshot(row_metrics.Snapshot(), row);
   }
   table.Print(
       "Figure 1 (measured): two-layer architecture scalability, 4 procs per "
       "entity, 4 streams, 6 queries per entity");
+  report.WriteFileOrDie();
 }
 
 }  // namespace

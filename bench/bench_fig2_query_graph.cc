@@ -9,6 +9,7 @@
 #include "common/table.h"
 #include "partition/partitioner.h"
 #include "partition/query_graph.h"
+#include "telemetry/bench_report.h"
 #include "workload/query_gen.h"
 #include "workload/stream_gen.h"
 
@@ -69,7 +70,7 @@ void BM_GraphBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_GraphBuild)->Arg(64)->Arg(256);
 
-void PrintFigure2Exact() {
+void PrintFigure2Exact(dsps::telemetry::BenchReport* report) {
   QueryGraph g = Figure2Graph();
   std::vector<int> plan_a{1, 1, 0, 0, 1};  // {Q3,Q4} vs rest
   std::vector<int> plan_b{1, 1, 0, 1, 0};  // {Q3,Q5} vs rest
@@ -85,9 +86,11 @@ void PrintFigure2Exact() {
   table.Print(
       "Figure 2 (exact): the paper's 5-query example — plan (a) duplicates "
       "8 B/s, plan (b) 3 B/s; the partitioner must find plan (b)");
+  report->SetHeadline("exact_cut_found", g.EdgeCut(found));
+  report->SetHeadline("exact_imbalance_found", g.Imbalance(found, 2));
 }
 
-void PrintFigure2Sweep() {
+void PrintFigure2Sweep(dsps::telemetry::BenchReport* report) {
   Table table({"queries n", "parts k", "cut multilevel B/s", "cut load-only B/s",
                "cut ratio", "imb multilevel", "imb load-only"});
   MultilevelPartitioner ml;
@@ -104,6 +107,12 @@ void PrintFigure2Sweep() {
                     Table::Num(cut_lo > 0 ? cut_ml / cut_lo : 1.0, 3),
                     Table::Num(g.Imbalance(a_ml, k), 2),
                     Table::Num(g.Imbalance(a_lo, k), 2)});
+      dsps::telemetry::Labels row = dsps::telemetry::MakeLabels(
+          {{"queries", std::to_string(n)}, {"parts", std::to_string(k)}});
+      report->SetHeadline("cut_multilevel", cut_ml, row);
+      report->SetHeadline("cut_load_only", cut_lo, row);
+      report->SetHeadline("cut_ratio", cut_lo > 0 ? cut_ml / cut_lo : 1.0,
+                          row);
     }
   }
   table.Print(
@@ -116,7 +125,9 @@ void PrintFigure2Sweep() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  PrintFigure2Exact();
-  PrintFigure2Sweep();
+  dsps::telemetry::BenchReport report("fig2_query_graph");
+  PrintFigure2Exact(&report);
+  PrintFigure2Sweep(&report);
+  report.WriteFileOrDie();
   return 0;
 }

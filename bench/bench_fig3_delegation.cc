@@ -18,6 +18,7 @@
 #include "placement/placement.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
+#include "telemetry/bench_report.h"
 #include "workload/stream_gen.h"
 
 namespace {
@@ -134,6 +135,7 @@ void PrintFigure3() {
   // Ingress links carry ~5.3 KB/s per stream; 200 KB/s links saturate a
   // single receiver around 38 streams.
   const double bandwidth = 2e5;
+  dsps::telemetry::BenchReport report("fig3_delegation");
   Table table({"procs", "streams", "scheme", "p50 lat ms", "p99 lat ms",
                "max ingress util", "max ingress KB", "results"});
   for (int procs : {8, 16}) {
@@ -147,9 +149,17 @@ void PrintFigure3() {
                       Table::Num(r.max_ingress_util, 3),
                       Table::Num(r.max_ingress_bytes / 1e3, 1),
                       Table::Int(r.results)});
+        dsps::telemetry::Labels row = dsps::telemetry::MakeLabels(
+            {{"procs", std::to_string(procs)},
+             {"streams", std::to_string(streams)},
+             {"scheme", single ? "single-receiver" : "delegation"}});
+        report.SetHeadline("latency_p99_ms", r.p99_latency * 1e3, row);
+        report.SetHeadline("max_ingress_util", r.max_ingress_util, row);
+        report.SetHeadline("results", r.results, row);
       }
     }
   }
+  report.WriteFileOrDie();
   table.Print(
       "Figure 3 (measured): stream delegation vs single receiver — the "
       "single ingress link saturates as streams grow; delegation "

@@ -7,6 +7,7 @@
 
 #include "baselines/regimes.h"
 #include "common/table.h"
+#include "telemetry/bench_report.h"
 
 namespace {
 
@@ -53,6 +54,7 @@ BENCHMARK(BM_Regime)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
 
 void PrintTable1() {
   RegimeWorkload wl = Workload();
+  dsps::telemetry::BenchReport report("table1_coupling");
   dsps::common::Table table(
       {"regime (transfer+processing)", "WAN MB", "source MB", "src fanout",
        "load imbalance", "p50 lat ms", "p99 lat ms", "results"});
@@ -65,10 +67,18 @@ void PrintTable1() {
                   dsps::common::Table::Num(r.latency_p50 * 1e3, 2),
                   dsps::common::Table::Num(r.latency_p99 * 1e3, 2),
                   dsps::common::Table::Int(r.results)});
+    dsps::telemetry::Labels row =
+        dsps::telemetry::MakeLabels({{"regime", RegimeName(r.regime)}});
+    report.SetHeadline("wan_mb", r.wan_bytes / 1e6, row);
+    report.SetHeadline("source_mb", r.source_egress_bytes / 1e6, row);
+    report.SetHeadline("load_imbalance", r.load_imbalance, row);
+    report.SetHeadline("latency_p99_ms", r.latency_p99 * 1e3, row);
+    report.SetHeadline("results", r.results, row);
   }
   table.Print(
       "Table 1 (measured): degree of cooperation, 16 entities x 2 procs, "
       "4 streams, 96 queries");
+  report.WriteFileOrDie();
 }
 
 }  // namespace

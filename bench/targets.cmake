@@ -3,7 +3,10 @@
 # be executed with `for b in build/bench/*; do $b; done`.
 function(dsps_bench name)
   add_executable(${name} bench/${name}.cc)
-  target_link_libraries(${name} PRIVATE ${ARGN} benchmark::benchmark)
+  target_compile_options(${name} PRIVATE -Werror)
+  # Every bench writes a BENCH_<name>.json report via dsps_telemetry.
+  target_link_libraries(${name} PRIVATE ${ARGN} dsps_telemetry
+                        benchmark::benchmark)
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 endfunction()

@@ -51,6 +51,13 @@ void Histogram::Add(double x) {
   sorted_ = false;
 }
 
+void Histogram::Merge(const Histogram& other) {
+  if (other.samples_.empty()) return;
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
 double Histogram::mean() const {
   if (samples_.empty()) return 0.0;
   double s = 0.0;

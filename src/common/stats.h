@@ -41,6 +41,10 @@ class Histogram {
   /// Adds one observation.
   void Add(double x);
 
+  /// Merges all of `other`'s samples into this histogram; percentiles of
+  /// the merge are exact (both sample sets are kept).
+  void Merge(const Histogram& other);
+
   size_t count() const { return samples_.size(); }
   double mean() const;
   /// The q-quantile (q in [0,1]) by nearest-rank on the sorted samples;

@@ -130,6 +130,10 @@ common::Result<int> CoordinatorTree::Join(common::EntityId id,
   if (node->entity == common::kInvalidEntity) node->entity = id;
   SplitIfOversized(node, &messages);
   total_messages_ += messages;
+  if (metrics_.joins != nullptr) {
+    metrics_.joins->Increment();
+    metrics_.messages->Increment(messages);
+  }
   return messages;
 }
 
@@ -137,6 +141,7 @@ void CoordinatorTree::SplitIfOversized(Node* node, int* messages) {
   const int max_size = 3 * config_.k - 1;
   while (node != nullptr &&
          static_cast<int>(node->children.size()) > max_size) {
+    if (metrics_.splits != nullptr) metrics_.splits->Increment();
     // Rule 3: split into two clusters, each at least floor(3k/2), with
     // small radii: seeds = the farthest child pair, greedy assignment to
     // the nearest seed, then rebalance.
@@ -253,6 +258,10 @@ common::Result<int> CoordinatorTree::Leave(common::EntityId id) {
     root_ = std::make_unique<Node>();
     root_->is_leaf = false;
     total_messages_ += messages;
+    if (metrics_.leaves != nullptr) {
+      metrics_.leaves->Increment();
+      metrics_.messages->Increment(messages);
+    }
     return messages;
   }
 
@@ -267,6 +276,10 @@ common::Result<int> CoordinatorTree::Leave(common::EntityId id) {
   // Rule 4: merge the (possibly) undersized cluster.
   MergeIfUndersized(parent, &messages);
   total_messages_ += messages;
+  if (metrics_.leaves != nullptr) {
+    metrics_.leaves->Increment();
+    metrics_.messages->Increment(messages);
+  }
   return messages;
 }
 
@@ -303,6 +316,7 @@ void CoordinatorTree::MergeIfUndersized(Node* node, int* messages) {
       }
     }
     DSPS_CHECK(sibling != nullptr);
+    if (metrics_.merges != nullptr) metrics_.merges->Increment();
     *messages += static_cast<int>(node->children.size()) + 1;
     for (auto& c : node->children) {
       c->parent = sibling;
@@ -353,7 +367,24 @@ int CoordinatorTree::Maintain() {
     }
   }
   total_messages_ += messages;
+  if (metrics_.maintain_rounds != nullptr) {
+    metrics_.maintain_rounds->Increment();
+    metrics_.messages->Increment(messages);
+  }
   return messages;
+}
+
+void CoordinatorTree::SetMetrics(telemetry::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    metrics_ = {};
+    return;
+  }
+  metrics_.joins = metrics->counter("coordinator.joins");
+  metrics_.leaves = metrics->counter("coordinator.leaves");
+  metrics_.maintain_rounds = metrics->counter("coordinator.maintain_rounds");
+  metrics_.messages = metrics->counter("coordinator.messages");
+  metrics_.splits = metrics->counter("coordinator.splits");
+  metrics_.merges = metrics->counter("coordinator.merges");
 }
 
 int CoordinatorTree::HeartbeatRound() const {

@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "interest/measure.h"
 #include "sim/network.h"
+#include "telemetry/registry.h"
 
 namespace dsps::coordinator {
 
@@ -124,6 +125,12 @@ class CoordinatorTree {
   /// Messages exchanged since construction (joins+leaves+maintenance).
   int64_t total_messages() const { return total_messages_; }
 
+  /// Attaches a metrics registry (null = detach; default off, zero cost).
+  /// Exports coordinator.joins / .leaves / .maintain_rounds / .splits /
+  /// .merges event counters plus coordinator.messages — the cluster-
+  /// maintenance overhead of Section 3.2.1.
+  void SetMetrics(telemetry::MetricsRegistry* metrics);
+
  private:
   Node* FindLeaf(common::EntityId id) const;
   /// Picks the member entity closest to the centroid of `node`'s leaves.
@@ -145,6 +152,16 @@ class CoordinatorTree {
   /// Bumped on any structural or interest change; invalidates summaries.
   uint64_t interest_version_ = 1;
   int64_t total_messages_ = 0;
+
+  /// Cached counters; all null unless SetMetrics attached a registry.
+  struct {
+    telemetry::Counter* joins = nullptr;
+    telemetry::Counter* leaves = nullptr;
+    telemetry::Counter* maintain_rounds = nullptr;
+    telemetry::Counter* messages = nullptr;
+    telemetry::Counter* splits = nullptr;
+    telemetry::Counter* merges = nullptr;
+  } metrics_;
 };
 
 }  // namespace dsps::coordinator

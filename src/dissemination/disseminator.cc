@@ -69,18 +69,43 @@ void Disseminator::SetDeliveryHandler(DeliveryHandler handler) {
   delivery_ = std::move(handler);
 }
 
+Disseminator::NodeCounters& Disseminator::CountersFor(common::StreamId stream,
+                                                      common::EntityId node) {
+  auto it = node_counters_.find({stream, node});
+  if (it != node_counters_.end()) return it->second;
+  telemetry::Labels labels = telemetry::MakeLabels(
+      {{"stream", std::to_string(stream)},
+       {"node", node == common::kInvalidEntity ? std::string("source")
+                                               : std::to_string(node)}});
+  NodeCounters counters;
+  counters.forwarded =
+      config_.metrics->counter("dissemination.forwarded", labels);
+  counters.filtered = config_.metrics->counter("dissemination.filtered", labels);
+  counters.delivered =
+      config_.metrics->counter("dissemination.delivered", std::move(labels));
+  return node_counters_.emplace(std::make_pair(stream, node), counters)
+      .first->second;
+}
+
 void Disseminator::Forward(common::EntityId from, common::SimNodeId from_node,
                            const TupleEnvelope& env) {
   const DisseminationTree* tree = trees_.at(env.tuple->stream).get();
   std::vector<common::EntityId> targets;
   tree->ForwardTargets(from, env.point->data(), config_.early_filter,
                        &targets);
+  if (config_.metrics != nullptr) {
+    NodeCounters& counters = CountersFor(env.tuple->stream, from);
+    counters.forwarded->Increment(static_cast<int64_t>(targets.size()));
+    counters.filtered->Increment(tree->ChildCount(from) -
+                                 static_cast<int64_t>(targets.size()));
+  }
   for (common::EntityId target : targets) {
     sim::Message msg;
     msg.from = from_node;
     msg.to = gateways_.at(target);
     msg.type = kMsgTupleForward;
     msg.size_bytes = env.tuple->SizeBytes();
+    msg.trace_id = env.tuple->trace_id;
     msg.payload = env;
     common::Status s = network_->Send(std::move(msg));
     DSPS_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
@@ -92,7 +117,20 @@ common::Status Disseminator::Publish(const engine::Tuple& tuple) {
   auto it = trees_.find(tuple.stream);
   if (it == trees_.end()) return common::Status::NotFound("unknown stream");
   TupleEnvelope env;
-  env.tuple = std::make_shared<const engine::Tuple>(tuple);
+  if (config_.trace != nullptr && config_.trace->enabled()) {
+    engine::Tuple traced = tuple;
+    traced.trace_id = config_.trace->MaybeStartTrace();
+    if (traced.trace_id != 0) {
+      // Anchor span: covers source-side dwell from the tuple's logical
+      // timestamp to the moment it enters the dissemination layer.
+      config_.trace->Record(traced.trace_id, telemetry::Stage::kSourceEmit,
+                            tuple.timestamp,
+                            network_->simulator()->now());
+    }
+    env.tuple = std::make_shared<const engine::Tuple>(std::move(traced));
+  } else {
+    env.tuple = std::make_shared<const engine::Tuple>(tuple);
+  }
   auto point = std::make_shared<std::vector<double>>();
   point->reserve(tuple.values.size());
   for (const engine::Value& v : tuple.values) {
@@ -113,6 +151,9 @@ bool Disseminator::HandleMessage(const sim::Message& msg) {
   const DisseminationTree* tree = trees_.at(env->tuple->stream).get();
   if (tree->LocalMatch(entity, env->point->data())) {
     ++delivered_;
+    if (config_.metrics != nullptr) {
+      CountersFor(env->tuple->stream, entity).delivered->Increment();
+    }
     if (delivery_) delivery_(entity, *env->tuple);
   }
   // Forward down the tree.

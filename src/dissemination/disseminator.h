@@ -11,6 +11,8 @@
 #include "dissemination/tree.h"
 #include "engine/tuple.h"
 #include "sim/network.h"
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
 
 namespace dsps::dissemination {
 
@@ -35,6 +37,13 @@ class Disseminator {
     /// Apply subtree-interest early filtering (Section 3.1); false =
     /// forward-everything-to-children baseline.
     bool early_filter = true;
+    /// Optional telemetry (null = disabled, zero overhead). With metrics,
+    /// each tree node exports dissemination.forwarded / .filtered /
+    /// .delivered counters labeled {stream, node}. With a trace log,
+    /// sampled publications start traces (source_emit anchor spans) that
+    /// then follow the tuple through the whole system.
+    telemetry::MetricsRegistry* metrics = nullptr;
+    telemetry::TraceLog* trace = nullptr;
   };
 
   /// `network` must outlive this object.
@@ -87,8 +96,19 @@ class Disseminator {
   void Forward(common::EntityId from, common::SimNodeId from_node,
                const TupleEnvelope& env);
 
+  /// Cached per-(stream, tree-node) counters; node = kInvalidEntity is
+  /// the source. Interned lazily on first traffic through the node.
+  struct NodeCounters {
+    telemetry::Counter* forwarded = nullptr;
+    telemetry::Counter* filtered = nullptr;
+    telemetry::Counter* delivered = nullptr;
+  };
+  NodeCounters& CountersFor(common::StreamId stream, common::EntityId node);
+
   sim::Network* network_;
   Config config_;
+  std::map<std::pair<common::StreamId, common::EntityId>, NodeCounters>
+      node_counters_;
   std::map<common::StreamId, std::unique_ptr<DisseminationTree>> trees_;
   std::map<common::StreamId, common::SimNodeId> source_nodes_;
   std::map<common::EntityId, common::SimNodeId> gateways_;

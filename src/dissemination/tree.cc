@@ -185,6 +185,15 @@ common::Result<common::EntityId> DisseminationTree::Parent(
   return it->second.parent;
 }
 
+int DisseminationTree::ChildCount(common::EntityId parent) const {
+  if (parent == common::kInvalidEntity) {
+    return static_cast<int>(source_children_.size());
+  }
+  auto it = nodes_.find(parent);
+  return it == nodes_.end() ? 0
+                            : static_cast<int>(it->second.children.size());
+}
+
 std::vector<common::EntityId> DisseminationTree::Children(
     common::EntityId parent) const {
   if (parent == common::kInvalidEntity) return source_children_;

@@ -79,6 +79,10 @@ class DisseminationTree {
     return static_cast<int>(source_children_.size());
   }
 
+  /// Number of children of `parent` (kInvalidEntity = the source); 0 for
+  /// unknown entities. Cheap — no copy, unlike Children().
+  int ChildCount(common::EntityId parent) const;
+
   /// The aggregated interest boxes of `id`'s subtree.
   const std::vector<interest::Box>& SubtreeInterest(common::EntityId id) const;
 

@@ -57,6 +57,10 @@ struct Tuple {
   /// Source emission time (simulated seconds); basis for latency and for
   /// time-based windows.
   double timestamp = 0.0;
+  /// Telemetry trace this tuple belongs to; 0 = untraced (the default —
+  /// tracing is sampled at the source). Purely observational: carries no
+  /// wire size and never influences processing.
+  int64_t trace_id = 0;
   std::vector<Value> values;
 
   /// Approximate wire size in bytes (drives bandwidth costs).

@@ -31,8 +31,19 @@ Entity::Entity(common::EntityId id, sim::Network* network,
     proc->SetEmissionHandler([this, pid](const Processor::Emission& em) {
       OnEmission(pid, em);
     });
+    if (config.metrics != nullptr || config.trace != nullptr) {
+      proc->SetTelemetry(
+          config.metrics, config.trace,
+          telemetry::MakeLabels({{"entity", std::to_string(id)},
+                                 {"processor", std::to_string(i)}}));
+    }
     proc_by_node_[processor_nodes[i]] = static_cast<int>(i);
     processors_.push_back(std::move(proc));
+  }
+  if (config.metrics != nullptr) {
+    migrations_counter_ = config.metrics->counter(
+        "entity.fragment_migrations",
+        telemetry::MakeLabels({{"entity", std::to_string(id)}}));
   }
 }
 
@@ -202,6 +213,7 @@ void Entity::OnStreamTuple(const engine::Tuple& tuple) {
   msg.to = processors_[idx]->node();
   msg.type = kMsgStreamTuple;
   msg.size_bytes = tuple.SizeBytes();
+  msg.trace_id = tuple.trace_id;
   msg.payload = std::move(env);
   common::Status s = network_->Send(std::move(msg));
   DSPS_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
@@ -282,6 +294,7 @@ void Entity::SendFragmentTuple(common::SimNodeId from_node,
   msg.to = processors_[idx]->node();
   msg.type = kMsgFragmentTuple;
   msg.size_bytes = env.tuple->SizeBytes();
+  msg.trace_id = env.tuple->trace_id;
   msg.payload = std::move(env);
   common::Status s = network_->Send(std::move(msg));
   DSPS_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
@@ -383,6 +396,7 @@ common::Status Entity::MoveFragment(common::FragmentId fragment,
   msg.size_bytes = state_bytes + 256;  // state + control overhead
   common::Status s = network_->Send(std::move(msg));
   DSPS_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
+  if (migrations_counter_ != nullptr) migrations_counter_->Increment();
   // Bookkeeping: committed loads, placement, and every routing table
   // entry that points at this fragment.
   double cpu_load = 0.0;

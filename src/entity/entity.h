@@ -71,6 +71,12 @@ class Entity {
     /// match — the delegate's hot loop goes from O(queries) to O(cell).
     /// Queries without interest boxes on a stream still get everything.
     const interest::StreamCatalog* catalog = nullptr;
+    /// Optional telemetry (null = disabled, zero overhead). Processors
+    /// export per-processor metrics labeled {entity, processor}; sampled
+    /// tuples keep their trace across intra-entity hops; fragment
+    /// migrations count into entity.fragment_migrations.
+    telemetry::MetricsRegistry* metrics = nullptr;
+    telemetry::TraceLog* trace = nullptr;
   };
 
   /// `network`, `policy` must outlive the entity. One processor is created
@@ -202,6 +208,7 @@ class Entity {
   common::Histogram pr_hist_;
   int64_t results_ = 0;
   double start_time_ = 0.0;
+  telemetry::Counter* migrations_counter_ = nullptr;
 };
 
 }  // namespace dsps::entity

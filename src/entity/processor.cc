@@ -55,6 +55,24 @@ common::Status Processor::Submit(common::FragmentId fragment,
   busy_seconds_ += cost;
   tuples_processed_ += 1;
   double completion = busy_until_;
+  if (tuple.trace_id != 0) {
+    // Downstream hops and the final result keep the sampled tuple's trace.
+    for (engine::TaggedOutput& out : outputs) {
+      out.output.tuple.trace_id = tuple.trace_id;
+    }
+    if (trace_ != nullptr) {
+      trace_->Record(tuple.trace_id, telemetry::Stage::kQueueWait, sim->now(),
+                     start);
+      trace_->Record(tuple.trace_id, telemetry::Stage::kExecute, start,
+                     completion);
+    }
+  }
+  if (tuples_counter_ != nullptr) {
+    tuples_counter_->Increment();
+    queue_wait_hist_->Observe(start - sim->now());
+    backlog_gauge_->Set(busy_until_ - sim->now());
+    if (sim->now() > 0) utilization_gauge_->Set(busy_seconds_ / sim->now());
+  }
   if (!outputs.empty() && emission_) {
     // Deliver outputs when the CPU work completes.
     auto shared =
@@ -66,6 +84,23 @@ common::Status Processor::Submit(common::FragmentId fragment,
     });
   }
   return common::Status::OK();
+}
+
+void Processor::SetTelemetry(telemetry::MetricsRegistry* metrics,
+                             telemetry::TraceLog* trace,
+                             const telemetry::Labels& labels) {
+  trace_ = trace;
+  if (metrics == nullptr) {
+    tuples_counter_ = nullptr;
+    queue_wait_hist_ = nullptr;
+    backlog_gauge_ = nullptr;
+    utilization_gauge_ = nullptr;
+    return;
+  }
+  tuples_counter_ = metrics->counter("processor.tuples", labels);
+  queue_wait_hist_ = metrics->histogram("processor.queue_wait_s", labels);
+  backlog_gauge_ = metrics->gauge("processor.backlog_s", labels);
+  utilization_gauge_ = metrics->gauge("processor.utilization", labels);
 }
 
 double Processor::backlog_seconds() const {

@@ -9,6 +9,8 @@
 #include "common/status.h"
 #include "engine/engine.h"
 #include "sim/network.h"
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
 
 namespace dsps::entity {
 
@@ -63,6 +65,16 @@ class Processor {
   double committed_load() const { return committed_load_; }
   void AddCommittedLoad(double delta) { committed_load_ += delta; }
 
+  /// Attaches telemetry (either pointer may be null; default off, zero
+  /// cost). `labels` identify this processor (e.g. {entity, processor}).
+  /// With metrics, every Submit updates a processor.tuples counter, a
+  /// processor.queue_wait_s histogram, and processor.backlog_s /
+  /// .utilization gauges. With a trace log, sampled tuples get queue_wait
+  /// and execute spans, and outputs inherit the input's trace id.
+  void SetTelemetry(telemetry::MetricsRegistry* metrics,
+                    telemetry::TraceLog* trace,
+                    const telemetry::Labels& labels);
+
  private:
   common::ProcessorId id_;
   sim::Network* network_;
@@ -74,6 +86,11 @@ class Processor {
   double committed_load_ = 0.0;
   int64_t tuples_processed_ = 0;
   EmissionHandler emission_;
+  telemetry::TraceLog* trace_ = nullptr;
+  telemetry::Counter* tuples_counter_ = nullptr;
+  telemetry::HistogramMetric* queue_wait_hist_ = nullptr;
+  telemetry::Gauge* backlog_gauge_ = nullptr;
+  telemetry::Gauge* utilization_gauge_ = nullptr;
 };
 
 }  // namespace dsps::entity

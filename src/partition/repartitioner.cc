@@ -72,6 +72,18 @@ RepartitionResult Finish(const QueryGraph& graph,
 
 }  // namespace
 
+void Repartitioner::RecordMetrics(const RepartitionResult& result) {
+  if (metrics_ == nullptr) return;
+  telemetry::Labels labels = telemetry::MakeLabels({{"strategy", name()}});
+  metrics_->counter("partition.repartitions", labels)->Increment();
+  metrics_->counter("partition.migrations", labels)
+      ->Increment(result.migrations);
+  metrics_->gauge("partition.edge_cut", labels)->Set(result.edge_cut);
+  metrics_->gauge("partition.imbalance", labels)->Set(result.imbalance);
+  metrics_->histogram("partition.decision_seconds", std::move(labels))
+      ->Observe(result.decision_seconds);
+}
+
 int CountMigrations(const std::vector<int>& old_assignment,
                     const std::vector<int>& new_assignment) {
   int migrations = 0;
@@ -146,7 +158,9 @@ RepartitionResult ScratchRepartitioner::Repartition(
   DSPS_CHECK(result.ok());
   std::vector<int> assignment = std::move(result).value();
   RelabelToMinimizeMigrations(graph, old_padded, &assignment, k);
-  return Finish(graph, old_padded, std::move(assignment), k, start);
+  RepartitionResult r = Finish(graph, old_padded, std::move(assignment), k, start);
+  RecordMetrics(r);
+  return r;
 }
 
 // -------------------------------------------------- IncrementalRepartitioner
@@ -200,7 +214,9 @@ RepartitionResult IncrementalRepartitioner::Repartition(
       break;
     }
   }
-  return Finish(graph, old_padded, std::move(assignment), k, start);
+  RepartitionResult r = Finish(graph, old_padded, std::move(assignment), k, start);
+  RecordMetrics(r);
+  return r;
 }
 
 // ------------------------------------------------------- HybridRepartitioner
@@ -260,7 +276,9 @@ RepartitionResult HybridRepartitioner::Repartition(
   }
   // Bounded local refinement to recover cut quality.
   FmRefine(graph, &assignment, k, balance_tolerance, config_.refine_passes);
-  return Finish(graph, old_padded, std::move(assignment), k, start);
+  RepartitionResult r = Finish(graph, old_padded, std::move(assignment), k, start);
+  RecordMetrics(r);
+  return r;
 }
 
 }  // namespace dsps::partition

@@ -6,6 +6,7 @@
 
 #include "partition/partitioner.h"
 #include "partition/query_graph.h"
+#include "telemetry/registry.h"
 
 namespace dsps::partition {
 
@@ -33,6 +34,19 @@ class Repartitioner {
   virtual RepartitionResult Repartition(const QueryGraph& graph,
                                         const std::vector<int>& old_assignment,
                                         int k, double balance_tolerance) = 0;
+
+  /// Attaches a metrics registry (null = detach; default off, zero cost).
+  /// Every Repartition then records, labeled {strategy=name()}:
+  /// partition.repartitions / .migrations counters, partition.edge_cut /
+  /// .imbalance gauges, and a partition.decision_seconds histogram.
+  void SetMetrics(telemetry::MetricsRegistry* metrics) { metrics_ = metrics; }
+
+ protected:
+  /// Implementations call this once with the final result of a step.
+  void RecordMetrics(const RepartitionResult& result);
+
+ private:
+  telemetry::MetricsRegistry* metrics_ = nullptr;
 };
 
 /// Extreme 1 (paper): repartition from scratch with the multilevel

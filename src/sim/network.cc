@@ -70,6 +70,9 @@ common::Status Network::Send(Message msg) {
   double deliver_at;
   if (msg.from == msg.to) {
     deliver_at = sim_->now() + kLocalDeliveryDelay;
+    if (local_messages_counter_ != nullptr) {
+      local_messages_counter_->Increment();
+    }
   } else {
     LinkState& link = GetOrCreateLink(msg.from, msg.to);
     double start = std::max(sim_->now(), link.busy_until);
@@ -81,6 +84,27 @@ common::Status Network::Send(Message msg) {
     nodes_[msg.from].egress_bytes += msg.size_bytes;
     total_bytes_ += msg.size_bytes;
     total_messages_ += 1;
+    if (metrics_ != nullptr) {
+      messages_counter_->Increment();
+      bytes_counter_->Increment(msg.size_bytes);
+      queue_wait_hist_->Observe(start - sim_->now());
+      if (per_link_metrics_) {
+        if (link.bytes_counter == nullptr) {
+          telemetry::Labels labels = telemetry::MakeLabels(
+              {{"from", std::to_string(msg.from)},
+               {"to", std::to_string(msg.to)}});
+          link.bytes_counter = metrics_->counter("net.link.bytes", labels);
+          link.messages_counter =
+              metrics_->counter("net.link.messages", std::move(labels));
+        }
+        link.bytes_counter->Increment(msg.size_bytes);
+        link.messages_counter->Increment();
+      }
+    }
+  }
+  if (trace_ != nullptr && msg.trace_id != 0) {
+    trace_->RecordMessage(msg.trace_id, msg.type, sim_->now(), deliver_at,
+                          msg.from, msg.to);
   }
   common::SimNodeId to = msg.to;
   sim_->ScheduleAt(deliver_at, [this, to, m = std::move(msg)]() {
@@ -116,6 +140,26 @@ std::vector<Network::LinkRecord> Network::AllLinkStats() const {
     }
   }
   return out;
+}
+
+void Network::SetMetrics(telemetry::MetricsRegistry* metrics, bool per_link) {
+  metrics_ = metrics;
+  per_link_metrics_ = per_link && metrics != nullptr;
+  for (auto& [key, link] : links_) {
+    link.bytes_counter = nullptr;
+    link.messages_counter = nullptr;
+  }
+  if (metrics == nullptr) {
+    messages_counter_ = nullptr;
+    bytes_counter_ = nullptr;
+    local_messages_counter_ = nullptr;
+    queue_wait_hist_ = nullptr;
+    return;
+  }
+  messages_counter_ = metrics->counter("net.messages");
+  bytes_counter_ = metrics->counter("net.bytes");
+  local_messages_counter_ = metrics->counter("net.local_messages");
+  queue_wait_hist_ = metrics->histogram("net.link_queue_wait_s");
 }
 
 void Network::ResetStats() {

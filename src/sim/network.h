@@ -11,6 +11,8 @@
 #include "common/ids.h"
 #include "common/status.h"
 #include "sim/simulator.h"
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
 
 namespace dsps::sim {
 
@@ -33,6 +35,9 @@ struct Message {
   int type = 0;
   /// Size on the wire in bytes; drives bandwidth/serialization delay.
   int64_t size_bytes = 0;
+  /// Telemetry trace of the tuple this message carries; 0 = untraced.
+  /// The network records an in-flight span per traced message.
+  int64_t trace_id = 0;
   /// Application payload.
   std::any payload;
 };
@@ -105,6 +110,19 @@ class Network {
   /// Resets all transfer statistics (link state/busy times are kept).
   void ResetStats();
 
+  /// Attaches a metrics registry (nullptr detaches — the default; all
+  /// instrumentation is skipped). Registers aggregate counters
+  /// (net.messages, net.bytes, net.local_messages) and the link queueing
+  /// histogram net.link_queue_wait_s. With `per_link` set, each directed link
+  /// additionally gets net.link.bytes / net.link.messages counters labeled
+  /// {from,to} — higher cardinality, intended for focused experiments.
+  void SetMetrics(telemetry::MetricsRegistry* metrics, bool per_link = false);
+
+  /// Attaches a trace log (nullptr detaches). Every message with a
+  /// nonzero trace_id records one span from send to delivery, staged via
+  /// TraceLog::StageForMessageType.
+  void SetTraceLog(telemetry::TraceLog* trace) { trace_ = trace; }
+
   /// Every directed link that ever carried traffic, with its stats.
   struct LinkRecord {
     common::SimNodeId from;
@@ -125,6 +143,9 @@ class Network {
     LinkParams params;
     LinkStats stats;
     double busy_until = 0.0;
+    /// Cached per-link metric handles (only when per-link metrics are on).
+    telemetry::Counter* bytes_counter = nullptr;
+    telemetry::Counter* messages_counter = nullptr;
   };
 
   LinkState& GetOrCreateLink(common::SimNodeId from, common::SimNodeId to);
@@ -135,6 +156,14 @@ class Network {
   LinkModel default_model_;
   int64_t total_bytes_ = 0;
   int64_t total_messages_ = 0;
+  /// Telemetry (all optional; null = zero-cost disabled state).
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+  telemetry::TraceLog* trace_ = nullptr;
+  bool per_link_metrics_ = false;
+  telemetry::Counter* messages_counter_ = nullptr;
+  telemetry::Counter* bytes_counter_ = nullptr;
+  telemetry::Counter* local_messages_counter_ = nullptr;
+  telemetry::HistogramMetric* queue_wait_hist_ = nullptr;
 };
 
 }  // namespace dsps::sim

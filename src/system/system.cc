@@ -17,10 +17,35 @@ System::System(const Config& config) : config_(config), rng_(config.seed) {
   topology_ = sim::BuildTopology(network_.get(), config.topology, &topo_rng);
   placement_policy_ = std::make_unique<placement::PrAwarePlacement>();
 
+  // Telemetry wiring: the network observes every message; the trace log
+  // learns which message types map to which pipeline stage so in-flight
+  // spans are recorded without the lower layers knowing the stage enums.
+  if (config.metrics != nullptr) {
+    network_->SetMetrics(config.metrics, config.per_link_metrics);
+    results_counter_ = config.metrics->counter("system.results");
+    query_migrations_counter_ =
+        config.metrics->counter("system.query_migrations");
+    latency_hist_ = config.metrics->histogram("system.latency_s");
+    pr_hist_ = config.metrics->histogram("system.pr");
+  }
+  if (config.trace != nullptr) {
+    network_->SetTraceLog(config.trace);
+    config.trace->MapMessageType(dissemination::kMsgTupleForward,
+                                 telemetry::Stage::kDisseminationHop);
+    config.trace->MapMessageType(entity::kMsgStreamTuple,
+                                 telemetry::Stage::kEntityIngress);
+    config.trace->MapMessageType(entity::kMsgFragmentTuple,
+                                 telemetry::Stage::kPipelineHop);
+    config.trace->MapMessageType(kMsgClientResult,
+                                 telemetry::Stage::kResultDeliver);
+  }
+
   // Entities. The delegate-side interest index reads the catalog, which
   // fills in at AddStreams time.
   entity::Entity::Config entity_config = config.entity;
   entity_config.catalog = &catalog_;
+  if (entity_config.metrics == nullptr) entity_config.metrics = config.metrics;
+  if (entity_config.trace == nullptr) entity_config.trace = config.trace;
   for (int e = 0; e < config.topology.num_entities; ++e) {
     auto entity = std::make_unique<entity::Entity>(
         topology_.entities[e].entity, network_.get(),
@@ -33,6 +58,18 @@ System::System(const Config& config) : config_(config), rng_(config.seed) {
           metrics_.results += 1;
           metrics_.latency.Add(record.latency);
           metrics_.pr.Add(record.pr);
+          if (results_counter_ != nullptr) {
+            results_counter_->Increment();
+            latency_hist_->Observe(record.latency);
+            pr_hist_->Observe(record.pr);
+          }
+          if (config_.trace != nullptr && tuple.trace_id != 0) {
+            // End-to-end summary span: the per-stage spans recorded along
+            // the way decompose exactly this interval.
+            config_.trace->Record(tuple.trace_id, telemetry::Stage::kResult,
+                                  tuple.timestamp, simulator_->now(),
+                                  /*from=*/-1, /*to=*/-1, record.query);
+          }
           ShipResultToClient(eid, record.query, tuple);
         });
     entities_.push_back(std::move(entity));
@@ -62,8 +99,11 @@ System::System(const Config& config) : config_(config), rng_(config.seed) {
   }
 
   // Dissemination layer.
+  dissemination::Disseminator::Config diss_config = config.dissemination;
+  if (diss_config.metrics == nullptr) diss_config.metrics = config.metrics;
+  if (diss_config.trace == nullptr) diss_config.trace = config.trace;
   disseminator_ = std::make_unique<dissemination::Disseminator>(
-      network_.get(), config.dissemination);
+      network_.get(), diss_config);
   disseminator_->SetDeliveryHandler(
       [this](common::EntityId entity, const engine::Tuple& tuple) {
         metrics_.delivered_tuples += 1;
@@ -73,6 +113,7 @@ System::System(const Config& config) : config_(config), rng_(config.seed) {
   // Coordinator tree over the entities.
   coordinator_ = std::make_unique<coordinator::CoordinatorTree>(
       config.coordinator);
+  coordinator_->SetMetrics(config.metrics);
   for (const sim::EntitySite& site : topology_.entities) {
     auto join = coordinator_->Join(site.entity, site.center);
     DSPS_CHECK(join.ok());
@@ -104,6 +145,7 @@ void System::ShipResultToClient(common::EntityId entity,
   msg.to = client_nodes_[it->second];
   msg.type = kMsgClientResult;
   msg.size_bytes = tuple.SizeBytes();
+  msg.trace_id = tuple.trace_id;
   msg.payload = env;
   common::Status s = network_->Send(std::move(msg));
   DSPS_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
@@ -401,7 +443,11 @@ common::Status System::MigrateQuery(common::QueryId query,
   query_home_.erase(query);
   queries_.erase(query);
   RecomputeEntityInterest(from);
-  return InstallOn(to, q);
+  common::Status st = InstallOn(to, q);
+  if (st.ok() && query_migrations_counter_ != nullptr) {
+    query_migrations_counter_->Increment();
+  }
+  return st;
 }
 
 common::Result<System::RepartitionReport> System::RepartitionQueries(
@@ -427,6 +473,7 @@ common::Result<System::RepartitionReport> System::RepartitionQueries(
     old_assignment.push_back(it == part_of_entity.end() ? -1 : it->second);
   }
   partition::QueryGraph graph = partition::QueryGraph::Build(live, catalog_);
+  repartitioner->SetMetrics(config_.metrics);
   partition::RepartitionResult result = repartitioner->Repartition(
       graph, old_assignment, static_cast<int>(alive_ids.size()),
       config_.balance_tolerance);

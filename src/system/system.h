@@ -18,6 +18,8 @@
 #include "placement/placement.h"
 #include "sim/topology.h"
 #include "system/metrics.h"
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
 #include "workload/stream_gen.h"
 
 namespace dsps::system {
@@ -78,6 +80,17 @@ class System {
     enum class QueryAnchor { kSource, kClient };
     QueryAnchor query_anchor = QueryAnchor::kSource;
     uint64_t seed = 1;
+    /// Optional telemetry, threaded through every layer (network counters,
+    /// dissemination per-node counters, coordinator events, processor
+    /// utilization, causal per-tuple trace spans). Both default to null:
+    /// telemetry off, zero overhead, and — because instrumentation never
+    /// sends messages or consumes randomness — identical simulations
+    /// either way. Must outlive the System.
+    telemetry::MetricsRegistry* metrics = nullptr;
+    telemetry::TraceLog* trace = nullptr;
+    /// Also export per-directed-link net.link.* counters (high
+    /// cardinality; off by default even when `metrics` is set).
+    bool per_link_metrics = false;
   };
 
   explicit System(const Config& config);
@@ -202,6 +215,11 @@ class System {
   int round_robin_next_ = 0;
   SystemMetrics metrics_;
   MaintenanceStats maintenance_stats_;
+  /// Cached telemetry series (null when config_.metrics is null).
+  telemetry::Counter* results_counter_ = nullptr;
+  telemetry::Counter* query_migrations_counter_ = nullptr;
+  telemetry::HistogramMetric* latency_hist_ = nullptr;
+  telemetry::HistogramMetric* pr_hist_ = nullptr;
   void RecomputeEntityInterest(common::EntityId entity);
   void MaintenanceRound();
   void ShipResultToClient(common::EntityId entity, common::QueryId query,

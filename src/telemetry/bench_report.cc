@@ -1,0 +1,87 @@
+#include "telemetry/bench_report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <utility>
+
+#include "telemetry/json.h"
+
+namespace dsps::telemetry {
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+
+void BenchReport::SetHeadline(std::string_view key, double value,
+                              Labels labels) {
+  registry_.gauge(std::string("headline.") + std::string(key),
+                  std::move(labels))
+      ->Set(value);
+}
+
+void BenchReport::MergeSnapshot(const MetricsSnapshot& snapshot,
+                                const Labels& extra_labels) {
+  for (const MetricSample& s : snapshot.samples) {
+    Labels labels = s.labels;
+    for (const auto& extra : extra_labels) labels.push_back(extra);
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        registry_.counter(s.name, std::move(labels))
+            ->Increment(static_cast<int64_t>(s.value));
+        break;
+      case MetricSample::Kind::kGauge:
+        registry_.gauge(s.name, std::move(labels))->Set(s.value);
+        break;
+      case MetricSample::Kind::kHistogram: {
+        // Summarized histograms cannot be re-merged sample-exactly; keep
+        // the summary as gauges so the trajectory stays comparable.
+        Labels base = labels;
+        registry_.gauge(s.name + ".count", base)
+            ->Set(static_cast<double>(s.count));
+        registry_.gauge(s.name + ".mean", base)->Set(s.mean);
+        registry_.gauge(s.name + ".p50", base)->Set(s.p50);
+        registry_.gauge(s.name + ".p95", base)->Set(s.p95);
+        registry_.gauge(s.name + ".p99", base)->Set(s.p99);
+        registry_.gauge(s.name + ".max", std::move(base))->Set(s.max);
+        break;
+      }
+    }
+  }
+}
+
+std::string BenchReport::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String(name_);
+  w.Key("metrics").Raw(registry_.Snapshot().ToJson());
+  w.EndObject();
+  return w.TakeString();
+}
+
+std::string BenchReport::OutputPath() const {
+  const char* dir = std::getenv("DSPS_BENCH_DIR");
+  std::string prefix = (dir != nullptr && dir[0] != '\0')
+                           ? std::string(dir) + "/"
+                           : std::string();
+  return prefix + "BENCH_" + name_ + ".json";
+}
+
+common::Status BenchReport::WriteFile() const {
+  std::string path = OutputPath();
+  std::ofstream os(path);
+  if (!os) return common::Status::InvalidArgument("cannot open " + path);
+  os << ToJson() << '\n';
+  os.flush();
+  if (!os) return common::Status::Internal("write failed for " + path);
+  return common::Status::OK();
+}
+
+void BenchReport::WriteFileOrDie() const {
+  common::Status s = WriteFile();
+  if (!s.ok()) {
+    std::fprintf(stderr, "BenchReport: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+  std::printf("wrote %s\n", OutputPath().c_str());
+}
+
+}  // namespace dsps::telemetry

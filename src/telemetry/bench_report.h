@@ -1,0 +1,58 @@
+#ifndef DSPS_TELEMETRY_BENCH_REPORT_H_
+#define DSPS_TELEMETRY_BENCH_REPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "telemetry/registry.h"
+
+namespace dsps::telemetry {
+
+/// Machine-readable benchmark output: collects headline numbers and metric
+/// snapshots from a bench run and writes `BENCH_<name>.json` next to the
+/// human-readable tables, establishing a perf trajectory across PRs.
+///
+/// Usage in a bench binary:
+///   telemetry::BenchReport report("e1_dissemination");
+///   report.SetHeadline("wan_mb", wan_mb, {{"entities", "64"}});
+///   report.MergeSnapshot(registry.Snapshot(), {{"entities", "64"}});
+///   report.WriteFileOrDie();
+class BenchReport {
+ public:
+  /// `name` is the experiment id; the output file is BENCH_<name>.json in
+  /// the current directory (override with env DSPS_BENCH_DIR).
+  explicit BenchReport(std::string name);
+
+  const std::string& name() const { return name_; }
+
+  /// Records one headline number as a gauge named "headline.<key>".
+  void SetHeadline(std::string_view key, double value, Labels labels = {});
+
+  /// Folds a component registry snapshot into the report, appending
+  /// `extra_labels` to every sample (e.g. the sweep point of this row).
+  void MergeSnapshot(const MetricsSnapshot& snapshot,
+                     const Labels& extra_labels = {});
+
+  /// A registry owned by the report, for benches that want components to
+  /// write into the report directly.
+  MetricsRegistry* registry() { return &registry_; }
+
+  /// {"bench": name, "metrics": [...]}; deterministic for identical data.
+  std::string ToJson() const;
+
+  /// Resolved output path (honors DSPS_BENCH_DIR).
+  std::string OutputPath() const;
+
+  common::Status WriteFile() const;
+  /// WriteFile, aborting on failure (bench binaries have no error path).
+  void WriteFileOrDie() const;
+
+ private:
+  std::string name_;
+  MetricsRegistry registry_;
+};
+
+}  // namespace dsps::telemetry
+
+#endif  // DSPS_TELEMETRY_BENCH_REPORT_H_

@@ -1,0 +1,122 @@
+#ifndef DSPS_TELEMETRY_TRACE_H_
+#define DSPS_TELEMETRY_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string_view>
+#include <vector>
+
+namespace dsps::telemetry {
+
+/// The stages of the paper's delay decomposition, as observed per traced
+/// tuple: source emission, dissemination-tree hops across the WAN, the
+/// gateway->delegate hop inside the entity, pipeline hops between
+/// processors, CPU queue wait, operator execution, and result delivery.
+enum class Stage : int32_t {
+  /// Publication at the stream source (zero-length anchor span).
+  kSourceEmit = 0,
+  /// One dissemination-tree edge: link queueing + transmission + latency.
+  kDisseminationHop,
+  /// Gateway -> stream-delegate hop inside the entity (Figure 3).
+  kEntityIngress,
+  /// Inter-processor hop between fragments of one query.
+  kPipelineHop,
+  /// Time waiting for a processor's CPU to free up.
+  kQueueWait,
+  /// Simulated CPU time of operator execution.
+  kExecute,
+  /// Entity gateway -> client result shipping.
+  kResultDeliver,
+  /// End-to-end marker: start = source timestamp, end = result completion;
+  /// its duration is the paper's d_k for this traced result.
+  kResult,
+  /// Anything recorded without a registered mapping.
+  kOther,
+};
+
+/// Stable lower-case name used in exports ("source_emit", "queue_wait", ...).
+const char* StageName(Stage stage);
+
+/// Inverse of StageName; kOther for unknown names.
+Stage StageFromName(std::string_view name);
+
+/// One causal, simulated-time span of a traced tuple's journey.
+struct Span {
+  /// Trace this span belongs to (assigned at source publication).
+  int64_t trace = 0;
+  Stage stage = Stage::kOther;
+  /// Simulated seconds.
+  double start = 0.0;
+  double end = 0.0;
+  /// Context ids; meaning depends on the stage (network spans: sim nodes;
+  /// processor spans: the processor's sim node twice).
+  int32_t from = -1;
+  int32_t to = -1;
+  /// The query that produced the result (kResult spans only).
+  int64_t query = -1;
+
+  double duration() const { return end - start; }
+};
+
+/// Append-only log of spans for a sampled subset of tuples.
+///
+/// Sampling is deterministic — every `sample_every_n`-th source
+/// publication starts a trace — so traced runs remain reproducible, and a
+/// sampling rate of 0 disables tracing entirely (the zero-cost default:
+/// instrumentation sites check one pointer and one integer).
+class TraceLog {
+ public:
+  struct Config {
+    /// Trace every Nth published tuple; 0 disables tracing.
+    int sample_every_n = 0;
+    /// Hard cap on retained spans; once reached, further spans are
+    /// counted (dropped_spans) but not stored.
+    size_t max_spans = 1u << 20;
+  };
+
+  TraceLog() = default;
+  explicit TraceLog(const Config& config) : config_(config) {}
+  TraceLog(const TraceLog&) = delete;
+  TraceLog& operator=(const TraceLog&) = delete;
+
+  bool enabled() const { return config_.sample_every_n > 0; }
+  const Config& config() const { return config_; }
+
+  /// Source-side sampling decision: counts one publication and returns a
+  /// fresh nonzero trace id if it should be traced, 0 otherwise.
+  int64_t MaybeStartTrace();
+
+  /// Records one span (no-op when `trace` is 0 or the log is disabled).
+  void Record(int64_t trace, Stage stage, double start, double end,
+              int32_t from = -1, int32_t to = -1, int64_t query = -1);
+
+  /// Registers which Stage a simulated-network message type maps to, so
+  /// the network layer can attribute in-flight time without knowing the
+  /// upper layers' message enums.
+  void MapMessageType(int type, Stage stage);
+  Stage StageForMessageType(int type) const;
+
+  /// Record() with the stage resolved from the message type.
+  void RecordMessage(int64_t trace, int msg_type, double start, double end,
+                     int32_t from, int32_t to);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  int64_t traces_started() const { return next_trace_ - 1; }
+  int64_t publications_seen() const { return publications_; }
+  int64_t dropped_spans() const { return dropped_; }
+
+  /// Forgets all spans and resets the sampling phase (mapping kept).
+  void Clear();
+
+ private:
+  Config config_;
+  std::vector<Span> spans_;
+  std::map<int, Stage> stage_of_type_;
+  int64_t publications_ = 0;
+  int64_t next_trace_ = 1;
+  int64_t dropped_ = 0;
+};
+
+}  // namespace dsps::telemetry
+
+#endif  // DSPS_TELEMETRY_TRACE_H_

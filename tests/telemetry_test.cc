@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "telemetry/bench_report.h"
+#include "telemetry/json.h"
+#include "telemetry/registry.h"
+#include "telemetry/sinks.h"
+#include "telemetry/trace.h"
+
+namespace dsps::telemetry {
+namespace {
+
+TEST(MetricsRegistryTest, CounterInterningIsStable) {
+  MetricsRegistry reg;
+  Counter* a = reg.counter("requests");
+  Counter* b = reg.counter("requests");
+  EXPECT_EQ(a, b);
+  a->Increment();
+  b->Increment(4);
+  EXPECT_EQ(a->value(), 5);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, LabelsDistinguishSeries) {
+  MetricsRegistry reg;
+  Counter* a = reg.counter("bytes", MakeLabels({{"link", "0-1"}}));
+  Counter* b = reg.counter("bytes", MakeLabels({{"link", "0-2"}}));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(MetricsRegistryTest, LabelOrderDoesNotMatter) {
+  MetricsRegistry reg;
+  Counter* a = reg.counter("x", MakeLabels({{"a", "1"}, {"b", "2"}}));
+  Counter* b = reg.counter("x", MakeLabels({{"b", "2"}, {"a", "1"}}));
+  EXPECT_EQ(a, b);
+}
+
+TEST(MetricsRegistryTest, SameNameDifferentKindsCoexist) {
+  MetricsRegistry reg;
+  reg.counter("load")->Increment();
+  reg.gauge("load")->Set(0.5);
+  EXPECT_EQ(reg.size(), 2u);
+  MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.samples.size(), 2u);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsDeterministicAcrossInsertionOrder) {
+  MetricsRegistry a;
+  a.counter("z", MakeLabels({{"k", "2"}}))->Increment(7);
+  a.counter("a")->Increment(1);
+  a.gauge("m")->Set(3.5);
+  a.histogram("h")->Observe(1.0);
+  a.histogram("h")->Observe(3.0);
+
+  MetricsRegistry b;
+  b.histogram("h")->Observe(1.0);
+  b.gauge("m")->Set(3.5);
+  b.counter("a")->Increment(1);
+  b.counter("z", MakeLabels({{"k", "2"}}))->Increment(7);
+  b.histogram("h")->Observe(3.0);
+
+  EXPECT_EQ(a.Snapshot().ToJson(), b.Snapshot().ToJson());
+}
+
+TEST(MetricsRegistryTest, SnapshotFindLocatesSeries) {
+  MetricsRegistry reg;
+  reg.counter("hits", MakeLabels({{"node", "3"}}))->Increment(9);
+  MetricsSnapshot snap = reg.Snapshot();
+  const MetricSample* s = snap.Find("hits", MakeLabels({{"node", "3"}}));
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->value, 9.0);
+  EXPECT_EQ(snap.Find("hits", MakeLabels({{"node", "4"}})), nullptr);
+  EXPECT_EQ(snap.Find("misses"), nullptr);
+}
+
+TEST(MetricsRegistryTest, MergeFromAddsCountersAndMergesHistograms) {
+  MetricsRegistry a;
+  a.counter("n")->Increment(2);
+  a.histogram("lat")->Observe(1.0);
+  a.gauge("g")->Set(1.0);
+
+  MetricsRegistry b;
+  b.counter("n")->Increment(3);
+  b.histogram("lat")->Observe(3.0);
+  b.gauge("g")->Set(2.0);
+
+  a.MergeFrom(b);
+  EXPECT_EQ(a.counter("n")->value(), 5);
+  EXPECT_EQ(a.histogram("lat")->data().count(), 2u);
+  EXPECT_DOUBLE_EQ(a.histogram("lat")->data().mean(), 2.0);
+  // Gauges take the merged-in value (last write wins).
+  EXPECT_DOUBLE_EQ(a.gauge("g")->value(), 2.0);
+}
+
+TEST(MetricsRegistryTest, HistogramSnapshotCarriesPercentiles) {
+  MetricsRegistry reg;
+  HistogramMetric* h = reg.histogram("queue_wait");
+  for (int i = 1; i <= 100; ++i) h->Observe(i);
+  MetricsSnapshot snap = reg.Snapshot();
+  const MetricSample* s = snap.Find("queue_wait");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->kind, MetricSample::Kind::kHistogram);
+  EXPECT_EQ(s->count, 100);
+  EXPECT_DOUBLE_EQ(s->mean, 50.5);
+  EXPECT_GE(s->p99, 99.0);
+  EXPECT_DOUBLE_EQ(s->max, 100.0);
+}
+
+TEST(JsonTest, SnapshotJsonRoundTrips) {
+  MetricsRegistry reg;
+  reg.counter("c", MakeLabels({{"quote", "a\"b"}}))->Increment(3);
+  reg.gauge("g")->Set(-2.25);
+  reg.histogram("h")->Observe(4.0);
+  auto parsed = ParseJson(reg.Snapshot().ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const JsonValue& arr = parsed.value();
+  ASSERT_TRUE(arr.is_array());
+  ASSERT_EQ(arr.items.size(), 3u);
+  // Samples are sorted by name: c, g, h.
+  EXPECT_EQ(arr.items[0].StringOr("name", ""), "c");
+  const JsonValue* labels = arr.items[0].Find("labels");
+  ASSERT_NE(labels, nullptr);
+  EXPECT_EQ(labels->StringOr("quote", ""), "a\"b");
+  EXPECT_DOUBLE_EQ(arr.items[1].NumberOr("value", 0), -2.25);
+  EXPECT_EQ(arr.items[2].StringOr("kind", ""), "histogram");
+  EXPECT_DOUBLE_EQ(arr.items[2].NumberOr("count", 0), 1.0);
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("{\"a\":").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("").ok());
+  ASSERT_TRUE(ParseJson("{\"a\": [1, 2.5, \"x\", null, true]}").ok());
+}
+
+TEST(TraceLogTest, DisabledByDefaultAndRecordsNothing) {
+  TraceLog log;
+  EXPECT_FALSE(log.enabled());
+  EXPECT_EQ(log.MaybeStartTrace(), 0);
+  log.Record(1, Stage::kExecute, 0.0, 1.0);
+  EXPECT_TRUE(log.spans().empty());
+}
+
+TEST(TraceLogTest, SamplesEveryNthPublication) {
+  TraceLog::Config cfg;
+  cfg.sample_every_n = 3;
+  TraceLog log(cfg);
+  int traced = 0;
+  for (int i = 0; i < 9; ++i) {
+    if (log.MaybeStartTrace() != 0) ++traced;
+  }
+  EXPECT_EQ(traced, 3);
+  EXPECT_EQ(log.publications_seen(), 9);
+  EXPECT_EQ(log.traces_started(), 3);
+}
+
+TEST(TraceLogTest, MaxSpansCapCountsDrops) {
+  TraceLog::Config cfg;
+  cfg.sample_every_n = 1;
+  cfg.max_spans = 2;
+  TraceLog log(cfg);
+  int64_t t = log.MaybeStartTrace();
+  ASSERT_NE(t, 0);
+  for (int i = 0; i < 5; ++i) log.Record(t, Stage::kExecute, i, i + 1);
+  EXPECT_EQ(log.spans().size(), 2u);
+  EXPECT_EQ(log.dropped_spans(), 3);
+}
+
+TEST(TraceLogTest, MessageTypeMappingAttributesStages) {
+  TraceLog::Config cfg;
+  cfg.sample_every_n = 1;
+  TraceLog log(cfg);
+  log.MapMessageType(101, Stage::kDisseminationHop);
+  int64_t t = log.MaybeStartTrace();
+  log.RecordMessage(t, 101, 0.0, 0.5, 1, 2);
+  log.RecordMessage(t, 999, 0.5, 0.6, 2, 3);
+  ASSERT_EQ(log.spans().size(), 2u);
+  EXPECT_EQ(log.spans()[0].stage, Stage::kDisseminationHop);
+  EXPECT_EQ(log.spans()[0].from, 1);
+  EXPECT_EQ(log.spans()[1].stage, Stage::kOther);
+}
+
+TEST(TraceLogTest, StageNamesRoundTrip) {
+  for (Stage s : {Stage::kSourceEmit, Stage::kDisseminationHop,
+                  Stage::kEntityIngress, Stage::kPipelineHop,
+                  Stage::kQueueWait, Stage::kExecute, Stage::kResultDeliver,
+                  Stage::kResult}) {
+    EXPECT_EQ(StageFromName(StageName(s)), s);
+  }
+  EXPECT_EQ(StageFromName("bogus"), Stage::kOther);
+}
+
+TEST(SinksTest, SpanJsonLinesParseBack) {
+  TraceLog::Config cfg;
+  cfg.sample_every_n = 1;
+  TraceLog log(cfg);
+  int64_t t = log.MaybeStartTrace();
+  log.Record(t, Stage::kQueueWait, 1.0, 1.5, 4, 4);
+  log.Record(t, Stage::kResult, 0.0, 2.0, -1, -1, 42);
+  std::ostringstream os;
+  WriteSpansJsonLines(log, os);
+  std::istringstream is(os.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(is, line));
+  auto first = ParseJson(line);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().StringOr("stage", ""), "queue_wait");
+  EXPECT_DOUBLE_EQ(first.value().NumberOr("end", 0), 1.5);
+  ASSERT_TRUE(std::getline(is, line));
+  auto second = ParseJson(line);
+  ASSERT_TRUE(second.ok());
+  EXPECT_DOUBLE_EQ(second.value().NumberOr("query", 0), 42.0);
+}
+
+TEST(BenchReportTest, ProducesParseableJsonWithHeadlines) {
+  BenchReport report("unit_test");
+  report.SetHeadline("latency_ms", 12.5, MakeLabels({{"row", "1"}}));
+  MetricsRegistry component;
+  component.counter("net.messages")->Increment(3);
+  report.MergeSnapshot(component.Snapshot(), MakeLabels({{"row", "1"}}));
+  auto parsed = ParseJson(report.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed.value().StringOr("bench", ""), "unit_test");
+  const JsonValue* metrics = parsed.value().Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_TRUE(metrics->is_array());
+  ASSERT_EQ(metrics->items.size(), 2u);
+  bool found_headline = false;
+  for (const JsonValue& item : metrics->items) {
+    if (item.StringOr("name", "") == "headline.latency_ms") {
+      found_headline = true;
+      EXPECT_DOUBLE_EQ(item.NumberOr("value", 0), 12.5);
+      const JsonValue* labels = item.Find("labels");
+      ASSERT_NE(labels, nullptr);
+      EXPECT_EQ(labels->StringOr("row", ""), "1");
+    }
+  }
+  EXPECT_TRUE(found_headline);
+}
+
+TEST(BenchReportTest, OutputPathHonorsEnvOverride) {
+  ASSERT_EQ(setenv("DSPS_BENCH_DIR", "/tmp/dsps_bench_test", 1), 0);
+  BenchReport report("paths");
+  EXPECT_EQ(report.OutputPath(), "/tmp/dsps_bench_test/BENCH_paths.json");
+  ASSERT_EQ(unsetenv("DSPS_BENCH_DIR"), 0);
+  BenchReport local("paths");
+  EXPECT_EQ(local.OutputPath(), "BENCH_paths.json");
+}
+
+}  // namespace
+}  // namespace dsps::telemetry

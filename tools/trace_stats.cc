@@ -1,0 +1,162 @@
+// Reads a span log (JSON lines, one span per line — the format
+// telemetry::WriteSpansJsonLines emits) and reports where traced tuples
+// spent their time: a per-stage latency table plus the mean end-to-end
+// decomposition across complete traces (those with a `result` span),
+// mirroring the paper's delay breakdown d_k = dissemination + queueing +
+// execution + delivery.
+//
+// Usage: trace_stats <spans.jsonl>   ("-" reads stdin)
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "telemetry/json.h"
+#include "telemetry/sinks.h"
+#include "telemetry/trace.h"
+
+namespace {
+
+using dsps::common::Table;
+using dsps::telemetry::JsonValue;
+using dsps::telemetry::ParseJson;
+using dsps::telemetry::Span;
+using dsps::telemetry::Stage;
+using dsps::telemetry::StageFromName;
+using dsps::telemetry::StageName;
+
+/// Parses one JSONL line into a Span; returns false on malformed input.
+bool ParseSpanLine(const std::string& line, Span* span) {
+  auto parsed = ParseJson(line);
+  if (!parsed.ok() || !parsed.value().is_object()) return false;
+  const JsonValue& v = parsed.value();
+  span->trace = static_cast<int64_t>(v.NumberOr("trace", 0));
+  span->stage = StageFromName(v.StringOr("stage", ""));
+  span->start = v.NumberOr("start", 0.0);
+  span->end = v.NumberOr("end", 0.0);
+  span->from = static_cast<int32_t>(v.NumberOr("from", -1));
+  span->to = static_cast<int32_t>(v.NumberOr("to", -1));
+  span->query = static_cast<int64_t>(v.NumberOr("query", -1));
+  return span->trace != 0;
+}
+
+void PrintPerStage(const std::vector<Span>& spans) {
+  std::map<Stage, dsps::common::Histogram> per_stage;
+  for (const Span& s : spans) per_stage[s.stage].Add(s.duration());
+  Table table({"stage", "spans", "total ms", "mean ms", "p50 ms", "p95 ms",
+               "p99 ms"});
+  for (const auto& [stage, hist] : per_stage) {
+    table.AddRow({StageName(stage),
+                  Table::Int(static_cast<int64_t>(hist.count())),
+                  Table::Num(hist.mean() * hist.count() * 1e3, 3),
+                  Table::Num(hist.mean() * 1e3, 4),
+                  Table::Num(hist.p50() * 1e3, 4),
+                  Table::Num(hist.p95() * 1e3, 4),
+                  Table::Num(hist.p99() * 1e3, 4)});
+  }
+  table.Print("Per-stage latency (all spans)");
+}
+
+/// Mean decomposition of end-to-end latency over complete traces. The
+/// residual row is end-to-end time not covered by any instrumented stage
+/// (ideally ~0: the stages partition the tuple's journey).
+void PrintBreakdown(const std::vector<Span>& spans) {
+  struct TraceAccum {
+    std::map<Stage, double> stage_s;
+    double end_to_end = -1.0;
+  };
+  std::map<int64_t, TraceAccum> traces;
+  for (const Span& s : spans) {
+    TraceAccum& acc = traces[s.trace];
+    if (s.stage == Stage::kResult) {
+      // A trace may produce several results (multiple matching queries);
+      // the breakdown uses the longest journey.
+      acc.end_to_end = std::max(acc.end_to_end, s.duration());
+    } else {
+      acc.stage_s[s.stage] += s.duration();
+    }
+  }
+  std::map<Stage, dsps::common::RunningStat> mean_stage;
+  dsps::common::RunningStat mean_e2e, mean_residual;
+  for (const auto& [trace, acc] : traces) {
+    if (acc.end_to_end < 0) continue;  // incomplete trace: no result span
+    double covered = 0.0;
+    for (const auto& [stage, seconds] : acc.stage_s) {
+      mean_stage[stage].Add(seconds);
+      covered += seconds;
+    }
+    mean_e2e.Add(acc.end_to_end);
+    mean_residual.Add(acc.end_to_end - covered);
+  }
+  if (mean_e2e.count() == 0) {
+    std::cout << "No complete traces (no `result` spans); breakdown skipped."
+              << std::endl;
+    return;
+  }
+  Table table({"stage", "mean ms/trace", "% of end-to-end"});
+  for (const auto& [stage, stat] : mean_stage) {
+    table.AddRow({StageName(stage), Table::Num(stat.sum() / mean_e2e.count() * 1e3, 4),
+                  Table::Num(100.0 * stat.sum() / mean_e2e.sum(), 1)});
+  }
+  table.AddRow({"(unattributed)",
+                Table::Num(mean_residual.sum() / mean_e2e.count() * 1e3, 4),
+                Table::Num(100.0 * mean_residual.sum() / mean_e2e.sum(), 1)});
+  table.AddRow({"end-to-end", Table::Num(mean_e2e.mean() * 1e3, 4),
+                Table::Num(100.0, 1)});
+  std::ostringstream title;
+  title << "End-to-end decomposition over "
+        << static_cast<int64_t>(mean_e2e.count()) << " complete traces";
+  table.Print(title.str());
+}
+
+int RunMain(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: trace_stats <spans.jsonl>  (\"-\" for stdin)"
+              << std::endl;
+    return 2;
+  }
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (std::string(argv[1]) != "-") {
+    file.open(argv[1]);
+    if (!file) {
+      std::cerr << "trace_stats: cannot open " << argv[1] << std::endl;
+      return 1;
+    }
+    in = &file;
+  }
+  std::vector<Span> spans;
+  int64_t malformed = 0;
+  std::string line;
+  while (std::getline(*in, line)) {
+    if (line.empty()) continue;
+    Span span;
+    if (ParseSpanLine(line, &span)) {
+      spans.push_back(span);
+    } else {
+      ++malformed;
+    }
+  }
+  if (spans.empty()) {
+    std::cerr << "trace_stats: no valid spans in input (" << malformed
+              << " malformed lines)" << std::endl;
+    return 1;
+  }
+  if (malformed > 0) {
+    std::cerr << "trace_stats: skipped " << malformed << " malformed lines"
+              << std::endl;
+  }
+  std::cout << "spans: " << spans.size() << std::endl;
+  PrintPerStage(spans);
+  PrintBreakdown(spans);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return RunMain(argc, argv); }
