@@ -19,7 +19,14 @@ void HeartbeatMonitor::Unregister(common::EntityId id) {
 
 void HeartbeatMonitor::Heartbeat(common::EntityId id, double now) {
   auto it = last_seen_.find(id);
-  if (it != last_seen_.end() && now > it->second) it->second = now;
+  if (it == last_seen_.end()) {
+    // False-positive recovery: a swept entity that is still alive keeps
+    // heartbeating, and the first heartbeat to get through re-registers
+    // it. (Before this fix the id was ignored and never tracked again.)
+    last_seen_[id] = now;
+    return;
+  }
+  if (now > it->second) it->second = now;
 }
 
 std::vector<common::EntityId> HeartbeatMonitor::Sweep(double now) {

@@ -34,8 +34,12 @@ class HeartbeatMonitor {
   /// Stops tracking `id` (graceful leave).
   void Unregister(common::EntityId id);
 
-  /// Records a heartbeat from `id`. Unknown ids are ignored (late
-  /// heartbeats from already-evicted entities).
+  /// Records a heartbeat from `id`. A heartbeat from an untracked entity
+  /// re-registers it: an entity evicted by Sweep on a false suspicion
+  /// (e.g. its heartbeats were delayed or partitioned away) resumes being
+  /// monitored the moment it is heard from again, instead of staying
+  /// invisible forever. Callers that evict an entity on purpose must also
+  /// make it stop heartbeating (a gracefully-left entity does).
   void Heartbeat(common::EntityId id, double now);
 
   /// Entities whose last heartbeat is older than `now - timeout`. They

@@ -9,6 +9,18 @@ namespace dsps::dissemination {
 Disseminator::Disseminator(sim::Network* network, const Config& config)
     : network_(network), config_(config) {
   DSPS_CHECK(network != nullptr);
+  if (config_.reliable) {
+    DSPS_CHECK(config_.retry_timeout_s > 0);
+    DSPS_CHECK(config_.retry_backoff >= 1.0);
+    DSPS_CHECK(config_.max_retries >= 0);
+    if (config_.metrics != nullptr) {
+      retries_counter_ = config_.metrics->counter("dissemination.retries");
+      delivery_failed_counter_ =
+          config_.metrics->counter("dissemination.delivery_failed");
+      duplicates_counter_ =
+          config_.metrics->counter("dissemination.duplicates_suppressed");
+    }
+  }
 }
 
 common::Status Disseminator::AddSource(common::StreamId stream,
@@ -19,6 +31,11 @@ common::Status Disseminator::AddSource(common::StreamId stream,
   trees_[stream] = std::make_unique<DisseminationTree>(
       stream, network_->position(source_node), config_.tree);
   source_nodes_[stream] = source_node;
+  // The source must hear hop acks in reliable mode; the handler is inert
+  // otherwise (nothing ever addresses a source in fire-and-forget mode).
+  network_->SetHandler(source_node, [this](const sim::Message& msg) {
+    HandleMessage(msg);
+  });
   return common::Status::OK();
 }
 
@@ -46,6 +63,22 @@ common::Status Disseminator::RemoveEntity(common::EntityId id) {
   for (auto& [stream, tree] : trees_) {
     if (tree->Contains(id)) {
       DSPS_RETURN_IF_ERROR(tree->RemoveEntity(id));
+    }
+  }
+  // Abandon reliable sends addressed to the removed entity: it will never
+  // ack, so retrying is pointless. Counted, not silent.
+  if (config_.reliable) {
+    common::SimNodeId gone = it->second;
+    for (auto p = pending_.begin(); p != pending_.end();) {
+      if (p->second.msg.to == gone) {
+        delivery_failures_ += 1;
+        if (delivery_failed_counter_ != nullptr) {
+          delivery_failed_counter_->Increment();
+        }
+        p = pending_.erase(p);
+      } else {
+        ++p;
+      }
     }
   }
   by_node_.erase(it->second);
@@ -106,11 +139,67 @@ void Disseminator::Forward(common::EntityId from, common::SimNodeId from_node,
     msg.type = kMsgTupleForward;
     msg.size_bytes = env.tuple->SizeBytes();
     msg.trace_id = env.tuple->trace_id;
-    msg.payload = env;
-    common::Status s = network_->Send(std::move(msg));
-    DSPS_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
+    if (config_.reliable) {
+      TupleEnvelope reliable_env = env;
+      reliable_env.seq = next_seq_++;
+      msg.payload = std::move(reliable_env);
+      SendReliable(std::move(msg));
+    } else {
+      msg.payload = env;
+      common::Status s = network_->Send(std::move(msg));
+      DSPS_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
+    }
     ++forwards_;
   }
+}
+
+void Disseminator::SendReliable(sim::Message msg) {
+  int64_t seq = std::any_cast<const TupleEnvelope&>(msg.payload).seq;
+  PendingSend pending;
+  pending.msg = msg;
+  pending.retries_left = config_.max_retries;
+  pending.timeout_s = config_.retry_timeout_s;
+  pending_[seq] = std::move(pending);
+  common::Status s = network_->Send(std::move(msg));
+  DSPS_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
+  ScheduleRetry(seq, config_.retry_timeout_s);
+}
+
+void Disseminator::ScheduleRetry(int64_t seq, double timeout_s) {
+  network_->simulator()->Schedule(timeout_s, [this, seq]() {
+    auto it = pending_.find(seq);
+    if (it == pending_.end()) return;  // acked in the meantime
+    PendingSend& p = it->second;
+    if (p.retries_left <= 0) {
+      // Bounded retries exhausted: the hop failed for good. Counted so
+      // the loss is observable; the tuple is gone for this subtree.
+      delivery_failures_ += 1;
+      if (delivery_failed_counter_ != nullptr) {
+        delivery_failed_counter_->Increment();
+      }
+      pending_.erase(it);
+      return;
+    }
+    p.retries_left -= 1;
+    p.timeout_s *= config_.retry_backoff;
+    retries_ += 1;
+    if (retries_counter_ != nullptr) retries_counter_->Increment();
+    common::Status s = network_->Send(p.msg);
+    DSPS_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
+    ScheduleRetry(seq, p.timeout_s);
+  });
+}
+
+void Disseminator::SendAck(common::SimNodeId from_node,
+                           common::SimNodeId to_node, int64_t seq) {
+  sim::Message ack;
+  ack.from = from_node;
+  ack.to = to_node;
+  ack.type = kMsgTupleAck;
+  ack.size_bytes = config_.ack_bytes;
+  ack.payload = TupleAckEnvelope{seq};
+  common::Status s = network_->Send(std::move(ack));
+  DSPS_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
 }
 
 common::Status Disseminator::Publish(const engine::Tuple& tuple) {
@@ -142,12 +231,29 @@ common::Status Disseminator::Publish(const engine::Tuple& tuple) {
 }
 
 bool Disseminator::HandleMessage(const sim::Message& msg) {
+  if (msg.type == kMsgTupleAck) {
+    const auto* ack = std::any_cast<TupleAckEnvelope>(&msg.payload);
+    DSPS_CHECK(ack != nullptr);
+    pending_.erase(ack->seq);
+    return true;
+  }
   if (msg.type != kMsgTupleForward) return false;
   auto node_it = by_node_.find(msg.to);
   if (node_it == by_node_.end()) return false;
   common::EntityId entity = node_it->second;
   const auto* env = std::any_cast<TupleEnvelope>(&msg.payload);
   DSPS_CHECK(env != nullptr);
+  if (env->seq != 0) {
+    // Reliable hop: always ack (the sender may be retrying because our
+    // previous ack was lost), then suppress re-deliveries so retries and
+    // network duplicates never double-process or double-forward.
+    SendAck(msg.to, msg.from, env->seq);
+    if (!seen_seqs_.insert(env->seq).second) {
+      duplicates_suppressed_ += 1;
+      if (duplicates_counter_ != nullptr) duplicates_counter_->Increment();
+      return true;
+    }
+  }
   const DisseminationTree* tree = trees_.at(env->tuple->stream).get();
   if (tree->LocalMatch(entity, env->point->data())) {
     ++delivered_;

@@ -1,9 +1,11 @@
 #ifndef DSPS_DISSEMINATION_DISSEMINATOR_H_
 #define DSPS_DISSEMINATION_DISSEMINATOR_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "common/ids.h"
@@ -18,12 +20,22 @@ namespace dsps::dissemination {
 
 /// Message type used on the simulated network for tuple forwarding.
 inline constexpr int kMsgTupleForward = 101;
+/// Hop-level acknowledgment of a reliable kMsgTupleForward.
+inline constexpr int kMsgTupleAck = 102;
 
 /// Payload of a kMsgTupleForward message.
 struct TupleEnvelope {
   std::shared_ptr<const engine::Tuple> tuple;
   /// Numeric projection of the tuple, precomputed once at the source.
   std::shared_ptr<const std::vector<double>> point;
+  /// Reliable-mode sequence number (0 = fire-and-forget). Unique per
+  /// Disseminator; the receiver acks it and suppresses re-deliveries.
+  int64_t seq = 0;
+};
+
+/// Payload of a kMsgTupleAck message.
+struct TupleAckEnvelope {
+  int64_t seq = 0;
 };
 
 /// Runs the dissemination trees of all streams over the simulated network:
@@ -37,6 +49,23 @@ class Disseminator {
     /// Apply subtree-interest early filtering (Section 3.1); false =
     /// forward-everything-to-children baseline.
     bool early_filter = true;
+    /// Reliable forwarding for lossy networks (fault-injection runs):
+    /// every tuple-forward hop carries a sequence number, the receiver
+    /// acks it, and unacked sends are retried with bounded exponential
+    /// backoff; re-deliveries are suppressed by sequence number, so each
+    /// hop is exactly-once under loss and duplication. Off by default —
+    /// when false no acks, sequence numbers, or timers exist and the wire
+    /// traffic is bit-identical to the fire-and-forget build.
+    bool reliable = false;
+    /// First retransmission fires this long after an unacked send...
+    double retry_timeout_s = 0.05;
+    /// ...and each further one waits `retry_backoff` times longer.
+    double retry_backoff = 2.0;
+    /// Retransmissions per message before the hop is declared failed
+    /// (counted in dissemination.delivery_failed — never silent).
+    int max_retries = 4;
+    /// Bytes of a kMsgTupleAck on the wire.
+    int64_t ack_bytes = 16;
     /// Optional telemetry (null = disabled, zero overhead). With metrics,
     /// each tree node exports dissemination.forwarded / .filtered /
     /// .delivered counters labeled {stream, node}. With a trace log,
@@ -92,9 +121,22 @@ class Disseminator {
   /// Tuple-forward messages sent (source + entity hops).
   int64_t forward_count() const { return forwards_; }
 
+  /// Reliable-mode statistics (all zero when Config::reliable is false).
+  int64_t retries_count() const { return retries_; }
+  int64_t delivery_failures_count() const { return delivery_failures_; }
+  int64_t duplicates_suppressed_count() const {
+    return duplicates_suppressed_;
+  }
+  /// Sends awaiting an ack right now.
+  size_t pending_reliable_count() const { return pending_.size(); }
+
  private:
   void Forward(common::EntityId from, common::SimNodeId from_node,
                const TupleEnvelope& env);
+  void SendReliable(sim::Message msg);
+  void ScheduleRetry(int64_t seq, double timeout_s);
+  void SendAck(common::SimNodeId from_node, common::SimNodeId to_node,
+               int64_t seq);
 
   /// Cached per-(stream, tree-node) counters; node = kInvalidEntity is
   /// the source. Interned lazily on first traffic through the node.
@@ -116,6 +158,22 @@ class Disseminator {
   DeliveryHandler delivery_;
   int64_t delivered_ = 0;
   int64_t forwards_ = 0;
+
+  /// Reliable-mode state (untouched when Config::reliable is false).
+  struct PendingSend {
+    sim::Message msg;
+    int retries_left = 0;
+    double timeout_s = 0.0;
+  };
+  std::map<int64_t, PendingSend> pending_;
+  std::set<int64_t> seen_seqs_;
+  int64_t next_seq_ = 1;
+  int64_t retries_ = 0;
+  int64_t delivery_failures_ = 0;
+  int64_t duplicates_suppressed_ = 0;
+  telemetry::Counter* retries_counter_ = nullptr;
+  telemetry::Counter* delivery_failed_counter_ = nullptr;
+  telemetry::Counter* duplicates_counter_ = nullptr;
 };
 
 }  // namespace dsps::dissemination

@@ -1,0 +1,131 @@
+#include "sim/fault_injector.h"
+
+#include "common/check.h"
+
+namespace dsps::sim {
+
+FaultInjector::FaultInjector(const Config& config)
+    : config_(config), rng_(config.seed) {
+  DSPS_CHECK(config.loss_probability >= 0.0 && config.loss_probability <= 1.0);
+  DSPS_CHECK(config.duplication_probability >= 0.0 &&
+             config.duplication_probability <= 1.0);
+  DSPS_CHECK(config.latency_jitter_s >= 0.0);
+}
+
+FaultInjector::Verdict FaultInjector::Judge(common::SimNodeId from,
+                                            common::SimNodeId to) {
+  Verdict v;
+  if (down_nodes_.count(from) > 0 || down_nodes_.count(to) > 0) {
+    v.drop = DropReason::kNodeDown;
+    CountDrop(v.drop);
+    return v;
+  }
+  if (from != to) {
+    if (!partitions_.empty() && partitions_.count(Ordered(from, to)) > 0) {
+      v.drop = DropReason::kPartition;
+      CountDrop(v.drop);
+      return v;
+    }
+    double loss = config_.loss_probability;
+    if (!link_loss_.empty()) {
+      auto it = link_loss_.find({from, to});
+      if (it != link_loss_.end()) loss = it->second;
+    }
+    if (loss > 0.0 && rng_.Bernoulli(loss)) {
+      v.drop = DropReason::kLoss;
+      CountDrop(v.drop);
+      return v;
+    }
+    if (config_.latency_jitter_s > 0.0) {
+      v.extra_latency_s = rng_.Uniform(0.0, config_.latency_jitter_s);
+    }
+    if (config_.duplication_probability > 0.0 &&
+        rng_.Bernoulli(config_.duplication_probability)) {
+      v.duplicate = true;
+      v.duplicate_extra_latency_s =
+          config_.latency_jitter_s > 0.0
+              ? rng_.Uniform(0.0, config_.latency_jitter_s)
+              : 0.0;
+      duplicated_ += 1;
+      if (duplicated_counter_ != nullptr) duplicated_counter_->Increment();
+    }
+  }
+  return v;
+}
+
+void FaultInjector::CrashNode(common::SimNodeId node) {
+  down_nodes_.insert(node);
+}
+
+void FaultInjector::RecoverNode(common::SimNodeId node) {
+  down_nodes_.erase(node);
+}
+
+bool FaultInjector::IsNodeUp(common::SimNodeId node) const {
+  return down_nodes_.count(node) == 0;
+}
+
+void FaultInjector::Partition(common::SimNodeId a, common::SimNodeId b) {
+  partitions_.insert(Ordered(a, b));
+}
+
+void FaultInjector::Heal(common::SimNodeId a, common::SimNodeId b) {
+  partitions_.erase(Ordered(a, b));
+}
+
+bool FaultInjector::IsPartitioned(common::SimNodeId a,
+                                  common::SimNodeId b) const {
+  return partitions_.count(Ordered(a, b)) > 0;
+}
+
+void FaultInjector::SetLinkLossProbability(common::SimNodeId from,
+                                           common::SimNodeId to, double p) {
+  if (p < 0.0) {
+    link_loss_.erase({from, to});
+    return;
+  }
+  DSPS_CHECK(p <= 1.0);
+  link_loss_[{from, to}] = p;
+}
+
+void FaultInjector::CountDrop(DropReason reason) {
+  switch (reason) {
+    case DropReason::kNone:
+      break;
+    case DropReason::kNodeDown:
+      dropped_node_down_ += 1;
+      if (drop_node_down_counter_ != nullptr) {
+        drop_node_down_counter_->Increment();
+      }
+      break;
+    case DropReason::kPartition:
+      dropped_partition_ += 1;
+      if (drop_partition_counter_ != nullptr) {
+        drop_partition_counter_->Increment();
+      }
+      break;
+    case DropReason::kLoss:
+      dropped_loss_ += 1;
+      if (drop_loss_counter_ != nullptr) drop_loss_counter_->Increment();
+      break;
+  }
+}
+
+void FaultInjector::SetMetrics(telemetry::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    drop_node_down_counter_ = nullptr;
+    drop_partition_counter_ = nullptr;
+    drop_loss_counter_ = nullptr;
+    duplicated_counter_ = nullptr;
+    return;
+  }
+  drop_node_down_counter_ = metrics->counter(
+      "fault.dropped", telemetry::MakeLabels({{"reason", "node_down"}}));
+  drop_partition_counter_ = metrics->counter(
+      "fault.dropped", telemetry::MakeLabels({{"reason", "partition"}}));
+  drop_loss_counter_ = metrics->counter(
+      "fault.dropped", telemetry::MakeLabels({{"reason", "loss"}}));
+  duplicated_counter_ = metrics->counter("fault.duplicated");
+}
+
+}  // namespace dsps::sim

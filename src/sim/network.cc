@@ -59,6 +59,51 @@ Network::LinkState& Network::GetOrCreateLink(common::SimNodeId from,
       .first->second;
 }
 
+void Network::CountFaultDrop() {
+  dropped_faults_ += 1;
+  // Interned on first drop (not at SetMetrics time) so fault-free runs
+  // export exactly the same series as a build without fault injection.
+  if (metrics_ != nullptr) {
+    if (dropped_fault_counter_ == nullptr) {
+      dropped_fault_counter_ = metrics_->counter(
+          "net.dropped_messages", telemetry::MakeLabels({{"reason", "fault"}}));
+    }
+    dropped_fault_counter_->Increment();
+  }
+}
+
+void Network::ScheduleDelivery(double deliver_at, const Message& msg) {
+  common::SimNodeId to = msg.to;
+  sim_->ScheduleAt(deliver_at, [this, to, m = msg]() {
+    // In-flight messages to a node that crashed before delivery are lost
+    // (the injector's delivery-time crash check).
+    if (faults_ != nullptr && !faults_->IsNodeUp(to)) {
+      faults_->CountDrop(FaultInjector::DropReason::kNodeDown);
+      CountFaultDrop();
+      return;
+    }
+    const Handler& h = nodes_[to].handler;
+    if (!h) {
+      // A message addressed to a node nobody listens on is data loss;
+      // count it so it can never be silent, and abort in debug mode.
+      DSPS_CHECK_MSG(!fail_on_unhandled_,
+                     "message type %d delivered to node %d with no handler",
+                     m.type, to);
+      dropped_no_handler_ += 1;
+      if (metrics_ != nullptr) {
+        if (dropped_no_handler_counter_ == nullptr) {
+          dropped_no_handler_counter_ = metrics_->counter(
+              "net.dropped_messages",
+              telemetry::MakeLabels({{"reason", "no_handler"}}));
+        }
+        dropped_no_handler_counter_->Increment();
+      }
+      return;
+    }
+    h(m);
+  });
+}
+
 common::Status Network::Send(Message msg) {
   if (msg.from < 0 || static_cast<size_t>(msg.from) >= nodes_.size() ||
       msg.to < 0 || static_cast<size_t>(msg.to) >= nodes_.size()) {
@@ -66,6 +111,14 @@ common::Status Network::Send(Message msg) {
   }
   if (msg.size_bytes < 0) {
     return common::Status::InvalidArgument("negative message size");
+  }
+  FaultInjector::Verdict verdict;
+  if (faults_ != nullptr) {
+    verdict = faults_->Judge(msg.from, msg.to);
+    if (verdict.drop != FaultInjector::DropReason::kNone) {
+      CountFaultDrop();
+      return common::Status::OK();
+    }
   }
   double deliver_at;
   if (msg.from == msg.to) {
@@ -78,7 +131,7 @@ common::Status Network::Send(Message msg) {
     double start = std::max(sim_->now(), link.busy_until);
     double tx = static_cast<double>(msg.size_bytes) / link.params.bandwidth_bps;
     link.busy_until = start + tx;
-    deliver_at = start + tx + link.params.latency_s;
+    deliver_at = start + tx + link.params.latency_s + verdict.extra_latency_s;
     link.stats.messages += 1;
     link.stats.bytes += msg.size_bytes;
     nodes_[msg.from].egress_bytes += msg.size_bytes;
@@ -106,11 +159,10 @@ common::Status Network::Send(Message msg) {
     trace_->RecordMessage(msg.trace_id, msg.type, sim_->now(), deliver_at,
                           msg.from, msg.to);
   }
-  common::SimNodeId to = msg.to;
-  sim_->ScheduleAt(deliver_at, [this, to, m = std::move(msg)]() {
-    const Handler& h = nodes_[to].handler;
-    if (h) h(m);
-  });
+  if (verdict.duplicate && msg.from != msg.to) {
+    ScheduleDelivery(deliver_at + verdict.duplicate_extra_latency_s, msg);
+  }
+  ScheduleDelivery(deliver_at, msg);
   return common::Status::OK();
 }
 
@@ -154,12 +206,18 @@ void Network::SetMetrics(telemetry::MetricsRegistry* metrics, bool per_link) {
     bytes_counter_ = nullptr;
     local_messages_counter_ = nullptr;
     queue_wait_hist_ = nullptr;
+    dropped_fault_counter_ = nullptr;
+    dropped_no_handler_counter_ = nullptr;
     return;
   }
   messages_counter_ = metrics->counter("net.messages");
   bytes_counter_ = metrics->counter("net.bytes");
   local_messages_counter_ = metrics->counter("net.local_messages");
   queue_wait_hist_ = metrics->histogram("net.link_queue_wait_s");
+  // net.dropped_messages counters are interned lazily on first drop so
+  // fault-free snapshots stay byte-identical to the pre-fault-layer ones.
+  dropped_fault_counter_ = nullptr;
+  dropped_no_handler_counter_ = nullptr;
 }
 
 void Network::ResetStats() {

@@ -10,6 +10,7 @@
 
 #include "common/ids.h"
 #include "common/status.h"
+#include "sim/fault_injector.h"
 #include "sim/simulator.h"
 #include "telemetry/registry.h"
 #include "telemetry/trace.h"
@@ -87,7 +88,34 @@ class Network {
   /// Sends `msg` (msg.from/msg.to must be valid node ids). Local sends
   /// (from == to) are delivered after a fixed small epsilon with no
   /// bandwidth cost. Returns InvalidArgument for unknown nodes.
+  ///
+  /// With a fault injector attached, the message may be silently dropped
+  /// (crashed endpoint, partitioned pair, or Bernoulli loss — counted in
+  /// dropped_messages() and in the injector), duplicated, or delayed.
+  /// Like a real datagram network, Send still returns OK: senders that
+  /// need delivery use an ack/retry protocol on top.
   common::Status Send(Message msg);
+
+  /// Attaches a fault injector (nullptr detaches — the default). With no
+  /// injector the network takes no RNG draws and is bit-identical to a
+  /// fault-free build. Must outlive the network.
+  void SetFaultInjector(FaultInjector* faults) { faults_ = faults; }
+  FaultInjector* fault_injector() { return faults_; }
+
+  /// Messages that were sent but never reached a handler, by cause:
+  /// injected faults (send- or delivery-time) and deliveries to nodes with
+  /// no handler installed. Mirrored as net.dropped_messages{reason=...}
+  /// counters when metrics are attached.
+  int64_t dropped_messages() const {
+    return dropped_faults_ + dropped_no_handler_;
+  }
+  int64_t dropped_no_handler() const { return dropped_no_handler_; }
+
+  /// When set, delivering a message to a node with no handler is a fatal
+  /// error instead of a counted drop — the debug check that makes silent
+  /// query loss impossible to miss in tests. Defaults to on in debug
+  /// (!NDEBUG) builds, off in release builds.
+  void set_fail_on_unhandled(bool fail) { fail_on_unhandled_ = fail; }
 
   /// The node's registered position.
   const Point& position(common::SimNodeId node) const;
@@ -149,13 +177,23 @@ class Network {
   };
 
   LinkState& GetOrCreateLink(common::SimNodeId from, common::SimNodeId to);
+  void ScheduleDelivery(double deliver_at, const Message& msg);
+  void CountFaultDrop();
 
   Simulator* sim_;
   std::vector<NodeState> nodes_;
   std::map<std::pair<common::SimNodeId, common::SimNodeId>, LinkState> links_;
   LinkModel default_model_;
+  FaultInjector* faults_ = nullptr;
   int64_t total_bytes_ = 0;
   int64_t total_messages_ = 0;
+  int64_t dropped_faults_ = 0;
+  int64_t dropped_no_handler_ = 0;
+#ifdef NDEBUG
+  bool fail_on_unhandled_ = false;
+#else
+  bool fail_on_unhandled_ = true;
+#endif
   /// Telemetry (all optional; null = zero-cost disabled state).
   telemetry::MetricsRegistry* metrics_ = nullptr;
   telemetry::TraceLog* trace_ = nullptr;
@@ -164,6 +202,8 @@ class Network {
   telemetry::Counter* bytes_counter_ = nullptr;
   telemetry::Counter* local_messages_counter_ = nullptr;
   telemetry::HistogramMetric* queue_wait_hist_ = nullptr;
+  telemetry::Counter* dropped_fault_counter_ = nullptr;
+  telemetry::Counter* dropped_no_handler_counter_ = nullptr;
 };
 
 }  // namespace dsps::sim

@@ -37,6 +37,12 @@ struct SystemMetrics {
   /// result timestamp -> arrival at the client's node over the WAN.
   common::Histogram client_latency;
   int64_t client_results = 0;
+  /// Queries currently without a home because re-home or admission
+  /// failed (kept queued and retried — reported, never silently lost).
+  int64_t unplaced_queries = 0;
+  /// Messages the network dropped (injected faults + deliveries to nodes
+  /// with no handler). Zero in fault-free runs.
+  int64_t dropped_messages = 0;
 };
 
 }  // namespace dsps::system

@@ -1,7 +1,9 @@
 #include "system/system.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <utility>
 
 #include "common/check.h"
@@ -16,6 +18,11 @@ System::System(const Config& config) : config_(config), rng_(config.seed) {
   common::Rng topo_rng = rng_.Fork(1);
   topology_ = sim::BuildTopology(network_.get(), config.topology, &topo_rng);
   placement_policy_ = std::make_unique<placement::PrAwarePlacement>();
+  if (config.inject_faults) {
+    faults_ = std::make_unique<sim::FaultInjector>(config.faults);
+    faults_->SetMetrics(config.metrics);
+    network_->SetFaultInjector(faults_.get());
+  }
 
   // Telemetry wiring: the network observes every message; the trace log
   // learns which message types map to which pipeline stage so in-flight
@@ -76,6 +83,9 @@ System::System(const Config& config) : config_(config), rng_(config.seed) {
   }
   entity_interest_.resize(entities_.size());
   alive_.assign(entities_.size(), true);
+  departed_.assign(entities_.size(), false);
+  crash_time_.assign(entities_.size(),
+                     std::numeric_limits<double>::quiet_NaN());
 
   // Clients (the paper's "huge number of clients" at the access portal).
   if (config.num_clients > 0) {
@@ -89,6 +99,21 @@ System::System(const Config& config) : config_(config), rng_(config.seed) {
         const auto* env =
             std::any_cast<ClientResultEnvelope>(&msg.payload);
         if (env == nullptr) return;
+        if (env->seq != 0) {
+          // Reliable result: always ack (the gateway may be retrying
+          // because our previous ack was lost), then deliver each
+          // sequence number at most once — with the gateway's retries
+          // this makes result delivery exactly-once per result.
+          sim::Message ack;
+          ack.from = msg.to;
+          ack.to = msg.from;
+          ack.type = kMsgClientResultAck;
+          ack.size_bytes = 16;
+          ack.payload = ClientResultAckEnvelope{env->seq};
+          common::Status s = network_->Send(std::move(ack));
+          DSPS_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
+          if (!seen_result_seqs_.insert(env->seq).second) return;
+        }
         metrics_.client_results += 1;
         metrics_.client_latency.Add(
             std::max(0.0, simulator_->now() - env->result_timestamp));
@@ -119,8 +144,9 @@ System::System(const Config& config) : config_(config), rng_(config.seed) {
     DSPS_CHECK(join.ok());
   }
 
-  // Network handler dispatch: gateway nodes receive both dissemination and
-  // intra-entity messages; other processor nodes only intra-entity ones.
+  // Network handler dispatch: gateway nodes receive system acks,
+  // dissemination, and intra-entity messages; other processor nodes only
+  // intra-entity ones.
   for (size_t e = 0; e < entities_.size(); ++e) {
     entity::Entity* ent = entities_[e].get();
     for (common::SimNodeId node : topology_.entities[e].processors) {
@@ -129,7 +155,26 @@ System::System(const Config& config) : config_(config), rng_(config.seed) {
         disseminator_->HandleMessage(msg);
       });
     }
+    InstallGatewayDispatcher(static_cast<common::EntityId>(e));
   }
+}
+
+void System::InstallGatewayDispatcher(common::EntityId entity) {
+  entity::Entity* ent = entities_[entity].get();
+  network_->SetHandler(ent->gateway_node(), [this,
+                                             ent](const sim::Message& msg) {
+    if (HandleSystemMessage(msg)) return;
+    if (ent->HandleMessage(msg)) return;
+    disseminator_->HandleMessage(msg);
+  });
+}
+
+bool System::HandleSystemMessage(const sim::Message& msg) {
+  if (msg.type != kMsgClientResultAck) return false;
+  const auto* ack = std::any_cast<ClientResultAckEnvelope>(&msg.payload);
+  DSPS_CHECK(ack != nullptr);
+  pending_results_.erase(ack->seq);
+  return true;
 }
 
 void System::ShipResultToClient(common::EntityId entity,
@@ -140,6 +185,8 @@ void System::ShipResultToClient(common::EntityId entity,
   if (it == client_of_query_.end()) return;
   ClientResultEnvelope env;
   env.result_timestamp = tuple.timestamp;
+  env.query = query;
+  if (config_.reliable_results) env.seq = next_result_seq_++;
   sim::Message msg;
   msg.from = entities_[entity]->gateway_node();
   msg.to = client_nodes_[it->second];
@@ -147,8 +194,35 @@ void System::ShipResultToClient(common::EntityId entity,
   msg.size_bytes = tuple.SizeBytes();
   msg.trace_id = tuple.trace_id;
   msg.payload = env;
+  if (config_.reliable_results) {
+    PendingResult pending;
+    pending.msg = msg;
+    pending.retries_left = config_.result_max_retries;
+    pending.timeout_s = config_.result_retry_timeout_s;
+    pending_results_[env.seq] = std::move(pending);
+    ScheduleResultRetry(env.seq, config_.result_retry_timeout_s);
+  }
   common::Status s = network_->Send(std::move(msg));
   DSPS_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
+}
+
+void System::ScheduleResultRetry(int64_t seq, double timeout_s) {
+  simulator_->Schedule(timeout_s, [this, seq]() {
+    auto it = pending_results_.find(seq);
+    if (it == pending_results_.end()) return;  // acked in the meantime
+    PendingResult& p = it->second;
+    if (p.retries_left <= 0) {
+      result_delivery_failures_ += 1;
+      pending_results_.erase(it);
+      return;
+    }
+    p.retries_left -= 1;
+    p.timeout_s *= config_.result_retry_backoff;
+    result_retries_ += 1;
+    common::Status s = network_->Send(p.msg);
+    DSPS_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
+    ScheduleResultRetry(seq, p.timeout_s);
+  });
 }
 
 entity::Entity::EngineFactory System::MakeEngineFactory(
@@ -196,12 +270,7 @@ void System::AddStreams(
   // AddEntity installed the disseminator's own handlers on the gateways;
   // restore the combined dispatcher.
   for (size_t e = 0; e < entities_.size(); ++e) {
-    entity::Entity* ent = entities_[e].get();
-    common::SimNodeId node = ent->gateway_node();
-    network_->SetHandler(node, [this, ent](const sim::Message& msg) {
-      if (ent->HandleMessage(msg)) return;
-      disseminator_->HandleMessage(msg);
-    });
+    InstallGatewayDispatcher(static_cast<common::EntityId>(e));
   }
 }
 
@@ -289,6 +358,17 @@ common::Status System::InstallOn(common::EntityId entity,
     if (!catalog_.Contains(s)) continue;
     tps = std::max(tps, catalog_.stats(s).tuples_per_s);
   }
+  if (config_.admission_load_factor > 0.0) {
+    double capacity = config_.entity.processor_capacity *
+                      entities_[entity]->num_processors();
+    double admitted = entities_[entity]->TotalCommittedLoad();
+    for (const auto& [qid, home] : query_home_) {
+      if (home == entity) admitted += queries_.at(qid).load;
+    }
+    if (admitted + query.load > config_.admission_load_factor * capacity) {
+      return common::Status::ResourceExhausted("entity at admission limit");
+    }
+  }
   DSPS_RETURN_IF_ERROR(entities_[entity]->InstallQuery(query, tps));
   query_home_[query.id] = entity;
   queries_[query.id] = query;
@@ -373,6 +453,8 @@ void System::RecomputeEntityInterest(common::EntityId entity) {
 common::Status System::RemoveQuery(common::QueryId query) {
   auto home_it = query_home_.find(query);
   if (home_it == query_home_.end()) {
+    // A withdrawn query may be sitting in the unplaced queue.
+    if (unplaced_.erase(query) > 0) return common::Status::OK();
     return common::Status::NotFound("unknown query");
   }
   common::EntityId home = home_it->second;
@@ -393,13 +475,24 @@ common::Result<int> System::FailEntity(common::EntityId entity) {
   if (num_alive() <= 1) {
     return common::Status::FailedPrecondition("last alive entity");
   }
+  // Oracle failure / graceful departure: the entity's process is gone, so
+  // it must not be re-admitted on a late heartbeat.
+  departed_[entity] = true;
+  if (detection_active_) monitor_.Unregister(entity);
+  return EvictEntity(entity);
+}
+
+int System::EvictEntity(common::EntityId entity) {
   alive_[entity] = false;
   // Leave the federation structures (same repair path as graceful leave).
-  (void)coordinator_->Leave(entity);
+  auto leave = coordinator_->Leave(entity);
+  if (leave.ok()) failure_stats_.repair_messages += leave.value();
   if (disseminator_ != nullptr) {
     (void)disseminator_->RemoveEntity(entity);
   }
-  // Re-home its queries on the survivors.
+  // Re-home its queries on the survivors. Re-homes that fail are kept in
+  // the unplaced queue and counted — a failed SubmitQuery used to drop
+  // the query with no error and no metric.
   std::vector<engine::Query> orphans;
   for (const auto& [qid, home] : query_home_) {
     if (home == entity) orphans.push_back(queries_.at(qid));
@@ -412,9 +505,169 @@ common::Result<int> System::FailEntity(common::EntityId entity) {
   entity_interest_[entity].Clear();
   int rehomed = 0;
   for (const engine::Query& q : orphans) {
-    if (SubmitQuery(q).ok()) ++rehomed;
+    if (SubmitQuery(q).ok()) {
+      ++rehomed;
+    } else {
+      unplaced_[q.id] = q;
+    }
   }
+  failure_stats_.queries_rehomed += rehomed;
   return rehomed;
+}
+
+std::vector<common::QueryId> System::UnplacedQueries() const {
+  std::vector<common::QueryId> out;
+  out.reserve(unplaced_.size());
+  for (const auto& [qid, q] : unplaced_) out.push_back(qid);
+  return out;
+}
+
+int System::TryRehomeUnplaced() {
+  int placed = 0;
+  for (auto it = unplaced_.begin(); it != unplaced_.end();) {
+    if (SubmitQuery(it->second).ok()) {
+      ++placed;
+      it = unplaced_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  failure_stats_.queries_rehomed += placed;
+  return placed;
+}
+
+void System::ReadmitEntity(common::EntityId entity) {
+  alive_[entity] = true;
+  departed_[entity] = false;
+  auto join = coordinator_->Join(entity, topology_.entities[entity].center);
+  if (join.ok()) failure_stats_.repair_messages += join.value();
+  if (disseminator_ != nullptr) {
+    (void)disseminator_->AddEntity(entity, entities_[entity]->gateway_node());
+    // AddEntity installed the disseminator's own handler; restore the
+    // combined dispatcher.
+    InstallGatewayDispatcher(entity);
+  }
+  coordinator_->SetEntityInterest(entity, entity_interest_[entity]);
+  if (detection_active_) monitor_.Register(entity, simulator_->now());
+  failure_stats_.readmissions += 1;
+  // A fresh empty entity is exactly where queued unplaced queries belong.
+  if (!unplaced_.empty()) TryRehomeUnplaced();
+}
+
+void System::OnHeartbeat(common::EntityId entity) {
+  if (entity < 0 || entity >= num_entities() || departed_[entity]) return;
+  monitor_.Heartbeat(entity, simulator_->now());
+  // An evicted-but-heartbeating entity was a false suspicion (or has
+  // recovered): its process is up, so re-admit it.
+  if (!alive_[entity]) ReadmitEntity(entity);
+}
+
+void System::HandleSuspect(common::EntityId entity) {
+  if (!alive_[entity]) return;
+  if (num_alive() <= 1) {
+    // Never evict the last survivor on suspicion alone — keep watching.
+    monitor_.Register(entity, simulator_->now());
+    failure_stats_.skipped_last_alive += 1;
+    return;
+  }
+  failure_stats_.detections += 1;
+  if (!std::isnan(crash_time_[entity])) {
+    failure_stats_.detection_latency.Add(simulator_->now() -
+                                         crash_time_[entity]);
+  } else {
+    // The entity's process is up (heartbeats were lost or partitioned
+    // away): a false positive. It self-heals once a heartbeat gets
+    // through again — see OnHeartbeat.
+    failure_stats_.false_positive_evictions += 1;
+  }
+  EvictEntity(entity);
+}
+
+void System::HeartbeatTick(double until) {
+  double next = simulator_->now() + detection_config_.heartbeat_period_s;
+  if (next > until) return;
+  simulator_->ScheduleAt(next, [this, until]() {
+    for (int e = 0; e < num_entities(); ++e) {
+      if (departed_[e]) continue;
+      common::SimNodeId gw = entities_[e]->gateway_node();
+      // A crashed process sends nothing (distinct from sent-but-lost,
+      // which the injector drops and counts on the wire).
+      if (faults_ != nullptr && !faults_->IsNodeUp(gw)) continue;
+      sim::Message msg;
+      msg.from = gw;
+      msg.to = monitor_node_;
+      msg.type = kMsgHeartbeat;
+      msg.size_bytes = detection_config_.heartbeat_bytes;
+      msg.payload = HeartbeatEnvelope{static_cast<common::EntityId>(e)};
+      common::Status s = network_->Send(std::move(msg));
+      DSPS_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
+      failure_stats_.heartbeat_messages += 1;
+    }
+    HeartbeatTick(until);
+  });
+}
+
+void System::SweepTick(double until) {
+  double next = simulator_->now() + detection_config_.sweep_period_s;
+  if (next > until) return;
+  simulator_->ScheduleAt(next, [this, until]() {
+    for (common::EntityId suspect : monitor_.Sweep(simulator_->now())) {
+      HandleSuspect(suspect);
+    }
+    SweepTick(until);
+  });
+}
+
+void System::EnableFailureDetection(const FailureDetectionConfig& config,
+                                    double until) {
+  DSPS_CHECK(config.heartbeat_period_s > 0);
+  DSPS_CHECK(config.sweep_period_s > 0);
+  DSPS_CHECK(config.timeout_s > config.heartbeat_period_s);
+  detection_config_ = config;
+  coordinator::HeartbeatMonitor::Config monitor_config;
+  monitor_config.timeout_s = config.timeout_s;
+  monitor_ = coordinator::HeartbeatMonitor(monitor_config);
+  if (monitor_node_ == common::kInvalidSimNode) {
+    // Lazily created so node-id assignment is untouched when detection is
+    // off (client node ids — and thus whole simulations — stay identical).
+    double center = config_.topology.world_size / 2.0;
+    monitor_node_ = network_->AddNode({center, center});
+    network_->SetHandler(monitor_node_, [this](const sim::Message& msg) {
+      if (msg.type != kMsgHeartbeat) return;
+      const auto* env = std::any_cast<HeartbeatEnvelope>(&msg.payload);
+      DSPS_CHECK(env != nullptr);
+      OnHeartbeat(env->entity);
+    });
+  }
+  double now = simulator_->now();
+  for (int e = 0; e < num_entities(); ++e) {
+    if (alive_[e] && !departed_[e]) monitor_.Register(e, now);
+  }
+  detection_active_ = true;
+  HeartbeatTick(until);
+  SweepTick(until);
+}
+
+void System::ScheduleCrash(common::EntityId entity, double crash_at,
+                           double recover_at) {
+  DSPS_CHECK_MSG(faults_ != nullptr,
+                 "ScheduleCrash requires Config::inject_faults");
+  DSPS_CHECK(entity >= 0 && entity < num_entities());
+  DSPS_CHECK(recover_at > crash_at);
+  simulator_->ScheduleAt(crash_at, [this, entity]() {
+    for (common::SimNodeId node : topology_.entities[entity].processors) {
+      faults_->CrashNode(node);
+    }
+    crash_time_[entity] = simulator_->now();
+  });
+  simulator_->ScheduleAt(recover_at, [this, entity]() {
+    for (common::SimNodeId node : topology_.entities[entity].processors) {
+      faults_->RecoverNode(node);
+    }
+    crash_time_[entity] = std::numeric_limits<double>::quiet_NaN();
+    // Re-admission is heartbeat-driven: the revived gateway resumes
+    // beaconing and OnHeartbeat re-admits the entity if it was evicted.
+  });
 }
 
 bool System::IsAlive(common::EntityId entity) const {
@@ -493,6 +746,7 @@ common::Result<System::RepartitionReport> System::RepartitionQueries(
 
 void System::MaintenanceRound() {
   maintenance_stats_.rounds += 1;
+  if (!unplaced_.empty()) TryRehomeUnplaced();
   maintenance_stats_.coordinator_messages += coordinator_->Maintain();
   if (disseminator_ != nullptr) {
     dissemination::TreeReorganizer reorganizer;
@@ -597,6 +851,8 @@ SystemMetrics System::Collect() const {
   m.mean_processor_utilization /= std::max<size_t>(1, entities_.size());
   double mean_load = total_load / std::max<size_t>(1, entities_.size());
   m.entity_load_imbalance = mean_load > 0 ? max_load / mean_load : 1.0;
+  m.unplaced_queries = static_cast<int64_t>(unplaced_.size());
+  m.dropped_messages = network_->dropped_messages();
   return m;
 }
 

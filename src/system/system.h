@@ -3,12 +3,15 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "common/ids.h"
 #include "common/rng.h"
+#include "common/stats.h"
 #include "common/status.h"
 #include "coordinator/coordinator_tree.h"
+#include "coordinator/heartbeat_monitor.h"
 #include "dissemination/disseminator.h"
 #include "engine/engine.h"
 #include "entity/entity.h"
@@ -16,6 +19,7 @@
 #include "partition/partitioner.h"
 #include "partition/repartitioner.h"
 #include "placement/placement.h"
+#include "sim/fault_injector.h"
 #include "sim/topology.h"
 #include "system/metrics.h"
 #include "telemetry/registry.h"
@@ -26,10 +30,27 @@ namespace dsps::system {
 
 /// Message type for entity->client result delivery.
 inline constexpr int kMsgClientResult = 401;
+/// Client->entity ack of a reliable kMsgClientResult.
+inline constexpr int kMsgClientResultAck = 402;
+/// Entity gateway -> failure monitor liveness beacon.
+inline constexpr int kMsgHeartbeat = 403;
 
 /// Payload of kMsgClientResult.
 struct ClientResultEnvelope {
   double result_timestamp = 0.0;
+  common::QueryId query = common::kInvalidQuery;
+  /// Reliable-mode sequence number (0 = fire-and-forget).
+  int64_t seq = 0;
+};
+
+/// Payload of kMsgClientResultAck.
+struct ClientResultAckEnvelope {
+  int64_t seq = 0;
+};
+
+/// Payload of kMsgHeartbeat.
+struct HeartbeatEnvelope {
+  common::EntityId entity = common::kInvalidEntity;
 };
 
 /// How arriving queries are allocated to entities (Section 3.2).
@@ -66,6 +87,13 @@ class System {
     AllocationMode allocation = AllocationMode::kCoordinatorTree;
     /// Balance tolerance for graph-partition allocation.
     double balance_tolerance = 1.2;
+    /// Admission control: when positive, InstallOn rejects a query whose
+    /// declared load — added to the entity's committed CPU load and the
+    /// declared loads of its resident queries — would exceed this factor
+    /// times its total processor capacity (ResourceExhausted — the query
+    /// is reported, never silently dropped). 0 disables it (the seed
+    /// behavior: entities over-commit freely).
+    double admission_load_factor = 0.0;
     /// Engine family per entity: "basic", "batch", or "mixed" (entities
     /// alternate — the heterogeneity the loose coupling must tolerate).
     const char* engine_family = "mixed";
@@ -91,6 +119,24 @@ class System {
     /// Also export per-directed-link net.link.* counters (high
     /// cardinality; off by default even when `metrics` is set).
     bool per_link_metrics = false;
+    /// Deterministic fault injection. When set the System owns a
+    /// sim::FaultInjector (seeded from `faults.seed`) attached to its
+    /// network; fault_injector() exposes it for scenario scripting
+    /// (partitions, per-link loss) and ScheduleCrash drives entity crash
+    /// windows through it. Off by default: no injector is attached, the
+    /// network takes no fault RNG draws, and the simulation is
+    /// bit-identical to a build without the fault layer.
+    bool inject_faults = false;
+    sim::FaultInjector::Config faults;
+    /// Reliable client-result delivery: results carry sequence numbers,
+    /// clients ack them, unacked results are retried with bounded
+    /// exponential backoff, and clients suppress duplicates — so each
+    /// query result reaches its client exactly once under loss. Off by
+    /// default (no acks, no timers, bit-identical traffic).
+    bool reliable_results = false;
+    double result_retry_timeout_s = 0.05;
+    double result_retry_backoff = 2.0;
+    int result_max_retries = 4;
   };
 
   explicit System(const Config& config);
@@ -140,14 +186,95 @@ class System {
   /// queries (so ancestors stop forwarding data nobody wants).
   common::Status RemoveQuery(common::QueryId query);
 
-  /// Simulates the failure (or departure) of an entity: it leaves the
-  /// coordinator tree and every dissemination tree, and its queries are
-  /// re-allocated to the surviving entities — the loose-coupling payoff:
-  /// nothing else changes. Returns the number of queries re-homed.
+  /// Simulates the oracle failure (or graceful departure) of an entity:
+  /// it leaves the coordinator tree and every dissemination tree, and its
+  /// queries are re-allocated to the surviving entities — the
+  /// loose-coupling payoff: nothing else changes. Returns the number of
+  /// queries re-homed; queries whose re-home failed are kept in the
+  /// unplaced queue (see UnplacedQueries) and counted, never silently
+  /// dropped. For failures *detected* rather than announced, see
+  /// EnableFailureDetection.
   common::Result<int> FailEntity(common::EntityId entity);
 
   bool IsAlive(common::EntityId entity) const;
   int num_alive() const;
+
+  /// The fault injector (null unless Config::inject_faults). Use it to
+  /// script partitions and per-link loss on top of the config-level fault
+  /// model.
+  sim::FaultInjector* fault_injector() { return faults_.get(); }
+
+  /// Schedules a crash window for `entity` (requires inject_faults): at
+  /// `crash_at` every node of the entity goes down — messages to and from
+  /// it, heartbeats included, are dropped and counted; at `recover_at`
+  /// the nodes come back and, if the entity was evicted by failure
+  /// detection meanwhile, it re-joins the federation empty (its queries
+  /// were re-homed). The crash is only *detected* — and its queries only
+  /// re-homed — if failure detection is enabled.
+  void ScheduleCrash(common::EntityId entity, double crash_at,
+                     double recover_at);
+
+  /// Real heartbeat-driven failure detection (Section 3.2.1): every
+  /// heartbeat_period_s each non-departed entity's gateway sends a
+  /// heartbeat *message over the simulated network* to a monitor node;
+  /// every sweep_period_s the System sweeps its HeartbeatMonitor and runs
+  /// the FailEntity repair path on every suspect — detection latency,
+  /// repair messages, and re-home outcomes are recorded in
+  /// failure_stats(). False positives self-heal: an evicted entity whose
+  /// heartbeats get through again is re-admitted.
+  struct FailureDetectionConfig {
+    double heartbeat_period_s = 0.5;
+    /// An entity is suspected after this long without a heartbeat.
+    double timeout_s = 1.5;
+    double sweep_period_s = 0.5;
+    int64_t heartbeat_bytes = 32;
+  };
+  void EnableFailureDetection(const FailureDetectionConfig& config,
+                              double until);
+
+  /// Cumulative failure-detection / recovery accounting.
+  struct FailureStats {
+    /// Sweep-triggered evictions (crashes detected + false positives).
+    int detections = 0;
+    /// Evictions of entities that were actually up (suspected on lost
+    /// heartbeats alone).
+    int false_positive_evictions = 0;
+    /// Entities re-admitted after recovery or a false positive.
+    int readmissions = 0;
+    /// Suspects spared because they were the last alive entity.
+    int skipped_last_alive = 0;
+    /// Orphaned queries successfully re-homed by any eviction path.
+    int queries_rehomed = 0;
+    /// Heartbeat messages sent (the standing cost of detection).
+    int64_t heartbeat_messages = 0;
+    /// Coordinator protocol messages spent on Leave/Join repairs.
+    int64_t repair_messages = 0;
+    /// Crash-to-sweep delay of every detected (real) crash.
+    common::Histogram detection_latency;
+  };
+  const FailureStats& failure_stats() const { return failure_stats_; }
+
+  /// The failure monitor's network node (kInvalidSimNode until
+  /// EnableFailureDetection ran). Exposed so fault scenarios can target
+  /// the heartbeat path itself (partitions, loss).
+  common::SimNodeId monitor_node() const { return monitor_node_; }
+
+  /// Queries currently without a home because re-home or admission
+  /// failed. They stay queued: TryRehomeUnplaced retries them (also
+  /// called automatically on entity re-admission and every maintenance
+  /// round) and Collect reports them — a failed placement is never a
+  /// silent loss.
+  std::vector<common::QueryId> UnplacedQueries() const;
+  int unplaced_count() const { return static_cast<int>(unplaced_.size()); }
+  /// Attempts to re-submit every unplaced query; returns how many landed.
+  int TryRehomeUnplaced();
+
+  /// Reliable client-result delivery statistics (zero unless
+  /// Config::reliable_results).
+  int64_t result_retries() const { return result_retries_; }
+  int64_t result_delivery_failures() const {
+    return result_delivery_failures_;
+  }
 
   /// Moves a live query to another entity. Because entities may run
   /// different engines, operator state cannot cross the boundary (the
@@ -188,6 +315,24 @@ class System {
   common::EntityId AllocateOne(const engine::Query& query);
   void ScheduleEmission(size_t stream_index, double end_time);
   entity::Entity::EngineFactory MakeEngineFactory(int entity_index) const;
+  /// Installs the combined gateway dispatcher (system acks -> entity ->
+  /// dissemination) on the entity's gateway node.
+  void InstallGatewayDispatcher(common::EntityId entity);
+  /// Consumes system-level messages (client-result acks). True if eaten.
+  bool HandleSystemMessage(const sim::Message& msg);
+  /// Shared eviction path of FailEntity and sweep detection: leaves the
+  /// federation structures, purges the entity, re-homes its queries
+  /// (failures go to unplaced_). Returns the number re-homed.
+  int EvictEntity(common::EntityId entity);
+  /// Re-admits a recovered or falsely-suspected entity (empty).
+  void ReadmitEntity(common::EntityId entity);
+  /// A heartbeat from `entity` reached the monitor node.
+  void OnHeartbeat(common::EntityId entity);
+  /// Sweep-detected suspect: record detection, evict, re-home.
+  void HandleSuspect(common::EntityId entity);
+  void HeartbeatTick(double until);
+  void SweepTick(double until);
+  void ScheduleResultRetry(int64_t seq, double timeout_s);
 
   Config config_;
   common::Rng rng_;
@@ -207,6 +352,34 @@ class System {
   /// recompute interests on removal).
   std::map<common::QueryId, engine::Query> queries_;
   std::vector<bool> alive_;
+  /// Oracle-failed / gracefully-departed entities (their process is gone,
+  /// so they stop heartbeating — unlike sweep-evicted ones, which may
+  /// still be alive and earn re-admission).
+  std::vector<bool> departed_;
+  /// Queries whose (re-)placement failed; kept queued for retry.
+  std::map<common::QueryId, engine::Query> unplaced_;
+  /// Fault layer (null unless config_.inject_faults).
+  std::unique_ptr<sim::FaultInjector> faults_;
+  /// Crash instant of each entity's current window (for detection
+  /// latency), NaN when none.
+  std::vector<double> crash_time_;
+  /// Failure detection (active once EnableFailureDetection ran).
+  coordinator::HeartbeatMonitor monitor_;
+  bool detection_active_ = false;
+  FailureDetectionConfig detection_config_;
+  common::SimNodeId monitor_node_ = common::kInvalidSimNode;
+  FailureStats failure_stats_;
+  /// Reliable client-result state (untouched unless reliable_results).
+  struct PendingResult {
+    sim::Message msg;
+    int retries_left = 0;
+    double timeout_s = 0.0;
+  };
+  std::map<int64_t, PendingResult> pending_results_;
+  std::set<int64_t> seen_result_seqs_;
+  int64_t next_result_seq_ = 1;
+  int64_t result_retries_ = 0;
+  int64_t result_delivery_failures_ = 0;
   /// Client modeling (when config_.num_clients > 0).
   std::vector<common::SimNodeId> client_nodes_;
   std::vector<sim::Point> client_positions_;

@@ -202,9 +202,26 @@ TEST(HeartbeatMonitorTest, DetectsSilence) {
   EXPECT_EQ(suspects[0], 2);
   EXPECT_TRUE(mon.IsTracked(1));
   EXPECT_FALSE(mon.IsTracked(2));
-  // Late heartbeat from an evicted entity is ignored.
-  mon.Heartbeat(2, 3.1);
+}
+
+TEST(HeartbeatMonitorTest, HeartbeatAfterSweepReRegisters) {
+  // False-positive recovery: an entity evicted by Sweep (say its
+  // heartbeats were partitioned away) is tracked again as soon as one of
+  // its heartbeats gets through — it must not stay invisible forever.
+  coordinator::HeartbeatMonitor::Config cfg;
+  cfg.timeout_s = 2.0;
+  coordinator::HeartbeatMonitor mon(cfg);
+  mon.Register(2, 0.0);
+  auto suspects = mon.Sweep(3.0);
+  ASSERT_EQ(suspects.size(), 1u);
   EXPECT_FALSE(mon.IsTracked(2));
+  mon.Heartbeat(2, 3.1);
+  EXPECT_TRUE(mon.IsTracked(2));
+  // Re-registered means re-sweepable: silence suspects it again.
+  EXPECT_TRUE(mon.Sweep(4.0).empty());
+  auto again = mon.Sweep(6.0);
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0], 2);
 }
 
 TEST(HeartbeatMonitorTest, UnregisterAndReRegister) {

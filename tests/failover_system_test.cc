@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "system/system.h"
+#include "workload/stream_gen.h"
+
+namespace dsps::system {
+namespace {
+
+/// CI runs this binary under a seed matrix (DSPS_FAULT_SEED=1,2,3): every
+/// assertion below must hold for any fault schedule, not one lucky draw.
+uint64_t FaultSeed() {
+  const char* s = std::getenv("DSPS_FAULT_SEED");
+  return s == nullptr ? 1 : std::strtoull(s, nullptr, 10);
+}
+
+System::Config FaultConfig(int num_entities = 4) {
+  System::Config cfg;
+  cfg.topology.num_entities = num_entities;
+  cfg.topology.processors_per_entity = 2;
+  cfg.topology.num_sources = 2;
+  cfg.allocation = AllocationMode::kRoundRobin;
+  cfg.seed = 7;
+  cfg.inject_faults = true;
+  cfg.faults.seed = FaultSeed();
+  return cfg;
+}
+
+std::vector<std::unique_ptr<workload::StreamGen>> SmallStreams(
+    int n, double rate = 200.0) {
+  workload::StockTickerGen::Config tcfg;
+  tcfg.tuples_per_s = rate;
+  interest::StreamCatalog scratch;
+  common::Rng rng(3);
+  return workload::MakeTickerStreams(n, tcfg, &scratch, &rng);
+}
+
+engine::Query WideQuery(common::QueryId id, common::StreamId stream,
+                        double load = 1.0) {
+  engine::Query q;
+  q.id = id;
+  auto plan = std::make_shared<engine::QueryPlan>();
+  interest::Box box{{-1, 1000}, {-1, 1000}, {-1, 1e9}};
+  auto f = plan->AddOperator(
+      std::make_unique<engine::FilterOp>(std::vector<int>{0, 1, 2}, box));
+  EXPECT_TRUE(plan->BindStream(stream, f, 0).ok());
+  q.plan = plan;
+  q.interest.Add(stream, box);
+  q.load = load;
+  return q;
+}
+
+System::FailureDetectionConfig FastDetection() {
+  System::FailureDetectionConfig d;
+  d.heartbeat_period_s = 0.1;
+  d.timeout_s = 0.35;
+  d.sweep_period_s = 0.1;
+  return d;
+}
+
+TEST(FailoverSystemTest, CrashDetectedByHeartbeatsAndQueriesRehomed) {
+  System sys(FaultConfig());
+  sys.AddStreams(SmallStreams(2));
+  for (int i = 1; i <= 8; ++i) {
+    ASSERT_TRUE(sys.SubmitQuery(WideQuery(i, i % 2)).ok());
+  }
+  sys.EnableFailureDetection(FastDetection(), /*until=*/10.0);
+  sys.GenerateTraffic(4.0);
+  // Entity 1 crashes at t=1 and never recovers within the run.
+  sys.ScheduleCrash(1, /*crash_at=*/1.0, /*recover_at=*/50.0);
+  sys.RunUntil(5.0);
+
+  const System::FailureStats& fs = sys.failure_stats();
+  EXPECT_GE(fs.detections, 1);
+  EXPECT_FALSE(sys.IsAlive(1));
+  // Detection latency: at least the heartbeat timeout, at most timeout
+  // plus a couple of periods and in-flight slack.
+  ASSERT_GE(fs.detection_latency.count(), 1u);
+  EXPECT_GE(fs.detection_latency.max(), 0.2);
+  EXPECT_LE(fs.detection_latency.max(), 1.5);
+  EXPECT_GT(fs.heartbeat_messages, 0);
+  EXPECT_GT(fs.repair_messages, 0);
+  // Every query orphaned by the crash was re-homed onto a live survivor
+  // (no admission limit here) — none lost, none unplaced.
+  EXPECT_EQ(fs.queries_rehomed, 2);
+  EXPECT_EQ(sys.unplaced_count(), 0);
+  for (int i = 1; i <= 8; ++i) {
+    common::EntityId home = sys.EntityOf(i);
+    ASSERT_NE(home, common::kInvalidEntity);
+    EXPECT_TRUE(sys.IsAlive(home));
+  }
+  // The crash dropped real traffic (heartbeats and/or tuples), counted.
+  EXPECT_GT(sys.Collect().dropped_messages, 0);
+  EXPECT_GT(sys.fault_injector()->dropped_node_down(), 0);
+}
+
+TEST(FailoverSystemTest, SurvivorAtCapacityKeepsOrphansQueuedNotLost) {
+  System::Config cfg = FaultConfig(/*num_entities=*/2);
+  cfg.inject_faults = false;  // oracle failure path, no injected faults
+  // Each entity: 2 processors x capacity 1.0, factor 1.1 -> admitted load
+  // limit 2.2: exactly two load-1.0 queries fit, a third does not.
+  cfg.admission_load_factor = 1.1;
+  System sys(cfg);
+  sys.AddStreams(SmallStreams(1));
+  for (int i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(sys.SubmitQuery(WideQuery(i, 0)).ok());
+  }
+  EXPECT_EQ(sys.unplaced_count(), 0);
+
+  // Entity 0 fails; the survivor is already at its admission limit, so
+  // neither orphan can land — both must be queued and reported, not
+  // silently dropped (the old FailEntity erased them and returned 0).
+  auto rehomed = sys.FailEntity(0);
+  ASSERT_TRUE(rehomed.ok());
+  EXPECT_EQ(rehomed.value(), 0);
+  EXPECT_EQ(sys.unplaced_count(), 2);
+  EXPECT_EQ(sys.UnplacedQueries().size(), 2u);
+  EXPECT_EQ(sys.Collect().unplaced_queries, 2);
+
+  // Retrying without new capacity changes nothing...
+  EXPECT_EQ(sys.TryRehomeUnplaced(), 0);
+  EXPECT_EQ(sys.unplaced_count(), 2);
+  // ...but once capacity frees up, a queued query lands.
+  common::QueryId resident = common::kInvalidQuery;
+  for (int i = 1; i <= 4; ++i) {
+    if (sys.EntityOf(i) != common::kInvalidEntity) resident = i;
+  }
+  ASSERT_NE(resident, common::kInvalidQuery);
+  ASSERT_TRUE(sys.RemoveQuery(resident).ok());
+  EXPECT_EQ(sys.TryRehomeUnplaced(), 1);
+  EXPECT_EQ(sys.unplaced_count(), 1);
+  // A queued query can still be withdrawn explicitly.
+  ASSERT_TRUE(sys.RemoveQuery(sys.UnplacedQueries()[0]).ok());
+  EXPECT_EQ(sys.unplaced_count(), 0);
+}
+
+TEST(FailoverSystemTest, RepeatedCrashRecoverCyclesReadmitEntity) {
+  System sys(FaultConfig(/*num_entities=*/3));
+  sys.AddStreams(SmallStreams(2));
+  for (int i = 1; i <= 6; ++i) {
+    ASSERT_TRUE(sys.SubmitQuery(WideQuery(i, i % 2)).ok());
+  }
+  sys.EnableFailureDetection(FastDetection(), /*until=*/10.0);
+  sys.ScheduleCrash(1, 1.0, 2.0);
+  sys.ScheduleCrash(1, 3.0, 4.0);
+  sys.RunUntil(6.0);
+
+  const System::FailureStats& fs = sys.failure_stats();
+  // Both crash windows detected; both recoveries re-admitted the entity
+  // via its resumed heartbeats.
+  EXPECT_GE(fs.detections, 2);
+  EXPECT_GE(fs.readmissions, 2);
+  EXPECT_EQ(fs.detection_latency.count(), static_cast<size_t>(fs.detections) -
+                                              fs.false_positive_evictions);
+  EXPECT_TRUE(sys.IsAlive(1));
+  EXPECT_EQ(sys.num_alive(), 3);
+  // No query was lost across the cycles.
+  EXPECT_EQ(sys.unplaced_count(), 0);
+  for (int i = 1; i <= 6; ++i) {
+    ASSERT_NE(sys.EntityOf(i), common::kInvalidEntity);
+    EXPECT_TRUE(sys.IsAlive(sys.EntityOf(i)));
+  }
+}
+
+TEST(FailoverSystemTest, FalsePositiveEvictionSelfHealsViaHeartbeat) {
+  System sys(FaultConfig(/*num_entities=*/3));
+  sys.AddStreams(SmallStreams(2));
+  for (int i = 1; i <= 6; ++i) {
+    ASSERT_TRUE(sys.SubmitQuery(WideQuery(i, i % 2)).ok());
+  }
+  sys.EnableFailureDetection(FastDetection(), /*until=*/10.0);
+  ASSERT_NE(sys.monitor_node(), common::kInvalidSimNode);
+  common::SimNodeId gw = sys.entity_at(1)->gateway_node();
+
+  // Partition only the heartbeat path of entity 1: the entity itself is
+  // healthy, but the monitor goes deaf to it.
+  sys.fault_injector()->Partition(gw, sys.monitor_node());
+  sys.RunUntil(2.0);
+  const System::FailureStats& fs = sys.failure_stats();
+  EXPECT_GE(fs.false_positive_evictions, 1);
+  EXPECT_FALSE(sys.IsAlive(1));
+  // Its queries moved to the survivors anyway (safety first).
+  for (int i = 1; i <= 6; ++i) {
+    if (sys.EntityOf(i) != common::kInvalidEntity) {
+      EXPECT_TRUE(sys.IsAlive(sys.EntityOf(i)));
+    }
+  }
+
+  // Heal the partition: the next heartbeat that gets through re-admits
+  // the entity — a false suspicion is never a permanent eviction.
+  sys.fault_injector()->Heal(gw, sys.monitor_node());
+  sys.RunUntil(4.0);
+  EXPECT_GE(fs.readmissions, 1);
+  EXPECT_TRUE(sys.IsAlive(1));
+  EXPECT_EQ(sys.num_alive(), 3);
+  EXPECT_EQ(sys.unplaced_count(), 0);
+}
+
+TEST(FailoverSystemTest, NeverEvictsLastAliveEntity) {
+  System sys(FaultConfig(/*num_entities=*/2));
+  sys.AddStreams(SmallStreams(1));
+  ASSERT_TRUE(sys.SubmitQuery(WideQuery(1, 0)).ok());
+  ASSERT_TRUE(sys.SubmitQuery(WideQuery(2, 0)).ok());
+  sys.EnableFailureDetection(FastDetection(), /*until=*/10.0);
+  // Both entities go silent: one eviction is allowed, the survivor must
+  // be spared no matter how late its heartbeats are.
+  sys.ScheduleCrash(0, 1.0, 50.0);
+  sys.ScheduleCrash(1, 1.0, 50.0);
+  sys.RunUntil(5.0);
+  EXPECT_EQ(sys.num_alive(), 1);
+  EXPECT_GE(sys.failure_stats().skipped_last_alive, 1);
+}
+
+TEST(FailoverSystemTest, ReliableDisseminationSurvivesLossAndDuplication) {
+  System::Config cfg = FaultConfig(/*num_entities=*/2);
+  cfg.faults.loss_probability = 0.2;
+  cfg.faults.duplication_probability = 0.1;
+  cfg.dissemination.reliable = true;
+  cfg.dissemination.retry_timeout_s = 0.02;
+  System sys(cfg);
+  sys.AddStreams(SmallStreams(2));
+  ASSERT_TRUE(sys.SubmitQuery(WideQuery(1, 0)).ok());
+  ASSERT_TRUE(sys.SubmitQuery(WideQuery(2, 1)).ok());
+  sys.GenerateTraffic(1.0);
+  sys.RunUntil(5.0);  // generous tail so every retry chain resolves
+
+  SystemMetrics m = sys.Collect();
+  EXPECT_GT(m.results, 0);
+  EXPECT_GT(m.dropped_messages, 0);
+  auto* diss = sys.disseminator();
+  // Loss at 20% forced retransmissions, and retries/duplicates were
+  // deduplicated instead of double-delivered.
+  EXPECT_GT(diss->retries_count(), 0);
+  EXPECT_GT(diss->duplicates_suppressed_count(), 0);
+  // Every reliable send was resolved: acked or counted as failed.
+  EXPECT_EQ(diss->pending_reliable_count(), 0u);
+}
+
+TEST(FailoverSystemTest, ReliableClientResultsAreExactlyOnceUnderLoss) {
+  System::Config cfg = FaultConfig(/*num_entities=*/2);
+  cfg.faults.loss_probability = 0.2;
+  cfg.num_clients = 2;
+  cfg.reliable_results = true;
+  cfg.result_retry_timeout_s = 0.02;
+  System sys(cfg);
+  sys.AddStreams(SmallStreams(2));
+  ASSERT_TRUE(sys.SubmitQuery(WideQuery(1, 0)).ok());
+  ASSERT_TRUE(sys.SubmitQuery(WideQuery(2, 1)).ok());
+  sys.GenerateTraffic(1.0);
+  sys.RunUntil(5.0);
+
+  SystemMetrics m = sys.Collect();
+  ASSERT_GT(m.results, 0);
+  // Dedup caps deliveries at one per result; retries guarantee each
+  // result is either delivered or counted as failed — never silent.
+  EXPECT_LE(m.client_results, m.results);
+  EXPECT_GE(m.client_results + sys.result_delivery_failures(), m.results);
+  EXPECT_GT(sys.result_retries(), 0);
+  // At 20% loss with 4 retries, nearly everything gets through.
+  EXPECT_GT(m.client_results, m.results * 9 / 10);
+}
+
+TEST(FailoverSystemTest, FaultFreeRunsIdenticalWithAndWithoutFaultLayer) {
+  auto run = [](bool inject) {
+    System::Config cfg = FaultConfig(/*num_entities=*/2);
+    cfg.inject_faults = inject;  // injector attached but all-zero rates
+    System sys(cfg);
+    sys.AddStreams(SmallStreams(2));
+    EXPECT_TRUE(sys.SubmitQuery(WideQuery(1, 0)).ok());
+    EXPECT_TRUE(sys.SubmitQuery(WideQuery(2, 1)).ok());
+    sys.GenerateTraffic(1.0);
+    sys.RunUntil(2.0);
+    SystemMetrics m = sys.Collect();
+    return std::make_tuple(m.results, m.wan_bytes, m.lan_bytes,
+                           m.latency.p50(), m.delivered_tuples);
+  };
+  // An attached injector with zero fault rates changes nothing observable.
+  EXPECT_EQ(run(false), run(true));
+}
+
+}  // namespace
+}  // namespace dsps::system

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/fault_injector.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace dsps::sim {
+namespace {
+
+TEST(FaultInjectorTest, NoFaultsConfiguredDeliversEverything) {
+  FaultInjector faults(FaultInjector::Config{});
+  for (int i = 0; i < 100; ++i) {
+    FaultInjector::Verdict v = faults.Judge(0, 1);
+    EXPECT_EQ(v.drop, FaultInjector::DropReason::kNone);
+    EXPECT_FALSE(v.duplicate);
+    EXPECT_EQ(v.extra_latency_s, 0.0);
+  }
+  EXPECT_EQ(faults.total_dropped(), 0);
+}
+
+TEST(FaultInjectorTest, SameSeedSameVerdicts) {
+  FaultInjector::Config cfg;
+  cfg.seed = 42;
+  cfg.loss_probability = 0.3;
+  cfg.duplication_probability = 0.2;
+  cfg.latency_jitter_s = 0.01;
+  FaultInjector a(cfg), b(cfg);
+  for (int i = 0; i < 500; ++i) {
+    FaultInjector::Verdict va = a.Judge(i % 5, (i + 1) % 5);
+    FaultInjector::Verdict vb = b.Judge(i % 5, (i + 1) % 5);
+    EXPECT_EQ(va.drop, vb.drop);
+    EXPECT_EQ(va.duplicate, vb.duplicate);
+    EXPECT_EQ(va.extra_latency_s, vb.extra_latency_s);
+    EXPECT_EQ(va.duplicate_extra_latency_s, vb.duplicate_extra_latency_s);
+  }
+  EXPECT_EQ(a.total_dropped(), b.total_dropped());
+  EXPECT_EQ(a.duplicated(), b.duplicated());
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiverge) {
+  FaultInjector::Config cfg;
+  cfg.loss_probability = 0.5;
+  cfg.seed = 1;
+  FaultInjector a(cfg);
+  cfg.seed = 2;
+  FaultInjector b(cfg);
+  int disagreements = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (a.Judge(0, 1).drop != b.Judge(0, 1).drop) ++disagreements;
+  }
+  EXPECT_GT(disagreements, 0);
+}
+
+TEST(FaultInjectorTest, CertainLossDropsEverything) {
+  FaultInjector::Config cfg;
+  cfg.loss_probability = 1.0;
+  FaultInjector faults(cfg);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(faults.Judge(0, 1).drop, FaultInjector::DropReason::kLoss);
+  }
+  EXPECT_EQ(faults.dropped_loss(), 50);
+}
+
+TEST(FaultInjectorTest, PerLinkLossOverridesGlobal) {
+  FaultInjector faults(FaultInjector::Config{});  // global loss = 0
+  faults.SetLinkLossProbability(0, 1, 1.0);
+  EXPECT_EQ(faults.Judge(0, 1).drop, FaultInjector::DropReason::kLoss);
+  // Directed: the reverse link uses the global probability.
+  EXPECT_EQ(faults.Judge(1, 0).drop, FaultInjector::DropReason::kNone);
+  // Negative restores the global default.
+  faults.SetLinkLossProbability(0, 1, -1.0);
+  EXPECT_EQ(faults.Judge(0, 1).drop, FaultInjector::DropReason::kNone);
+}
+
+TEST(FaultInjectorTest, CrashedNodeDropsBothDirections) {
+  FaultInjector faults(FaultInjector::Config{});
+  faults.CrashNode(3);
+  EXPECT_FALSE(faults.IsNodeUp(3));
+  EXPECT_EQ(faults.Judge(3, 1).drop, FaultInjector::DropReason::kNodeDown);
+  EXPECT_EQ(faults.Judge(1, 3).drop, FaultInjector::DropReason::kNodeDown);
+  EXPECT_EQ(faults.Judge(1, 2).drop, FaultInjector::DropReason::kNone);
+  faults.RecoverNode(3);
+  EXPECT_TRUE(faults.IsNodeUp(3));
+  EXPECT_EQ(faults.Judge(3, 1).drop, FaultInjector::DropReason::kNone);
+  EXPECT_EQ(faults.dropped_node_down(), 2);
+}
+
+TEST(FaultInjectorTest, PartitionBlocksPairUntilHealed) {
+  FaultInjector faults(FaultInjector::Config{});
+  faults.Partition(1, 2);
+  EXPECT_TRUE(faults.IsPartitioned(1, 2));
+  EXPECT_TRUE(faults.IsPartitioned(2, 1));
+  EXPECT_EQ(faults.Judge(1, 2).drop, FaultInjector::DropReason::kPartition);
+  EXPECT_EQ(faults.Judge(2, 1).drop, FaultInjector::DropReason::kPartition);
+  EXPECT_EQ(faults.Judge(1, 3).drop, FaultInjector::DropReason::kNone);
+  faults.Heal(1, 2);
+  EXPECT_FALSE(faults.IsPartitioned(1, 2));
+  EXPECT_EQ(faults.Judge(1, 2).drop, FaultInjector::DropReason::kNone);
+  EXPECT_EQ(faults.dropped_partition(), 2);
+}
+
+TEST(FaultInjectorTest, JitterStaysWithinBound) {
+  FaultInjector::Config cfg;
+  cfg.latency_jitter_s = 0.02;
+  FaultInjector faults(cfg);
+  bool any_positive = false;
+  for (int i = 0; i < 200; ++i) {
+    FaultInjector::Verdict v = faults.Judge(0, 1);
+    EXPECT_GE(v.extra_latency_s, 0.0);
+    EXPECT_LT(v.extra_latency_s, 0.02);
+    if (v.extra_latency_s > 0.0) any_positive = true;
+  }
+  EXPECT_TRUE(any_positive);
+}
+
+TEST(FaultInjectorTest, CertainDuplicationDuplicatesEverything) {
+  FaultInjector::Config cfg;
+  cfg.duplication_probability = 1.0;
+  FaultInjector faults(cfg);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(faults.Judge(0, 1).duplicate);
+  }
+  EXPECT_EQ(faults.duplicated(), 20);
+}
+
+// ---- Network integration ----
+
+struct NetFixture {
+  Simulator sim;
+  Network net{&sim};
+  common::SimNodeId a, b;
+  int delivered = 0;
+
+  NetFixture() {
+    a = net.AddNode({0, 0});
+    b = net.AddNode({10, 10});
+    net.SetHandler(b, [this](const Message&) { ++delivered; });
+  }
+
+  Message Msg() {
+    Message m;
+    m.from = a;
+    m.to = b;
+    m.type = 1;
+    m.size_bytes = 100;
+    return m;
+  }
+};
+
+TEST(NetworkFaultTest, SendReturnsOkButDropsAndCounts) {
+  NetFixture f;
+  FaultInjector::Config cfg;
+  cfg.loss_probability = 1.0;
+  FaultInjector faults(cfg);
+  f.net.SetFaultInjector(&faults);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(f.net.Send(f.Msg()).ok());  // datagram semantics
+  }
+  f.sim.RunUntil(1.0);
+  EXPECT_EQ(f.delivered, 0);
+  EXPECT_EQ(f.net.dropped_messages(), 10);
+  EXPECT_EQ(faults.dropped_loss(), 10);
+}
+
+TEST(NetworkFaultTest, DuplicationDeliversTwice) {
+  NetFixture f;
+  FaultInjector::Config cfg;
+  cfg.duplication_probability = 1.0;
+  FaultInjector faults(cfg);
+  f.net.SetFaultInjector(&faults);
+  EXPECT_TRUE(f.net.Send(f.Msg()).ok());
+  f.sim.RunUntil(1.0);
+  EXPECT_EQ(f.delivered, 2);
+}
+
+TEST(NetworkFaultTest, CrashDuringFlightDropsAtDelivery) {
+  NetFixture f;
+  FaultInjector faults(FaultInjector::Config{});
+  f.net.SetFaultInjector(&faults);
+  EXPECT_TRUE(f.net.Send(f.Msg()).ok());
+  faults.CrashNode(f.b);  // crashes after send, before delivery
+  f.sim.RunUntil(1.0);
+  EXPECT_EQ(f.delivered, 0);
+  EXPECT_EQ(f.net.dropped_messages(), 1);
+  EXPECT_EQ(faults.dropped_node_down(), 1);
+}
+
+TEST(NetworkFaultTest, NoInjectorDeliversIdentically) {
+  NetFixture f;
+  EXPECT_TRUE(f.net.Send(f.Msg()).ok());
+  f.sim.RunUntil(1.0);
+  EXPECT_EQ(f.delivered, 1);
+  EXPECT_EQ(f.net.dropped_messages(), 0);
+}
+
+TEST(NetworkFaultTest, UnhandledDeliveryCountedWhenCheckDisabled) {
+  Simulator sim;
+  Network net(&sim);
+  common::SimNodeId a = net.AddNode({0, 0});
+  common::SimNodeId b = net.AddNode({1, 1});  // no handler installed
+  net.set_fail_on_unhandled(false);
+  Message m;
+  m.from = a;
+  m.to = b;
+  m.type = 7;
+  m.size_bytes = 10;
+  EXPECT_TRUE(net.Send(std::move(m)).ok());
+  sim.RunUntil(1.0);
+  EXPECT_EQ(net.dropped_no_handler(), 1);
+  EXPECT_EQ(net.dropped_messages(), 1);
+}
+
+TEST(NetworkFaultTest, SeededRunsAreBitIdentical) {
+  auto run = [](uint64_t seed) {
+    NetFixture f;
+    FaultInjector::Config cfg;
+    cfg.seed = seed;
+    cfg.loss_probability = 0.4;
+    cfg.latency_jitter_s = 0.005;
+    FaultInjector faults(cfg);
+    f.net.SetFaultInjector(&faults);
+    for (int i = 0; i < 100; ++i) EXPECT_TRUE(f.net.Send(f.Msg()).ok());
+    f.sim.RunUntil(5.0);
+    return std::make_pair(f.delivered, f.net.dropped_messages());
+  };
+  EXPECT_EQ(run(9), run(9));
+  EXPECT_NE(run(9).second, run(10).second);
+}
+
+}  // namespace
+}  // namespace dsps::sim
