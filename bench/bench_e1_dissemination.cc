@@ -43,6 +43,8 @@ DissemResult Run(int entities, double coverage, TreePolicy policy,
   cfg.tree.policy = policy;
   cfg.tree.max_fanout = 4;
   cfg.early_filter = early_filter;
+  // Surfaces dissem.route_lookup_us (and per-node counters) in the JSON.
+  cfg.metrics = metrics;
   Disseminator dissem(&net, cfg);
   if (!dissem.AddSource(0, src).ok()) std::abort();
   dsps::common::Histogram latency;

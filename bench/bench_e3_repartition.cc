@@ -5,13 +5,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "partition/graph_index.h"
 #include "partition/repartitioner.h"
 #include "telemetry/bench_report.h"
+#include "workload/query_gen.h"
+#include "workload/stream_gen.h"
 
 namespace {
 
@@ -121,6 +125,63 @@ void PrintE3() {
     report.SetHeadline("migrations_per_round", s.migrations.mean(), row);
     report.MergeSnapshot(metrics.Snapshot());
     rp->SetMetrics(nullptr);
+  }
+  // Graph-construction cost: the indexed full build (timed as
+  // partition.graph_build_us) vs incremental delta maintenance of the
+  // same graph under churn (partition.incremental_delta_us per delta).
+  {
+    auto us_since = [](std::chrono::steady_clock::time_point start) {
+      return std::chrono::duration<double, std::micro>(
+                 std::chrono::steady_clock::now() - start)
+          .count();
+    };
+    dsps::telemetry::MetricsRegistry metrics;
+    auto* build_us = metrics.histogram("partition.graph_build_us");
+    auto* delta_us = metrics.histogram("partition.incremental_delta_us");
+    dsps::interest::StreamCatalog catalog;
+    dsps::common::Rng srng(5);
+    auto streams = dsps::workload::MakeTickerStreams(
+        4, dsps::workload::StockTickerGen::Config{}, &catalog, &srng);
+    dsps::workload::QueryGen qgen(dsps::workload::QueryGen::Config{}, &catalog,
+                                  dsps::common::Rng(6));
+    std::vector<dsps::engine::Query> queries = qgen.Batch(512);
+    const int reps = 5;
+    for (int rep = 0; rep < reps; ++rep) {
+      auto start = std::chrono::steady_clock::now();
+      QueryGraph g = QueryGraph::Build(queries, catalog);
+      build_us->Observe(us_since(start));
+      benchmark::DoNotOptimize(g.total_edge_weight());
+    }
+    // Churn: remove + re-add one query per delta against the live index,
+    // the pattern a repartition round sees between rebuild-free rounds.
+    dsps::partition::QueryGraphIndex index(&catalog);
+    for (const dsps::engine::Query& q : queries) index.AddQuery(q);
+    const int deltas = 256;
+    for (int i = 0; i < deltas; ++i) {
+      const dsps::engine::Query& q = queries[i % queries.size()];
+      auto start = std::chrono::steady_clock::now();
+      index.RemoveQuery(q.id);
+      index.AddQuery(q);
+      delta_us->Observe(us_since(start));
+    }
+    QueryGraph materialized = index.Graph();
+    benchmark::DoNotOptimize(materialized.total_edge_weight());
+    report.SetHeadline("graph_build_queries", queries.size());
+    report.SetHeadline("graph_build_edges", materialized.total_edge_weight());
+    report.MergeSnapshot(metrics.Snapshot());
+    Table graph_table({"operation", "count", "mean us"});
+    const dsps::telemetry::MetricsSnapshot snap = metrics.Snapshot();
+    if (const auto* s = snap.Find("partition.graph_build_us")) {
+      graph_table.AddRow({"full indexed build", Table::Int(s->count),
+                          Table::Num(s->mean, 1)});
+    }
+    if (const auto* s = snap.Find("partition.incremental_delta_us")) {
+      graph_table.AddRow({"incremental delta (remove+add)",
+                          Table::Int(s->count), Table::Num(s->mean, 1)});
+    }
+    graph_table.Print(
+        "Query-graph construction, 512 queries / 4 streams: indexed full "
+        "build vs per-query incremental deltas");
   }
   report.WriteFileOrDie();
   table.Print(

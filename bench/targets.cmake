@@ -17,7 +17,7 @@ dsps_bench(bench_fig2_query_graph dsps_partition dsps_workload)
 dsps_bench(bench_fig3_delegation dsps_entity dsps_workload)
 dsps_bench(bench_e1_dissemination dsps_dissemination dsps_workload)
 dsps_bench(bench_e2_coordinator dsps_coordinator)
-dsps_bench(bench_e3_repartition dsps_partition)
+dsps_bench(bench_e3_repartition dsps_partition dsps_workload)
 dsps_bench(bench_e4_placement dsps_entity dsps_workload)
 dsps_bench(bench_e5_ordering dsps_ordering)
 dsps_bench(bench_e6_coupling_ablation dsps_baselines)

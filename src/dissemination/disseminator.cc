@@ -1,5 +1,6 @@
 #include "dissemination/disseminator.h"
 
+#include <chrono>
 #include <utility>
 
 #include "common/check.h"
@@ -9,6 +10,9 @@ namespace dsps::dissemination {
 Disseminator::Disseminator(sim::Network* network, const Config& config)
     : network_(network), config_(config) {
   DSPS_CHECK(network != nullptr);
+  if (config_.metrics != nullptr) {
+    route_lookup_us_ = config_.metrics->histogram("dissem.route_lookup_us");
+  }
   if (config_.reliable) {
     DSPS_CHECK(config_.retry_timeout_s > 0);
     DSPS_CHECK(config_.retry_backoff >= 1.0);
@@ -120,25 +124,39 @@ Disseminator::NodeCounters& Disseminator::CountersFor(common::StreamId stream,
       .first->second;
 }
 
-void Disseminator::Forward(common::EntityId from, common::SimNodeId from_node,
+void Disseminator::Forward(const DisseminationTree& tree,
+                           common::EntityId from, common::SimNodeId from_node,
                            const TupleEnvelope& env) {
-  const DisseminationTree* tree = trees_.at(env.tuple->stream).get();
-  std::vector<common::EntityId> targets;
-  tree->ForwardTargets(from, env.point->data(), config_.early_filter,
-                       &targets);
+  std::vector<common::EntityId>& targets = targets_scratch_;
+  if (route_lookup_us_ != nullptr) {
+    auto start = std::chrono::steady_clock::now();
+    tree.ForwardTargets(from, env.point->data(), config_.early_filter,
+                        &targets);
+    route_lookup_us_->Observe(std::chrono::duration<double, std::micro>(
+                                  std::chrono::steady_clock::now() - start)
+                                  .count());
+  } else {
+    tree.ForwardTargets(from, env.point->data(), config_.early_filter,
+                        &targets);
+  }
   if (config_.metrics != nullptr) {
     NodeCounters& counters = CountersFor(env.tuple->stream, from);
     counters.forwarded->Increment(static_cast<int64_t>(targets.size()));
-    counters.filtered->Increment(tree->ChildCount(from) -
+    counters.filtered->Increment(tree.ChildCount(from) -
                                  static_cast<int64_t>(targets.size()));
   }
+  if (targets.empty()) return;
+  // One hop is a batch: every outgoing message shares the same source,
+  // size, and trace id, so hoist them and only the destination varies.
+  const int64_t size_bytes = env.tuple->SizeBytes();
+  const int64_t trace_id = env.tuple->trace_id;
   for (common::EntityId target : targets) {
     sim::Message msg;
     msg.from = from_node;
     msg.to = gateways_.at(target);
     msg.type = kMsgTupleForward;
-    msg.size_bytes = env.tuple->SizeBytes();
-    msg.trace_id = env.tuple->trace_id;
+    msg.size_bytes = size_bytes;
+    msg.trace_id = trace_id;
     if (config_.reliable) {
       TupleEnvelope reliable_env = env;
       reliable_env.seq = next_seq_++;
@@ -226,7 +244,8 @@ common::Status Disseminator::Publish(const engine::Tuple& tuple) {
     point->push_back(engine::AsDouble(v));
   }
   env.point = std::move(point);
-  Forward(common::kInvalidEntity, source_nodes_.at(tuple.stream), env);
+  Forward(*it->second, common::kInvalidEntity, source_nodes_.at(tuple.stream),
+          env);
   return common::Status::OK();
 }
 
@@ -263,7 +282,7 @@ bool Disseminator::HandleMessage(const sim::Message& msg) {
     if (delivery_) delivery_(entity, *env->tuple);
   }
   // Forward down the tree.
-  Forward(entity, msg.to, *env);
+  Forward(*tree, entity, msg.to, *env);
   return true;
 }
 

@@ -131,8 +131,8 @@ class Disseminator {
   size_t pending_reliable_count() const { return pending_.size(); }
 
  private:
-  void Forward(common::EntityId from, common::SimNodeId from_node,
-               const TupleEnvelope& env);
+  void Forward(const DisseminationTree& tree, common::EntityId from,
+               common::SimNodeId from_node, const TupleEnvelope& env);
   void SendReliable(sim::Message msg);
   void ScheduleRetry(int64_t seq, double timeout_s);
   void SendAck(common::SimNodeId from_node, common::SimNodeId to_node,
@@ -158,6 +158,13 @@ class Disseminator {
   DeliveryHandler delivery_;
   int64_t delivered_ = 0;
   int64_t forwards_ = 0;
+  /// Wall-clock cost of each ForwardTargets routing lookup (interned once
+  /// when metrics are configured; null = no timing overhead).
+  telemetry::HistogramMetric* route_lookup_us_ = nullptr;
+  /// Per-hop scratch for Forward's target list. Safe to reuse: message
+  /// delivery is always scheduled, never synchronous, so Forward cannot
+  /// re-enter while the list is being walked.
+  std::vector<common::EntityId> targets_scratch_;
 
   /// Reliable-mode state (untouched when Config::reliable is false).
   struct PendingSend {

@@ -90,6 +90,7 @@ common::Status DisseminationTree::AddEntity(common::EntityId id,
   } else {
     nodes_[parent].children.push_back(id);
   }
+  InvalidateRouteCache(parent);
   return common::Status::OK();
 }
 
@@ -116,6 +117,8 @@ common::Status DisseminationTree::RemoveEntity(common::EntityId id) {
       nodes_.at(node.parent).children.push_back(child);
     }
   }
+  // The parent's child list changed even if its aggregate did not.
+  InvalidateRouteCache(node.parent);
   // Aggregates above the removal point change.
   int updates = 0;
   if (node.parent != common::kInvalidEntity) {
@@ -166,6 +169,8 @@ void DisseminationTree::PropagateUp(common::EntityId id, int* updates) {
     if (!changed) break;
     ++*updates;
     cur = nodes_.at(cur).parent;
+    // `cur`'s routing cache indexes the changed child aggregate.
+    InvalidateRouteCache(cur);
   }
 }
 
@@ -237,21 +242,111 @@ const std::vector<Box>& DisseminationTree::LocalInterest(
   return it->second.local;
 }
 
+namespace {
+/// Below this many child subtree boxes the per-tuple linear scan is
+/// already cheaper than building and probing a grid, so no index is kept.
+constexpr size_t kRouteIndexMinBoxes = 32;
+}  // namespace
+
+void DisseminationTree::InvalidateRouteCache(common::EntityId parent) {
+  if (parent == common::kInvalidEntity) {
+    source_route_index_.reset();
+    source_route_cache_valid_ = false;
+    return;
+  }
+  auto it = nodes_.find(parent);
+  if (it != nodes_.end()) {
+    it->second.route_index.reset();
+    it->second.route_cache_valid = false;
+  }
+}
+
+std::unique_ptr<interest::BoxIndex> DisseminationTree::BuildRouteIndex(
+    const std::vector<common::EntityId>& children) const {
+  // Domain: bounding box of every child's non-empty subtree box. All
+  // boxes of one stream share dimensionality (see interest/interval.h),
+  // so the bounding box is well-formed.
+  Box domain;
+  size_t total_boxes = 0;
+  for (common::EntityId child : children) {
+    for (const Box& b : nodes_.at(child).subtree) {
+      if (interest::BoxEmpty(b)) continue;
+      ++total_boxes;
+      if (domain.empty()) {
+        domain = b;
+        continue;
+      }
+      for (size_t d = 0; d < domain.size(); ++d) {
+        domain[d].lo = std::min(domain[d].lo, b[d].lo);
+        domain[d].hi = std::max(domain[d].hi, b[d].hi);
+      }
+    }
+  }
+  if (total_boxes < kRouteIndexMinBoxes) return nullptr;
+  // Subtree aggregates are unions of many query boxes, so they tend to
+  // span the full range of non-leading dimensions; indexing those only
+  // multiplies cell registrations without adding selectivity. Grid the
+  // leading dimension alone.
+  interest::BoxIndex::Config cfg;
+  cfg.index_dims = 1;
+  auto index = std::make_unique<interest::BoxIndex>(domain, cfg);
+  for (common::EntityId child : children) {
+    for (const Box& b : nodes_.at(child).subtree) {
+      if (interest::BoxEmpty(b)) continue;
+      index->Insert(child, b);
+    }
+  }
+  return index;
+}
+
 void DisseminationTree::ForwardTargets(common::EntityId from,
                                        const double* point, bool early_filter,
                                        std::vector<common::EntityId>* out) const {
   out->clear();
-  const std::vector<common::EntityId>& children = Children(from);
-  for (common::EntityId child : children) {
-    if (!early_filter) {
-      out->push_back(child);
-      continue;
-    }
-    for (const Box& b : nodes_.at(child).subtree) {
-      if (interest::BoxContains(b, point)) {
-        out->push_back(child);
-        break;
+  const std::vector<common::EntityId>* children = nullptr;
+  std::unique_ptr<interest::BoxIndex>* cache = nullptr;
+  bool* valid = nullptr;
+  if (from == common::kInvalidEntity) {
+    children = &source_children_;
+    cache = &source_route_index_;
+    valid = &source_route_cache_valid_;
+  } else {
+    auto it = nodes_.find(from);
+    DSPS_DCHECK(it != nodes_.end());
+    if (it == nodes_.end()) return;
+    children = &it->second.children;
+    cache = &it->second.route_index;
+    valid = &it->second.route_cache_valid;
+  }
+  if (!early_filter) {
+    *out = *children;
+    return;
+  }
+  if (children->empty()) return;
+  if (!*valid) {
+    *cache = BuildRouteIndex(*children);
+    *valid = true;
+  }
+  if (*cache == nullptr) {
+    // Too few subtree boxes to be worth indexing: scan them directly.
+    for (common::EntityId child : *children) {
+      for (const Box& b : nodes_.at(child).subtree) {
+        if (interest::BoxContains(b, point)) {
+          out->push_back(child);
+          break;
+        }
       }
+    }
+    return;
+  }
+  match_scratch_.clear();
+  (*cache)->Match(point, &match_scratch_);
+  // Match yields ascending entity ids; re-emit in child-list order so the
+  // output is bit-identical to the old per-child linear scan.
+  for (common::EntityId child : *children) {
+    if (std::binary_search(match_scratch_.begin(), match_scratch_.end(),
+                           static_cast<int64_t>(child))) {
+      out->push_back(child);
     }
   }
 }
@@ -304,6 +399,9 @@ common::Status DisseminationTree::Reattach(common::EntityId id,
   } else {
     nodes_.at(new_parent).children.push_back(id);
   }
+  // Both parents' child lists changed even if no aggregate does.
+  InvalidateRouteCache(old_parent);
+  InvalidateRouteCache(new_parent);
   int updates = 0;
   if (old_parent != common::kInvalidEntity) PropagateUp(old_parent, &updates);
   if (new_parent != common::kInvalidEntity) PropagateUp(new_parent, &updates);

@@ -3,11 +3,13 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "common/ids.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "interest/box_index.h"
 #include "interest/interest.h"
 #include "sim/network.h"
 
@@ -92,7 +94,12 @@ class DisseminationTree {
   /// Children of `from` (kInvalidEntity = source) that should receive a
   /// tuple with numeric values `point`. With early_filter, a child is
   /// included only if its subtree aggregate matches; otherwise all
-  /// children are included (forward-everything baseline).
+  /// children are included (forward-everything baseline). The per-child
+  /// matching runs against a cached interest::BoxIndex over the children's
+  /// subtree aggregates (rebuilt lazily after joins/leaves/reattaches and
+  /// aggregate changes), so the per-tuple cost is a grid-cell probe rather
+  /// than a scan of every child's box list; results keep child-list order,
+  /// bit-identical to the linear scan.
   void ForwardTargets(common::EntityId from, const double* point,
                       bool early_filter,
                       std::vector<common::EntityId>* out) const;
@@ -124,6 +131,13 @@ class DisseminationTree {
     sim::Point position;
     std::vector<interest::Box> local;
     std::vector<interest::Box> subtree;
+    /// Routing cache: point index over the children's subtree aggregates
+    /// (subscriber = child id), rebuilt lazily on the next early-filtered
+    /// ForwardTargets through this node. Stays null below the box-count
+    /// threshold where the linear scan is already cheaper than a rebuild;
+    /// route_cache_valid distinguishes that from "invalidated".
+    mutable std::unique_ptr<interest::BoxIndex> route_index;
+    mutable bool route_cache_valid = false;
   };
 
   /// Recomputes `id`'s subtree aggregate from local + children; returns
@@ -131,6 +145,15 @@ class DisseminationTree {
   bool RecomputeSubtree(common::EntityId id);
   void PropagateUp(common::EntityId id, int* updates);
   int FanoutOf(common::EntityId id) const;
+  /// Drops `parent`'s routing cache (kInvalidEntity = the source's). Must
+  /// be called whenever `parent`'s child list or any child's subtree
+  /// aggregate changes.
+  void InvalidateRouteCache(common::EntityId parent);
+  /// Builds a fresh routing index over `children`'s subtree aggregates.
+  /// Returns null when the children hold too few boxes for an index to
+  /// beat the plain linear scan.
+  std::unique_ptr<interest::BoxIndex> BuildRouteIndex(
+      const std::vector<common::EntityId>& children) const;
 
   common::StreamId stream_;
   sim::Point source_position_;
@@ -138,6 +161,12 @@ class DisseminationTree {
   common::Rng rng_;
   std::map<common::EntityId, Node> nodes_;
   std::vector<common::EntityId> source_children_;
+  /// Routing cache for the source's children (see Node::route_index).
+  mutable std::unique_ptr<interest::BoxIndex> source_route_index_;
+  mutable bool source_route_cache_valid_ = false;
+  /// Scratch for ForwardTargets' cache lookups (avoids a per-tuple
+  /// allocation on the hot path).
+  mutable std::vector<int64_t> match_scratch_;
   std::vector<interest::Box> empty_;
 };
 

@@ -78,6 +78,43 @@ void BoxIndex::Remove(int64_t subscriber) {
   }
 }
 
+void BoxIndex::MatchOverlap(const Box& query, std::vector<int64_t>* out) const {
+  DSPS_CHECK(query.size() == domain_.size());
+  if (BoxEmpty(query)) return;
+  size_t before = out->size();
+  int lo[2] = {0, 0}, hi[2] = {0, 0};
+  for (int d = 0; d < dims_indexed_; ++d) {
+    lo[d] = CellOf(d, query[d].lo);
+    hi[d] = CellOf(d, query[d].hi);
+  }
+  auto scan_cell = [&](const std::vector<Entry>& cell) {
+    for (const Entry& e : cell) {
+      bool overlaps = true;
+      for (size_t d = 0; d < query.size(); ++d) {
+        if (!e.box[d].Overlaps(query[d])) {
+          overlaps = false;
+          break;
+        }
+      }
+      if (overlaps) out->push_back(e.subscriber);
+    }
+  };
+  if (dims_indexed_ == 1) {
+    for (int x = lo[0]; x <= hi[0]; ++x) scan_cell(cells_[x]);
+  } else {
+    for (int x = lo[0]; x <= hi[0]; ++x) {
+      for (int y = lo[1]; y <= hi[1]; ++y) {
+        scan_cell(cells_[static_cast<size_t>(x) * config_.cells_per_dim + y]);
+      }
+    }
+  }
+  // Dedupe (a box may register in several scanned cells, and a subscriber
+  // may hold several overlapping boxes).
+  std::sort(out->begin() + static_cast<long>(before), out->end());
+  out->erase(std::unique(out->begin() + static_cast<long>(before), out->end()),
+             out->end());
+}
+
 void BoxIndex::Match(const double* point, std::vector<int64_t>* out) const {
   size_t before = out->size();
   const std::vector<Entry>& cell = cells_[FlatIndex(point)];

@@ -43,6 +43,13 @@ class BoxIndex {
   /// as the domain has dimensions.
   void Match(const double* point, std::vector<int64_t>* out) const;
 
+  /// Appends (deduplicated, ascending) every subscriber with a box
+  /// overlapping `query` in every dimension. `query` must have the
+  /// domain's dimensionality. Used for box-to-box pruning (e.g. finding
+  /// the queries whose interest genuinely overlaps a new query's) rather
+  /// than per-tuple point stabbing.
+  void MatchOverlap(const Box& query, std::vector<int64_t>* out) const;
+
   /// Registered (subscriber, box) pairs.
   size_t size() const { return total_boxes_; }
   size_t subscriber_count() const { return boxes_of_.size(); }

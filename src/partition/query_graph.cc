@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <map>
+#include <unordered_set>
 
 #include "common/check.h"
+#include "interest/box_index.h"
 
 namespace dsps::partition {
 
@@ -68,32 +70,95 @@ double QueryGraph::Imbalance(const std::vector<int>& assignment, int k) const {
   return max_part / ideal;
 }
 
+common::StreamId FirstSharedStream(const std::vector<common::StreamId>& a,
+                                   const std::vector<common::StreamId>& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return a[i];
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return common::kInvalidStream;
+}
+
 QueryGraph QueryGraph::Build(const std::vector<engine::Query>& queries,
                              const interest::StreamCatalog& catalog,
                              double min_edge_weight) {
   QueryGraph g;
+  const int n = static_cast<int>(queries.size());
   for (const engine::Query& q : queries) g.AddVertex(q.id, q.load);
-  // Bucket queries by stream so only pairs sharing a stream are measured.
-  std::map<common::StreamId, std::vector<int>> by_stream;
-  for (size_t i = 0; i < queries.size(); ++i) {
-    for (common::StreamId s : queries[i].interest.streams()) {
-      by_stream[s].push_back(static_cast<int>(i));
+  // Per-query sorted stream lists (needed for edge-ordering replay below).
+  std::vector<std::vector<common::StreamId>> streams_of(n);
+  for (int i = 0; i < n; ++i) streams_of[i] = queries[i].interest.streams();
+  // Inverted stream -> query index. Only catalog streams can contribute
+  // edge weight (SharedRateBytesPerSec sums over the catalog), so only
+  // they get a spatial index; a pair overlapping nowhere in the catalog
+  // has zero shared rate and never forms an edge.
+  std::map<common::StreamId, interest::BoxIndex> index_of;
+  for (int i = 0; i < n; ++i) {
+    for (common::StreamId s : streams_of[i]) {
+      if (!catalog.Contains(s)) continue;
+      auto it = index_of.find(s);
+      if (it == index_of.end()) {
+        it = index_of.emplace(s, interest::BoxIndex(catalog.stats(s).domain))
+                 .first;
+      }
+      const std::vector<interest::Box>* boxes = queries[i].interest.boxes_for(s);
+      for (const interest::Box& b : *boxes) it->second.Insert(i, b);
     }
   }
-  std::map<std::pair<int, int>, bool> measured;
-  for (const auto& [stream, members] : by_stream) {
-    for (size_t i = 0; i < members.size(); ++i) {
-      for (size_t j = i + 1; j < members.size(); ++j) {
-        int a = members[i], b = members[j];
-        if (a > b) std::swap(a, b);
-        if (measured.count({a, b}) > 0) continue;
-        measured[{a, b}] = true;
+  // Candidate pairs: only those with genuinely-overlapping boxes on some
+  // stream are measured (the O(n^2) all-shared-pairs scan measured every
+  // co-subscribed pair, overlap or not). Each surviving edge remembers the
+  // first stream both queries subscribe to — the point the old pairwise
+  // scan measured it at — so edges can be emitted in the identical order
+  // and the resulting adjacency lists (hence every downstream partition)
+  // are bit-identical.
+  struct PendingEdge {
+    common::StreamId first_shared;
+    int a, b;
+    double w;
+  };
+  std::vector<PendingEdge> edges;
+  std::unordered_set<int64_t> measured;
+  std::vector<int64_t> candidates;
+  for (const auto& [stream, index] : index_of) {
+    for (int a = 0; a < n; ++a) {
+      const std::vector<interest::Box>* boxes =
+          queries[a].interest.boxes_for(stream);
+      if (boxes == nullptr) continue;
+      candidates.clear();
+      for (const interest::Box& box : *boxes) {
+        index.MatchOverlap(box, &candidates);
+      }
+      std::sort(candidates.begin(), candidates.end());
+      candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                       candidates.end());
+      for (int64_t cand : candidates) {
+        int b = static_cast<int>(cand);
+        if (b <= a) continue;
+        if (!measured.insert(static_cast<int64_t>(a) * n + b).second) continue;
         double w = interest::SharedRateBytesPerSec(queries[a].interest,
                                                    queries[b].interest, catalog);
-        if (w > min_edge_weight) g.AddEdge(a, b, w);
+        if (w > min_edge_weight) {
+          edges.push_back(PendingEdge{
+              FirstSharedStream(streams_of[a], streams_of[b]), a, b, w});
+        }
       }
     }
   }
+  std::sort(edges.begin(), edges.end(),
+            [](const PendingEdge& x, const PendingEdge& y) {
+              if (x.first_shared != y.first_shared) {
+                return x.first_shared < y.first_shared;
+              }
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  for (const PendingEdge& e : edges) g.AddEdge(e.a, e.b, e.w);
   return g;
 }
 

@@ -51,8 +51,14 @@ class QueryGraph {
 
   /// Builds the graph from queries: vertices in order, edges between every
   /// pair with shared interest rate above `min_edge_weight` (bytes/s).
-  /// Pairwise construction: O(n^2) shared-rate computations, restricted to
-  /// pairs that share at least one stream.
+  /// Indexed construction: an inverted stream -> query index plus a
+  /// per-stream interest::BoxIndex prune the pair space to genuinely
+  /// geometrically-overlapping pairs before the (expensive) shared-rate
+  /// measurement; pairs that merely co-subscribe a stream without box
+  /// overlap anywhere carry zero shared rate and are skipped. Edges are
+  /// emitted ordered by (first shared stream, a, b) — the order the
+  /// historical all-pairs scan produced — so adjacency lists and every
+  /// downstream partition are bit-identical to it.
   static QueryGraph Build(const std::vector<engine::Query>& queries,
                           const interest::StreamCatalog& catalog,
                           double min_edge_weight = 1e-9);
@@ -64,6 +70,12 @@ class QueryGraph {
   double total_weight_ = 0.0;
   double total_edge_weight_ = 0.0;
 };
+
+/// First element two ascending stream lists share (kInvalidStream if
+/// disjoint) — the stream a pairwise per-stream scan first sees a pair at,
+/// which fixes the graph's edge-emission order.
+common::StreamId FirstSharedStream(const std::vector<common::StreamId>& a,
+                                   const std::vector<common::StreamId>& b);
 
 }  // namespace dsps::partition
 

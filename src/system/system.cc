@@ -1,6 +1,7 @@
 #include "system/system.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -34,6 +35,9 @@ System::System(const Config& config) : config_(config), rng_(config.seed) {
         config.metrics->counter("system.query_migrations");
     latency_hist_ = config.metrics->histogram("system.latency_s");
     pr_hist_ = config.metrics->histogram("system.pr");
+    graph_build_us_ = config.metrics->histogram("partition.graph_build_us");
+    incremental_delta_us_ =
+        config.metrics->histogram("partition.incremental_delta_us");
   }
   if (config.trace != nullptr) {
     network_->SetTraceLog(config.trace);
@@ -261,6 +265,9 @@ void System::AddStreams(
     DSPS_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
     streams_.push_back(std::move(gen));
   }
+  // New streams change edge weights; rebuild the index on the next
+  // repartition instead of patching every pair.
+  graph_index_.reset();
   // Entities join every stream's tree once sources exist.
   for (const sim::EntitySite& site : topology_.entities) {
     common::Status s = disseminator_->AddEntity(
@@ -372,6 +379,7 @@ common::Status System::InstallOn(common::EntityId entity,
   DSPS_RETURN_IF_ERROR(entities_[entity]->InstallQuery(query, tps));
   query_home_[query.id] = entity;
   queries_[query.id] = query;
+  GraphIndexAdd(query);
   // Update the entity's aggregated interest and its dissemination-tree
   // registrations for every stream the query reads.
   entity_interest_[entity].MergeFrom(query.interest);
@@ -461,6 +469,7 @@ common::Status System::RemoveQuery(common::QueryId query) {
   DSPS_RETURN_IF_ERROR(entities_[home]->RemoveQuery(query));
   query_home_.erase(home_it);
   queries_.erase(query);
+  GraphIndexRemove(query);
   RecomputeEntityInterest(home);
   return common::Status::OK();
 }
@@ -501,6 +510,7 @@ int System::EvictEntity(common::EntityId entity) {
     (void)entities_[entity]->RemoveQuery(q.id);
     query_home_.erase(q.id);
     queries_.erase(q.id);
+    GraphIndexRemove(q.id);
   }
   entity_interest_[entity].Clear();
   int rehomed = 0;
@@ -695,12 +705,37 @@ common::Status System::MigrateQuery(common::QueryId query,
   DSPS_RETURN_IF_ERROR(entities_[from]->RemoveQuery(query));
   query_home_.erase(query);
   queries_.erase(query);
+  GraphIndexRemove(query);
   RecomputeEntityInterest(from);
   common::Status st = InstallOn(to, q);
   if (st.ok() && query_migrations_counter_ != nullptr) {
     query_migrations_counter_->Increment();
   }
   return st;
+}
+
+void System::GraphIndexAdd(const engine::Query& query) {
+  if (graph_index_ == nullptr) return;
+  auto start = std::chrono::steady_clock::now();
+  graph_index_->AddQuery(query);
+  if (incremental_delta_us_ != nullptr) {
+    incremental_delta_us_->Observe(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
+}
+
+void System::GraphIndexRemove(common::QueryId query) {
+  if (graph_index_ == nullptr) return;
+  auto start = std::chrono::steady_clock::now();
+  graph_index_->RemoveQuery(query);
+  if (incremental_delta_us_ != nullptr) {
+    incremental_delta_us_->Observe(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
 }
 
 common::Result<System::RepartitionReport> System::RepartitionQueries(
@@ -725,7 +760,21 @@ common::Result<System::RepartitionReport> System::RepartitionQueries(
     auto it = part_of_entity.find(query_home_.at(qid));
     old_assignment.push_back(it == part_of_entity.end() ? -1 : it->second);
   }
-  partition::QueryGraph graph = partition::QueryGraph::Build(live, catalog_);
+  // First round bulk-loads the incremental index; later rounds only
+  // materialize it, since install/remove deltas kept it in sync. Either
+  // way the graph is identical to a full QueryGraph::Build over `live`.
+  auto build_start = std::chrono::steady_clock::now();
+  if (graph_index_ == nullptr) {
+    graph_index_ = std::make_unique<partition::QueryGraphIndex>(&catalog_);
+    for (const auto& [qid, q] : queries_) graph_index_->AddQuery(q);
+  }
+  partition::QueryGraph graph = graph_index_->Graph();
+  if (graph_build_us_ != nullptr) {
+    graph_build_us_->Observe(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - build_start)
+            .count());
+  }
   repartitioner->SetMetrics(config_.metrics);
   partition::RepartitionResult result = repartitioner->Repartition(
       graph, old_assignment, static_cast<int>(alive_ids.size()),

@@ -16,6 +16,7 @@
 #include "engine/engine.h"
 #include "entity/entity.h"
 #include "interest/measure.h"
+#include "partition/graph_index.h"
 #include "partition/partitioner.h"
 #include "partition/repartitioner.h"
 #include "placement/placement.h"
@@ -351,6 +352,12 @@ class System {
   /// Installed queries (needed to re-home them on entity failure and to
   /// recompute interests on removal).
   std::map<common::QueryId, engine::Query> queries_;
+  /// Incrementally maintained query graph. Null until the first
+  /// RepartitionQueries call (non-repartitioning runs never pay for it);
+  /// afterwards kept in sync by install/remove deltas, so later rounds
+  /// materialize the graph instead of re-measuring every query pair.
+  /// Dropped when the stream catalog changes (AddStreams).
+  std::unique_ptr<partition::QueryGraphIndex> graph_index_;
   std::vector<bool> alive_;
   /// Oracle-failed / gracefully-departed entities (their process is gone,
   /// so they stop heartbeating — unlike sweep-evicted ones, which may
@@ -393,6 +400,11 @@ class System {
   telemetry::Counter* query_migrations_counter_ = nullptr;
   telemetry::HistogramMetric* latency_hist_ = nullptr;
   telemetry::HistogramMetric* pr_hist_ = nullptr;
+  telemetry::HistogramMetric* graph_build_us_ = nullptr;
+  telemetry::HistogramMetric* incremental_delta_us_ = nullptr;
+  /// Applies a timed add/remove delta to graph_index_ (no-op while null).
+  void GraphIndexAdd(const engine::Query& query);
+  void GraphIndexRemove(common::QueryId query);
   void RecomputeEntityInterest(common::EntityId entity);
   void MaintenanceRound();
   void ShipResultToClient(common::EntityId entity, common::QueryId query,

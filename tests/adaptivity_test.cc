@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
 #include <memory>
 #include <set>
 
@@ -27,6 +29,93 @@ using interest::Box;
 using interest::Interval;
 
 // ---------------------------------------------------- Interest summarization
+
+/// Reference implementation of greedy pairwise coarsening: the original
+/// rescan-every-pair O(n^3) loop. The shipped heap-based CoarsenBoxes must
+/// reproduce its output box-for-box (bit-identical), so summary quality is
+/// provably no worse.
+std::vector<Box> ReferenceCoarsen(std::vector<Box> boxes, int budget) {
+  auto bounding = [](const Box& a, const Box& b) {
+    Box out(a.size());
+    for (size_t d = 0; d < a.size(); ++d) {
+      out[d] =
+          Interval{std::min(a[d].lo, b[d].lo), std::max(a[d].hi, b[d].hi)};
+    }
+    return out;
+  };
+  auto cost = [&](const Box& a, const Box& b) {
+    return interest::BoxVolume(bounding(a, b)) - interest::BoxVolume(a) -
+           interest::BoxVolume(b) +
+           interest::BoxVolume(interest::BoxIntersect(a, b));
+  };
+  std::vector<Box> live;
+  for (Box& b : boxes) {
+    if (!interest::BoxEmpty(b)) live.push_back(std::move(b));
+  }
+  while (static_cast<int>(live.size()) > budget) {
+    size_t bi = 0, bj = 1;
+    double best = std::numeric_limits<double>::max();
+    for (size_t i = 0; i < live.size(); ++i) {
+      for (size_t j = i + 1; j < live.size(); ++j) {
+        double c = cost(live[i], live[j]);
+        if (c < best) {
+          best = c;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    live[bi] = bounding(live[bi], live[bj]);
+    live.erase(live.begin() + static_cast<long>(bj));
+    for (size_t i = 0; i < live.size();) {
+      if (i != bi && interest::BoxCovers(live[bi], live[i])) {
+        if (i < bi) --bi;
+        live.erase(live.begin() + static_cast<long>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+  return live;
+}
+
+TEST(SummarizeTest, HeapCoarsenMatchesReferenceExactly) {
+  common::Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Box> fine;
+    int n = 3 + static_cast<int>(rng.NextUint64(30));
+    for (int i = 0; i < n; ++i) {
+      double x = rng.Uniform(0, 90), y = rng.Uniform(0, 90);
+      fine.push_back(Box{{x, x + rng.Uniform(0.5, 15)},
+                         {y, y + rng.Uniform(0.5, 15)}});
+    }
+    // Occasionally inject duplicates and contained boxes (tie-break and
+    // covered-removal paths).
+    if (trial % 3 == 0 && n > 2) {
+      fine.push_back(fine[0]);
+      fine.push_back(Box{{fine[1][0].lo, fine[1][0].lo},
+                         {fine[1][1].lo, fine[1][1].lo}});
+    }
+    for (int budget : {1, 2, 5, 12}) {
+      std::vector<Box> expected = ReferenceCoarsen(fine, budget);
+      std::vector<Box> got = interest::CoarsenBoxes(fine, budget);
+      ASSERT_EQ(got.size(), expected.size())
+          << "trial " << trial << " budget " << budget;
+      for (size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got[i].size(), expected[i].size());
+        for (size_t d = 0; d < got[i].size(); ++d) {
+          EXPECT_EQ(got[i][d].lo, expected[i][d].lo)
+              << "trial " << trial << " budget " << budget << " box " << i;
+          EXPECT_EQ(got[i][d].hi, expected[i][d].hi)
+              << "trial " << trial << " budget " << budget << " box " << i;
+        }
+      }
+      // Quality is therefore no worse; assert it directly too.
+      EXPECT_LE(interest::CoarseningOvershoot(fine, got),
+                interest::CoarseningOvershoot(fine, expected) + 1e-9);
+    }
+  }
+}
 
 TEST(SummarizeTest, BudgetRespectedAndCovers) {
   common::Rng rng(1);

@@ -132,6 +132,96 @@ TEST(DisseminationTreeTest, InterestUpdateCostBounded) {
   }
 }
 
+/// Reference routing: the pre-cache linear scan of every child's subtree
+/// box list. The cached ForwardTargets must match it exactly after any
+/// mix of joins, leaves, reattaches, and interest updates.
+std::vector<common::EntityId> LinearForwardTargets(
+    const DisseminationTree& tree, common::EntityId from, const double* point,
+    bool early_filter) {
+  std::vector<common::EntityId> out;
+  for (common::EntityId child : tree.Children(from)) {
+    if (!early_filter) {
+      out.push_back(child);
+      continue;
+    }
+    for (const Box& b : tree.SubtreeInterest(child)) {
+      if (interest::BoxContains(b, point)) {
+        out.push_back(child);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+TEST(DisseminationTreeTest, RouteCacheMatchesLinearScanUnderChurn) {
+  DisseminationTree tree(0, {0, 0}, TreeConfig(TreePolicy::kClosestParent, 3));
+  common::Rng rng(11);
+  auto check_all = [&](const char* when) {
+    std::vector<common::EntityId> parents{common::kInvalidEntity};
+    for (common::EntityId e = 0; e < 40; ++e) {
+      if (tree.Contains(e)) parents.push_back(e);
+    }
+    for (int probe = 0; probe < 20; ++probe) {
+      double p = rng.Uniform(-10, 110);
+      for (common::EntityId parent : parents) {
+        std::vector<common::EntityId> cached;
+        tree.ForwardTargets(parent, &p, true, &cached);
+        EXPECT_EQ(cached, LinearForwardTargets(tree, parent, &p, true))
+            << when << " parent " << parent << " point " << p;
+        tree.ForwardTargets(parent, &p, false, &cached);
+        EXPECT_EQ(cached, LinearForwardTargets(tree, parent, &p, false))
+            << when << " parent " << parent;
+      }
+    }
+  };
+  // Joins + interest.
+  for (common::EntityId e = 0; e < 24; ++e) {
+    ASSERT_TRUE(
+        tree.AddEntity(e, {rng.Uniform(0, 100), rng.Uniform(0, 100)}).ok());
+    double lo = rng.Uniform(0, 90);
+    tree.SetLocalInterest(e, {Box{Interval{lo, lo + 10}}});
+  }
+  check_all("after joins");
+  // Interest updates invalidate ancestors' caches.
+  for (common::EntityId e = 0; e < 24; e += 3) {
+    double lo = rng.Uniform(0, 90);
+    tree.SetLocalInterest(e, {Box{Interval{lo, lo + 5}}});
+  }
+  check_all("after interest updates");
+  // Leaves (children re-attach to the grandparent).
+  for (common::EntityId e = 1; e < 24; e += 5) {
+    ASSERT_TRUE(tree.RemoveEntity(e).ok());
+  }
+  check_all("after leaves");
+  // Reorganization moves (both old and new parents' caches drop).
+  for (common::EntityId e = 0; e < 24; ++e) {
+    if (!tree.Contains(e)) continue;
+    for (common::EntityId np = 0; np < 24; ++np) {
+      if (np != e && tree.Contains(np) && tree.Reattach(e, np).ok()) break;
+    }
+  }
+  check_all("after reattaches");
+}
+
+TEST(DisseminationTreeTest, RouteCacheSeesInterestShrink) {
+  // A child whose interest STOPS matching must disappear from the cached
+  // targets (stale-cache regression test).
+  DisseminationTree tree(0, {0, 0}, TreeConfig(TreePolicy::kSourceDirect));
+  ASSERT_TRUE(tree.AddEntity(0, {1, 0}).ok());
+  tree.SetLocalInterest(0, {Box{Interval{0, 10}}});
+  double p = 5;
+  std::vector<common::EntityId> targets;
+  tree.ForwardTargets(common::kInvalidEntity, &p, true, &targets);
+  ASSERT_EQ(targets.size(), 1u);
+  tree.SetLocalInterest(0, {Box{Interval{50, 60}}});
+  tree.ForwardTargets(common::kInvalidEntity, &p, true, &targets);
+  EXPECT_TRUE(targets.empty());
+  tree.SetLocalInterest(0, {});
+  tree.ForwardTargets(common::kInvalidEntity, &p, true, &targets);
+  EXPECT_TRUE(targets.empty());
+}
+
 // --------------------------------------------------------------- End-to-end
 
 class DisseminatorTest : public ::testing::Test {
