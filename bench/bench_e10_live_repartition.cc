@@ -8,12 +8,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/table.h"
 #include "partition/repartitioner.h"
 #include "system/system.h"
 #include "telemetry/bench_report.h"
+#include "telemetry/timeseries.h"
 #include "workload/query_gen.h"
 #include "workload/stream_gen.h"
 
@@ -50,7 +53,8 @@ struct ChurnResult {
 };
 
 ChurnResult RunChurn(const char* policy, int rounds,
-                     dsps::telemetry::MetricsRegistry* metrics = nullptr) {
+                     dsps::telemetry::MetricsRegistry* metrics = nullptr,
+                     dsps::telemetry::TimeSeriesRecorder* series = nullptr) {
   dsps::system::System::Config cfg;
   cfg.topology.num_entities = 8;
   cfg.topology.processors_per_entity = 2;
@@ -78,6 +82,16 @@ ChurnResult RunChurn(const char* policy, int rounds,
   ChurnResult r;
   dsps::common::RunningStat decisions;
   dsps::common::Rng churn_rng(17);
+  // Churn rounds happen at a frozen sim clock, so the trajectory's time
+  // axis is the round number: round+0.5 right after churn lands (erosion
+  // peak), round+1 after the repartition round answers it.
+  if (series != nullptr) {
+    sys.RegisterSeriesProbes(series);
+    dsps::system::System* sys_p = &sys;
+    series->AddGaugeProbe("series.subscribed_bps", {},
+                          [sys_p] { return SubscribedRate(sys_p); });
+    series->Sample(0.0);
+  }
   for (int round = 0; round < rounds; ++round) {
     // Churn: 16 arrivals stick to whatever entity their client happens to
     // use (interest-blind — the erosion the paper's runtime adaptation
@@ -88,6 +102,7 @@ ChurnResult RunChurn(const char* policy, int rounds,
           churn_rng.NextUint64(static_cast<uint64_t>(sys.num_entities())));
       if (!sys.MigrateQuery(q.id, victim).ok()) std::abort();
     }
+    if (series != nullptr) series->Sample(round + 0.5);
     if (std::string(policy) == "hybrid") {
       auto report = sys.RepartitionQueries(&hybrid);
       if (report.ok()) {
@@ -101,6 +116,7 @@ ChurnResult RunChurn(const char* policy, int rounds,
         decisions.Add(report.value().decision_seconds * 1e3);
       }
     }
+    if (series != nullptr) series->Sample(round + 1.0);
   }
   r.final_subscribed = SubscribedRate(&sys);
   r.mean_decision_ms = decisions.count() > 0 ? decisions.mean() : 0.0;
@@ -120,10 +136,16 @@ void PrintE10() {
   dsps::telemetry::BenchReport report("e10_live_repartition");
   Table table({"policy", "final subscribed B/s", "migrations",
                "decision ms/round"});
+  // One trajectory per policy; recorders must outlive WriteFileOrDie.
+  std::vector<std::unique_ptr<dsps::telemetry::TimeSeriesRecorder>> recorders;
   for (const char* policy : {"none", "hybrid", "scratch"}) {
     // Migration and repartition counters flow through the system registry.
     dsps::telemetry::MetricsRegistry metrics;
-    ChurnResult r = RunChurn(policy, rounds, &metrics);
+    dsps::telemetry::TimeSeriesRecorder::Config scfg;
+    scfg.interval_s = 0.5;  // two samples per churn round
+    recorders.push_back(
+        std::make_unique<dsps::telemetry::TimeSeriesRecorder>(scfg));
+    ChurnResult r = RunChurn(policy, rounds, &metrics, recorders.back().get());
     table.AddRow({policy, Table::Num(r.final_subscribed, 0),
                   Table::Int(r.total_migrations),
                   Table::Num(r.mean_decision_ms, 2)});
@@ -133,6 +155,7 @@ void PrintE10() {
     report.SetHeadline("migrations", r.total_migrations, labels);
     report.SetHeadline("decision_ms_per_round", r.mean_decision_ms, labels);
     report.MergeSnapshot(metrics.Snapshot(), labels);
+    report.AttachSeries(recorders.back().get(), labels);
   }
   report.WriteFileOrDie();
   table.Print(

@@ -19,6 +19,7 @@
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "telemetry/bench_report.h"
+#include "telemetry/timeseries.h"
 #include "workload/stream_gen.h"
 
 namespace {
@@ -116,7 +117,8 @@ struct ReorgResult {
   double p50_after = 0.0;
 };
 
-ReorgResult RunReorg(int entities, uint64_t seed) {
+ReorgResult RunReorg(int entities, uint64_t seed,
+                     dsps::telemetry::TimeSeriesRecorder* series = nullptr) {
   dsps::sim::Simulator sim;
   dsps::sim::Network net(&sim);
   dsps::common::Rng rng(seed);
@@ -151,12 +153,30 @@ ReorgResult RunReorg(int entities, uint64_t seed) {
     for (int i = 0; i < tuples; ++i) {
       if (!dissem.Publish(gen.Next(sim.now())).ok()) std::abort();
       sim.RunUntil(sim.now() + 0.02);
+      // Trajectory sampling every 25 tuples = 0.5 simulated seconds.
+      // Probes are read-only, so the sampled run's headline metrics stay
+      // byte-identical to an unsampled run's.
+      if (series != nullptr && (i + 1) % 25 == 0) series->Sample(sim.now());
     }
     sim.Run();
     sink = nullptr;
   };
   ReorgResult r;
   auto* tree = dissem.mutable_tree(0);
+  if (series != nullptr) {
+    series->AddGaugeProbe("series.tree_cost", {}, [tree] {
+      return dsps::dissemination::TreeReorganizer::TreeCost(*tree);
+    });
+    dsps::sim::Network* net_p = &net;
+    series->AddRateProbe("series.bytes_per_s", {}, [net_p] {
+      return static_cast<double>(net_p->total_bytes());
+    });
+    Disseminator* dissem_p = &dissem;
+    series->AddRateProbe("series.delivered_per_s", {}, [dissem_p] {
+      return static_cast<double>(dissem_p->delivered_count());
+    });
+    series->Sample(sim.now());
+  }
   r.cost_before = dsps::dissemination::TreeReorganizer::TreeCost(*tree);
   pump(&lat_before, 200);
   dsps::dissemination::TreeReorganizer reorganizer;
@@ -172,11 +192,15 @@ ReorgResult RunReorg(int entities, uint64_t seed) {
   return r;
 }
 
-void PrintE7Reorganization(dsps::telemetry::BenchReport* report) {
+void PrintE7Reorganization(dsps::telemetry::BenchReport* report,
+                           dsps::telemetry::TimeSeriesRecorder* series) {
   Table table({"entities", "tree cost before", "after", "moves",
                "p50 deliver ms before", "after"});
   for (int entities : {16, 64}) {
-    ReorgResult r = RunReorg(entities, 21 + entities);
+    // The 64-entity run carries the trajectory recorder: tree cost and
+    // delivery rate before vs after the reorganization rounds.
+    ReorgResult r =
+        RunReorg(entities, 21 + entities, entities == 64 ? series : nullptr);
     table.AddRow({Table::Int(entities), Table::Num(r.cost_before, 0),
                   Table::Num(r.cost_after, 0), Table::Int(r.moves),
                   Table::Num(r.p50_before * 1e3, 1),
@@ -232,8 +256,14 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   dsps::telemetry::BenchReport report("e7_adaptation");
+  dsps::telemetry::TimeSeriesRecorder::Config scfg;
+  scfg.interval_s = 0.5;
+  dsps::telemetry::TimeSeriesRecorder reorg_series(scfg);
   PrintE7Summarization(&report);
-  PrintE7Reorganization(&report);
+  PrintE7Reorganization(&report, &reorg_series);
+  report.AttachSeries(&reorg_series, dsps::telemetry::MakeLabels(
+                                         {{"experiment", "e7b_reorg"},
+                                          {"entities", "64"}}));
   report.WriteFileOrDie();
   return 0;
 }

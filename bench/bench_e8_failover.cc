@@ -19,12 +19,15 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "common/table.h"
 #include "engine/query_builder.h"
+#include "system/auditor.h"
 #include "system/system.h"
 #include "telemetry/bench_report.h"
+#include "telemetry/timeseries.h"
 #include "workload/query_gen.h"
 #include "workload/stream_gen.h"
 
@@ -52,7 +55,9 @@ struct FailoverRun {
 };
 
 FailoverRun Run(Scenario scenario,
-                dsps::telemetry::MetricsRegistry* metrics = nullptr) {
+                dsps::telemetry::MetricsRegistry* metrics = nullptr,
+                dsps::telemetry::TimeSeriesRecorder* series = nullptr,
+                std::string* audit_report = nullptr) {
   dsps::system::System::Config cfg;
   cfg.topology.num_entities = 8;
   cfg.topology.processors_per_entity = 2;
@@ -88,6 +93,16 @@ FailoverRun Run(Scenario scenario,
     det.sweep_period_s = 0.25;
     sys.EnableFailureDetection(det, kDuration + 2.0);
     sys.ScheduleCrash(0, kFailAt, kRecoverAt);
+  }
+  // Adaptation-trajectory sampling and the invariant auditor are both
+  // read-only observers: enabling them cannot change the run's results.
+  if (series != nullptr) {
+    sys.EnableTimeSeries(series, series->config().interval_s,
+                         kDuration + 1.0);
+  }
+  double audit_s = dsps::system::AuditIntervalFromEnv();
+  if (audit_report != nullptr && audit_s > 0) {
+    sys.EnableAudit(audit_s, kDuration + 1.0);
   }
   sys.GenerateTraffic(kDuration);
 
@@ -155,6 +170,9 @@ FailoverRun Run(Scenario scenario,
                  static_cast<long long>(run.lost_queries));
     std::abort();
   }
+  if (audit_report != nullptr && sys.auditor() != nullptr) {
+    *audit_report = sys.auditor()->ReportJson();
+  }
   return run;
 }
 
@@ -177,9 +195,18 @@ BENCHMARK(BM_DetectedFailover)->Unit(benchmark::kMillisecond);
 void PrintE8() {
   dsps::telemetry::BenchReport report("e8_failover");
   dsps::telemetry::MetricsRegistry failed_metrics;
-  FailoverRun healthy = Run(Scenario::kHealthy);
+  // Half-second trajectory sampling: fine enough to show the result-rate
+  // dip at t=3s, the repair, and the re-join at t=6s.
+  dsps::telemetry::TimeSeriesRecorder::Config scfg;
+  scfg.interval_s = 0.5;
+  dsps::telemetry::TimeSeriesRecorder healthy_series(scfg);
+  dsps::telemetry::TimeSeriesRecorder detected_series(scfg);
+  std::string audit_report;
+  FailoverRun healthy = Run(Scenario::kHealthy, nullptr, &healthy_series);
   FailoverRun failed = Run(Scenario::kOracleFailure, &failed_metrics);
-  FailoverRun detected = Run(Scenario::kDetectedFailure);
+  FailoverRun detected =
+      Run(Scenario::kDetectedFailure, nullptr, &detected_series,
+          &audit_report);
   Table table({"interval (s)", "results/s healthy", "results/s oracle fail",
                "results/s detected fail"});
   for (size_t i = 0; i < healthy.results_per_interval.size(); ++i) {
@@ -217,7 +244,25 @@ void PrintE8() {
   report.SetHeadline("dissemination_retries",
                      static_cast<double>(detected.dissemination_retries));
   report.MergeSnapshot(failed_metrics.Snapshot());
+  report.AttachSeries(&healthy_series,
+                      dsps::telemetry::MakeLabels({{"scenario", "healthy"}}));
+  report.AttachSeries(
+      &detected_series,
+      dsps::telemetry::MakeLabels({{"scenario", "detected_failure"}}));
   report.WriteFileOrDie();
+  if (!audit_report.empty()) {
+    const char* dir = std::getenv("DSPS_BENCH_DIR");
+    std::string path = (dir != nullptr && dir[0] != '\0')
+                           ? std::string(dir) + "/AUDIT_e8_failover.json"
+                           : std::string("AUDIT_e8_failover.json");
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr || std::fputs((audit_report + "\n").c_str(), f) < 0) {
+      std::fprintf(stderr, "E8: cannot write %s\n", path.c_str());
+      std::abort();
+    }
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
   table.Print(
       "E8: entity failure at t=3s — oracle vs heartbeat-detected "
       "(detection latency " +

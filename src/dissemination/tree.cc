@@ -408,6 +408,126 @@ common::Status DisseminationTree::Reattach(common::EntityId id,
   return common::Status::OK();
 }
 
+common::Status DisseminationTree::CheckInvariants() const {
+  auto violation = [](const std::string& what) {
+    return common::Status::Internal("dissemination tree: " + what);
+  };
+  // (1) Parent/child symmetry and total membership: every node is a child
+  // of its recorded parent exactly once, every listed child points back,
+  // and no node appears in two child lists.
+  size_t listed_children = source_children_.size();
+  for (common::EntityId child : source_children_) {
+    auto it = nodes_.find(child);
+    if (it == nodes_.end()) return violation("source child not in tree");
+    if (it->second.parent != common::kInvalidEntity) {
+      return violation("source child has a non-source parent");
+    }
+  }
+  for (const auto& [id, node] : nodes_) {
+    listed_children += node.children.size();
+    for (common::EntityId child : node.children) {
+      auto it = nodes_.find(child);
+      if (it == nodes_.end()) return violation("child not in tree");
+      if (it->second.parent != id) {
+        return violation("child's parent link disagrees with child list");
+      }
+    }
+    const std::vector<common::EntityId>& siblings =
+        node.parent == common::kInvalidEntity
+            ? source_children_
+            : nodes_.at(node.parent).children;
+    if (std::count(siblings.begin(), siblings.end(), id) != 1) {
+      return violation("node not exactly once in its parent's child list");
+    }
+  }
+  if (listed_children != nodes_.size()) {
+    return violation("child-list total != node count");
+  }
+  // (2) Acyclicity: every parent chain must reach the source in at most
+  // size() hops (symmetry above already rules out forests).
+  for (const auto& [id, node] : nodes_) {
+    common::EntityId cur = node.parent;
+    size_t hops = 0;
+    while (cur != common::kInvalidEntity) {
+      if (++hops > nodes_.size()) return violation("parent chain has a cycle");
+      cur = nodes_.at(cur).parent;
+    }
+  }
+  // (3) Cached subtree aggregates: recompute each node's aggregate the
+  // way RecomputeSubtree does and require interval-exact equality.
+  for (const auto& [id, node] : nodes_) {
+    interest::InterestSet agg;
+    for (const Box& b : node.local) agg.Add(stream_, b);
+    for (common::EntityId child : node.children) {
+      for (const Box& b : nodes_.at(child).subtree) agg.Add(stream_, b);
+    }
+    agg.Simplify();
+    const std::vector<Box>* boxes = agg.boxes_for(stream_);
+    std::vector<Box> expect = boxes == nullptr ? std::vector<Box>() : *boxes;
+    if (config_.interest_budget > 0 &&
+        static_cast<int>(expect.size()) > config_.interest_budget) {
+      expect =
+          interest::CoarsenBoxes(std::move(expect), config_.interest_budget);
+    }
+    if (expect.size() != node.subtree.size()) {
+      return violation("stale subtree aggregate (box count)");
+    }
+    for (size_t i = 0; i < expect.size(); ++i) {
+      if (expect[i].size() != node.subtree[i].size()) {
+        return violation("stale subtree aggregate (box dimensionality)");
+      }
+      for (size_t d = 0; d < expect[i].size(); ++d) {
+        if (expect[i][d].lo != node.subtree[i][d].lo ||
+            expect[i][d].hi != node.subtree[i][d].hi) {
+          return violation("stale subtree aggregate (interval bounds)");
+        }
+      }
+    }
+  }
+  // (4) Routing cache vs linear scan, probed at child subtree box centers
+  // (where mismatches from a stale index are most likely to show). The
+  // ForwardTargets call may lazily build a cache — a deterministic,
+  // output-invariant side effect the hot path would perform anyway.
+  std::vector<common::EntityId> parents(1, common::kInvalidEntity);
+  for (const auto& [id, node] : nodes_) parents.push_back(id);
+  std::vector<common::EntityId> cached;
+  constexpr size_t kMaxProbesPerParent = 16;
+  for (common::EntityId parent : parents) {
+    const std::vector<common::EntityId>& children =
+        parent == common::kInvalidEntity ? source_children_
+                                         : nodes_.at(parent).children;
+    std::vector<std::vector<double>> probes;
+    for (common::EntityId child : children) {
+      for (const Box& b : nodes_.at(child).subtree) {
+        if (interest::BoxEmpty(b) || probes.size() >= kMaxProbesPerParent) {
+          continue;
+        }
+        std::vector<double> center(b.size());
+        for (size_t d = 0; d < b.size(); ++d) {
+          center[d] = 0.5 * (b[d].lo + b[d].hi);
+        }
+        probes.push_back(std::move(center));
+      }
+    }
+    for (const std::vector<double>& point : probes) {
+      ForwardTargets(parent, point.data(), /*early_filter=*/true, &cached);
+      std::vector<common::EntityId> scanned;
+      for (common::EntityId child : children) {
+        for (const Box& b : nodes_.at(child).subtree) {
+          if (interest::BoxContains(b, point.data())) {
+            scanned.push_back(child);
+            break;
+          }
+        }
+      }
+      if (cached != scanned) {
+        return violation("routing cache disagrees with linear scan");
+      }
+    }
+  }
+  return common::Status::OK();
+}
+
 bool DisseminationTree::LocalMatch(common::EntityId id,
                                    const double* point) const {
   auto it = nodes_.find(id);

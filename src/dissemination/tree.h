@@ -124,6 +124,17 @@ class DisseminationTree {
 
   int max_fanout() const { return config_.max_fanout; }
 
+  /// Audit sweep: re-derives ground truth and compares it to the live
+  /// structures. Verifies (1) parent/child symmetry — every node appears
+  /// exactly once as a child of its recorded parent; (2) acyclicity —
+  /// every parent chain reaches the source within size() hops; (3) each
+  /// node's cached subtree aggregate equals a fresh recomputation from
+  /// local + children (interval-exact, including coarsening); (4) cached
+  /// early-filter routing equals a plain linear scan over child subtree
+  /// boxes at probe points. Internal error naming the first violation;
+  /// read-only apart from deterministically pre-building route caches.
+  common::Status CheckInvariants() const;
+
  private:
   struct Node {
     common::EntityId parent = common::kInvalidEntity;  // invalid = source

@@ -119,6 +119,15 @@ class Entity {
 
   size_t query_count() const { return queries_.size(); }
 
+  /// Installed query ids, ascending (for conservation audits: the
+  /// system-level home map and the entity-level installs must agree).
+  std::vector<common::QueryId> InstalledQueries() const {
+    std::vector<common::QueryId> out;
+    out.reserve(queries_.size());
+    for (const auto& [id, state] : queries_) out.push_back(id);
+    return out;
+  }
+
   /// Entry point: a stream tuple reached this entity (delivered by the
   /// dissemination layer at the gateway, at the current simulated time).
   void OnStreamTuple(const engine::Tuple& tuple);

@@ -1,0 +1,207 @@
+#include "system/auditor.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "partition/query_graph.h"
+#include "system/system.h"
+#include "telemetry/json.h"
+
+namespace dsps::system {
+
+namespace {
+
+common::Status Violation(const std::string& what) {
+  return common::Status::Internal(what);
+}
+
+}  // namespace
+
+Auditor::Auditor(System* system, const Config& config)
+    : system_(system), config_(config) {
+  for (const char* name :
+       {"coordinator", "dissemination", "query_graph", "conservation"}) {
+    checks_.push_back(CheckStats{name, 0, 0, ""});
+  }
+  if (config_.metrics != nullptr) {
+    sweeps_counter_ = config_.metrics->counter("audit.sweeps");
+    violations_counter_ = config_.metrics->counter("audit.violations");
+    for (const CheckStats& check : checks_) {
+      check_counters_.push_back(config_.metrics->counter(
+          "audit.violations", telemetry::MakeLabels({{"check", check.name}})));
+    }
+  }
+}
+
+int Auditor::RunOnce() {
+  ++sweeps_;
+  if (sweeps_counter_ != nullptr) sweeps_counter_->Increment();
+  common::Status results[] = {CheckCoordinator(), CheckDissemination(),
+                              CheckQueryGraph(), CheckConservation()};
+  int found = 0;
+  for (size_t i = 0; i < checks_.size(); ++i) {
+    CheckStats& check = checks_[i];
+    check.runs += 1;
+    if (results[i].ok()) continue;
+    ++found;
+    check.violations += 1;
+    check.last_detail = results[i].ToString();
+    if (!check_counters_.empty()) check_counters_[i]->Increment();
+    if (config_.fatal) {
+      std::fprintf(stderr, "Auditor: %s invariant violated at t=%f: %s\n",
+                   check.name.c_str(), system_->now(),
+                   check.last_detail.c_str());
+      std::abort();
+    }
+  }
+  violations_ += found;
+  if (violations_counter_ != nullptr && found > 0) {
+    violations_counter_->Increment(found);
+  }
+  return found;
+}
+
+common::Status Auditor::CheckCoordinator() const {
+  return system_->coordinator_->CheckInvariants();
+}
+
+common::Status Auditor::CheckDissemination() const {
+  if (system_->disseminator_ == nullptr) return common::Status::OK();
+  for (common::StreamId s : system_->catalog_.streams()) {
+    const dissemination::DisseminationTree* tree =
+        system_->disseminator_->tree(s);
+    if (tree == nullptr) continue;
+    common::Status st = tree->CheckInvariants();
+    if (!st.ok()) {
+      return Violation("stream " + std::to_string(s) + ": " + st.message());
+    }
+  }
+  return common::Status::OK();
+}
+
+common::Status Auditor::CheckQueryGraph() const {
+  // The index exists only after the first repartition round; until then
+  // there is no cached structure to drift.
+  if (system_->graph_index_ == nullptr) return common::Status::OK();
+  std::vector<engine::Query> live;
+  live.reserve(system_->queries_.size());
+  for (const auto& [qid, q] : system_->queries_) live.push_back(q);
+  partition::QueryGraph fresh =
+      partition::QueryGraph::Build(live, system_->catalog_);
+  partition::QueryGraph cached = system_->graph_index_->Graph();
+  if (cached.num_vertices() != fresh.num_vertices()) {
+    return Violation("query graph: vertex count drifted");
+  }
+  // Exact comparison, matching graph_index_test: both sides build the
+  // same doubles from the same inputs, so any difference is drift.
+  if (cached.total_vertex_weight() != fresh.total_vertex_weight() ||
+      cached.total_edge_weight() != fresh.total_edge_weight()) {
+    return Violation("query graph: total weights drifted");
+  }
+  for (int v = 0; v < fresh.num_vertices(); ++v) {
+    if (cached.query(v) != fresh.query(v)) {
+      return Violation("query graph: vertex order drifted");
+    }
+    if (cached.vertex_weight(v) != fresh.vertex_weight(v)) {
+      return Violation("query graph: vertex weight drifted");
+    }
+    const auto& ca = cached.neighbors(v);
+    const auto& fa = fresh.neighbors(v);
+    if (ca.size() != fa.size()) {
+      return Violation("query graph: adjacency size drifted");
+    }
+    for (size_t i = 0; i < fa.size(); ++i) {
+      if (ca[i].first != fa[i].first || ca[i].second != fa[i].second) {
+        return Violation("query graph: adjacency drifted");
+      }
+    }
+  }
+  return common::Status::OK();
+}
+
+common::Status Auditor::CheckConservation() const {
+  const System& sys = *system_;
+  // queries_ and query_home_ are two views of "placed".
+  if (sys.queries_.size() != sys.query_home_.size()) {
+    return Violation("conservation: queries_/query_home_ size mismatch");
+  }
+  for (const auto& [qid, q] : sys.queries_) {
+    auto home = sys.query_home_.find(qid);
+    if (home == sys.query_home_.end()) {
+      return Violation("conservation: placed query has no home");
+    }
+    if (!sys.IsAlive(home->second)) {
+      return Violation("conservation: query homed on a dead entity");
+    }
+    if (sys.unplaced_.count(qid) > 0) {
+      return Violation("conservation: query both placed and unplaced");
+    }
+  }
+  // Admitted == placed + unplaced, nothing lost, nothing invented.
+  if (sys.accepted_.size() != sys.queries_.size() + sys.unplaced_.size()) {
+    return Violation("conservation: admitted != placed + unplaced");
+  }
+  for (common::QueryId qid : sys.accepted_) {
+    if (sys.queries_.count(qid) == 0 && sys.unplaced_.count(qid) == 0) {
+      return Violation("conservation: admitted query lost");
+    }
+  }
+  // The entities' own install maps must agree with the home map.
+  for (int e = 0; e < sys.num_entities(); ++e) {
+    std::set<common::QueryId> expect;
+    for (const auto& [qid, home] : sys.query_home_) {
+      if (home == e) expect.insert(qid);
+    }
+    std::vector<common::QueryId> installed =
+        sys.entities_[e]->InstalledQueries();
+    if (installed.size() != expect.size() ||
+        !std::equal(installed.begin(), installed.end(), expect.begin())) {
+      return Violation("conservation: entity " + std::to_string(e) +
+                       " installs disagree with home map");
+    }
+  }
+  return common::Status::OK();
+}
+
+std::string Auditor::ReportJson() const {
+  telemetry::JsonWriter w;
+  w.BeginObject();
+  w.Key("report").String("audit");
+  w.Key("sweeps").Int(sweeps_);
+  w.Key("violations").Int(violations_);
+  w.Key("checks").BeginArray();
+  for (const CheckStats& check : checks_) {
+    w.BeginObject();
+    w.Key("name").String(check.name);
+    w.Key("runs").Int(check.runs);
+    w.Key("violations").Int(check.violations);
+    w.Key("last_detail").String(check.last_detail);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+common::Status Auditor::WriteReport(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return common::Status::InvalidArgument("cannot open " + path);
+  os << ReportJson() << '\n';
+  os.flush();
+  if (!os) return common::Status::Internal("write failed for " + path);
+  return common::Status::OK();
+}
+
+double AuditIntervalFromEnv() {
+  const char* s = std::getenv("DSPS_AUDIT_INTERVAL");
+  if (s == nullptr || s[0] == '\0') return 0.0;
+  double v = std::strtod(s, nullptr);
+  return v > 0.0 ? v : 0.0;
+}
+
+}  // namespace dsps::system

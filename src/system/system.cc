@@ -392,6 +392,9 @@ common::Status System::InstallOn(common::EntityId entity,
     common::Status st = disseminator_->SetEntityInterest(entity, s, *boxes);
     if (!st.ok()) return st;
   }
+  // On the conservation ledger from here on: the query stays in
+  // accepted_ until RemoveQuery withdraws it, whichever homes it visits.
+  accepted_.insert(query.id);
   return common::Status::OK();
 }
 
@@ -462,13 +465,17 @@ common::Status System::RemoveQuery(common::QueryId query) {
   auto home_it = query_home_.find(query);
   if (home_it == query_home_.end()) {
     // A withdrawn query may be sitting in the unplaced queue.
-    if (unplaced_.erase(query) > 0) return common::Status::OK();
+    if (unplaced_.erase(query) > 0) {
+      accepted_.erase(query);
+      return common::Status::OK();
+    }
     return common::Status::NotFound("unknown query");
   }
   common::EntityId home = home_it->second;
   DSPS_RETURN_IF_ERROR(entities_[home]->RemoveQuery(query));
   query_home_.erase(home_it);
   queries_.erase(query);
+  accepted_.erase(query);
   GraphIndexRemove(query);
   RecomputeEntityInterest(home);
   return common::Status::OK();
@@ -522,6 +529,10 @@ int System::EvictEntity(common::EntityId entity) {
     }
   }
   failure_stats_.queries_rehomed += rehomed;
+  if (config_.trace != nullptr) {
+    config_.trace->RecordInstant("evict", simulator_->now(), entity,
+                                 static_cast<double>(orphans.size()));
+  }
   return rehomed;
 }
 
@@ -560,6 +571,9 @@ void System::ReadmitEntity(common::EntityId entity) {
   coordinator_->SetEntityInterest(entity, entity_interest_[entity]);
   if (detection_active_) monitor_.Register(entity, simulator_->now());
   failure_stats_.readmissions += 1;
+  if (config_.trace != nullptr) {
+    config_.trace->RecordInstant("readmit", simulator_->now(), entity);
+  }
   // A fresh empty entity is exactly where queued unplaced queries belong.
   if (!unplaced_.empty()) TryRehomeUnplaced();
 }
@@ -581,6 +595,9 @@ void System::HandleSuspect(common::EntityId entity) {
     return;
   }
   failure_stats_.detections += 1;
+  if (config_.trace != nullptr) {
+    config_.trace->RecordInstant("detect", simulator_->now(), entity);
+  }
   if (!std::isnan(crash_time_[entity])) {
     failure_stats_.detection_latency.Add(simulator_->now() -
                                          crash_time_[entity]);
@@ -669,12 +686,18 @@ void System::ScheduleCrash(common::EntityId entity, double crash_at,
       faults_->CrashNode(node);
     }
     crash_time_[entity] = simulator_->now();
+    if (config_.trace != nullptr) {
+      config_.trace->RecordInstant("crash", simulator_->now(), entity);
+    }
   });
   simulator_->ScheduleAt(recover_at, [this, entity]() {
     for (common::SimNodeId node : topology_.entities[entity].processors) {
       faults_->RecoverNode(node);
     }
     crash_time_[entity] = std::numeric_limits<double>::quiet_NaN();
+    if (config_.trace != nullptr) {
+      config_.trace->RecordInstant("recover", simulator_->now(), entity);
+    }
     // Re-admission is heartbeat-driven: the revived gateway resumes
     // beaconing and OnHeartbeat re-admits the entity if it was evicted.
   });
@@ -708,7 +731,14 @@ common::Status System::MigrateQuery(common::QueryId query,
   GraphIndexRemove(query);
   RecomputeEntityInterest(from);
   common::Status st = InstallOn(to, q);
-  if (st.ok() && query_migrations_counter_ != nullptr) {
+  if (!st.ok()) {
+    // The query left `from` but could not land on `to` (admission limit,
+    // install failure): park it in the unplaced queue like a failed
+    // re-home — a failed migration must never lose a query.
+    unplaced_[query] = q;
+    return st;
+  }
+  if (query_migrations_counter_ != nullptr) {
     query_migrations_counter_->Increment();
   }
   return st;
@@ -790,6 +820,10 @@ common::Result<System::RepartitionReport> System::RepartitionQueries(
     }
     if (MigrateQuery(live[i].id, target).ok()) ++report.migrations;
   }
+  if (config_.trace != nullptr) {
+    config_.trace->RecordInstant("repartition", simulator_->now(), -1,
+                                 static_cast<double>(report.migrations));
+  }
   return report;
 }
 
@@ -799,11 +833,17 @@ void System::MaintenanceRound() {
   maintenance_stats_.coordinator_messages += coordinator_->Maintain();
   if (disseminator_ != nullptr) {
     dissemination::TreeReorganizer reorganizer;
+    int round_moves = 0;
     for (common::StreamId s : catalog_.streams()) {
       dissemination::DisseminationTree* tree = disseminator_->mutable_tree(s);
       if (tree != nullptr) {
-        maintenance_stats_.tree_moves += reorganizer.Round(tree).moves;
+        round_moves += reorganizer.Round(tree).moves;
       }
+    }
+    maintenance_stats_.tree_moves += round_moves;
+    if (config_.trace != nullptr && round_moves > 0) {
+      config_.trace->RecordInstant("tree_reorg", simulator_->now(), -1,
+                                   static_cast<double>(round_moves));
     }
   }
   placement::Rebalancer rebalancer;
@@ -821,6 +861,102 @@ void System::EnableMaintenance(double period_s, double until) {
   simulator_->ScheduleAt(next, [this, period_s, until]() {
     MaintenanceRound();
     EnableMaintenance(period_s, until);
+  });
+}
+
+Auditor* System::EnableAudit(double period_s, double until, bool fatal) {
+  DSPS_CHECK(period_s > 0);
+  if (auditor_ == nullptr) {
+    Auditor::Config cfg;
+    cfg.fatal = fatal;
+    cfg.metrics = config_.metrics;
+    auditor_ = std::make_unique<Auditor>(this, cfg);
+  }
+  AuditTick(period_s, until);
+  return auditor_.get();
+}
+
+void System::AuditTick(double period_s, double until) {
+  double next = simulator_->now() + period_s;
+  if (next > until) return;
+  simulator_->ScheduleAt(next, [this, period_s, until]() {
+    auditor_->RunOnce();
+    AuditTick(period_s, until);
+  });
+}
+
+void System::RegisterSeriesProbes(telemetry::TimeSeriesRecorder* recorder) {
+  for (int e = 0; e < num_entities(); ++e) {
+    recorder->AddGaugeProbe(
+        "series.entity_load",
+        telemetry::MakeLabels({{"entity", std::to_string(e)}}),
+        [this, e] { return entities_[e]->TotalCommittedLoad(); });
+  }
+  recorder->AddGaugeProbe("series.load_imbalance", {}, [this] {
+    double total = 0.0, max_load = 0.0;
+    for (const auto& ent : entities_) {
+      double load = ent->TotalCommittedLoad();
+      total += load;
+      max_load = std::max(max_load, load);
+    }
+    double mean = total / std::max<size_t>(1, entities_.size());
+    return mean > 0 ? max_load / mean : 1.0;
+  });
+  // WAN classification mirrors Collect(): a link is LAN iff both
+  // endpoints sit inside one entity's processor set.
+  std::map<common::SimNodeId, int> entity_of_node;
+  for (const sim::EntitySite& site : topology_.entities) {
+    for (common::SimNodeId node : site.processors) {
+      entity_of_node[node] = site.entity;
+    }
+  }
+  recorder->AddRateProbe(
+      "series.wan_bytes_per_s", {},
+      [this, entity_of_node = std::move(entity_of_node)] {
+        double wan = 0.0;
+        for (const sim::Network::LinkRecord& link : network_->AllLinkStats()) {
+          auto a = entity_of_node.find(link.from);
+          auto b = entity_of_node.find(link.to);
+          bool lan = a != entity_of_node.end() && b != entity_of_node.end() &&
+                     a->second == b->second;
+          if (!lan) wan += static_cast<double>(link.stats.bytes);
+        }
+        return wan;
+      });
+  recorder->AddGaugeProbe("series.unplaced_queries", {}, [this] {
+    return static_cast<double>(unplaced_.size());
+  });
+  recorder->AddGaugeProbe("series.alive_entities", {}, [this] {
+    return static_cast<double>(num_alive());
+  });
+  recorder->AddGaugeProbe("series.detection_latency_ms", {}, [this] {
+    const common::Histogram& h = failure_stats_.detection_latency;
+    return h.count() > 0 ? h.mean() * 1e3 : 0.0;
+  });
+  recorder->AddRateProbe("series.repair_messages_per_s", {}, [this] {
+    return static_cast<double>(failure_stats_.repair_messages);
+  });
+  recorder->AddRateProbe("series.results_per_s", {}, [this] {
+    return static_cast<double>(metrics_.results);
+  });
+}
+
+void System::EnableTimeSeries(telemetry::TimeSeriesRecorder* recorder,
+                              double period_s, double until) {
+  DSPS_CHECK(recorder != nullptr);
+  DSPS_CHECK(period_s > 0);
+  RegisterSeriesProbes(recorder);
+  recorder->Sample(simulator_->now());
+  SampleTick(recorder, period_s, until);
+}
+
+void System::SampleTick(telemetry::TimeSeriesRecorder* recorder,
+                        double period_s, double until) {
+  double next = simulator_->now() + period_s;
+  if (next > until) return;
+  simulator_->ScheduleAt(next, [this, recorder, period_s, until]() {
+    recorder->Sample(simulator_->now());
+    SampleTick(recorder, period_s, until);
   });
 }
 

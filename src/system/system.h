@@ -22,8 +22,10 @@
 #include "placement/placement.h"
 #include "sim/fault_injector.h"
 #include "sim/topology.h"
+#include "system/auditor.h"
 #include "system/metrics.h"
 #include "telemetry/registry.h"
+#include "telemetry/timeseries.h"
 #include "telemetry/trace.h"
 #include "workload/stream_gen.h"
 
@@ -311,7 +313,34 @@ class System {
     return maintenance_stats_;
   }
 
+  /// Starts the periodic invariant auditor (see system/auditor.h): one
+  /// full sweep every `period_s` simulated seconds until `until`. The
+  /// sweeps are read-only observers — enabling them cannot change a
+  /// simulation's results. Returns the auditor (owned by the System) so
+  /// callers can read violation counts and write the JSON report;
+  /// repeated calls reuse the existing auditor. `fatal` aborts on the
+  /// first violation (defaults on in debug builds).
+  Auditor* EnableAudit(double period_s, double until,
+                       bool fatal = Auditor::Config().fatal);
+
+  /// The auditor, or null before EnableAudit.
+  Auditor* auditor() { return auditor_.get(); }
+
+  /// Registers this system's adaptation-trajectory probes on `recorder`:
+  /// per-entity committed load, load imbalance, WAN bytes/s, unplaced
+  /// queue depth, alive entities, detection latency, repair messages/s,
+  /// and results/s. The recorder must outlive the System's sampling.
+  void RegisterSeriesProbes(telemetry::TimeSeriesRecorder* recorder);
+
+  /// RegisterSeriesProbes + one immediate sample + periodic sampling every
+  /// `period_s` simulated seconds until `until`. Sampling is read-only:
+  /// it consumes no RNG and sends no messages, so enabling it cannot
+  /// perturb the simulation.
+  void EnableTimeSeries(telemetry::TimeSeriesRecorder* recorder,
+                        double period_s, double until);
+
  private:
+  friend class Auditor;
   common::Status InstallOn(common::EntityId entity, const engine::Query& query);
   common::EntityId AllocateOne(const engine::Query& query);
   void ScheduleEmission(size_t stream_index, double end_time);
@@ -333,6 +362,9 @@ class System {
   void HandleSuspect(common::EntityId entity);
   void HeartbeatTick(double until);
   void SweepTick(double until);
+  void AuditTick(double period_s, double until);
+  void SampleTick(telemetry::TimeSeriesRecorder* recorder, double period_s,
+                  double until);
   void ScheduleResultRetry(int64_t seq, double timeout_s);
 
   Config config_;
@@ -365,6 +397,13 @@ class System {
   std::vector<bool> departed_;
   /// Queries whose (re-)placement failed; kept queued for retry.
   std::map<common::QueryId, engine::Query> unplaced_;
+  /// Every query id ever admitted and not yet withdrawn — the auditor's
+  /// conservation ground truth: accepted_ == keys(queries_) ⊎
+  /// keys(unplaced_) at all times (eviction and migration move queries
+  /// between the two sides, never off the ledger).
+  std::set<common::QueryId> accepted_;
+  /// Invariant auditor (null until EnableAudit).
+  std::unique_ptr<Auditor> auditor_;
   /// Fault layer (null unless config_.inject_faults).
   std::unique_ptr<sim::FaultInjector> faults_;
   /// Crash instant of each entity's current window (for detection

@@ -48,13 +48,42 @@ void BenchReport::MergeSnapshot(const MetricsSnapshot& snapshot,
   }
 }
 
-std::string BenchReport::ToJson() const {
-  JsonWriter w;
-  w.BeginObject();
-  w.Key("bench").String(name_);
-  w.Key("metrics").Raw(registry_.Snapshot().ToJson());
-  w.EndObject();
-  return w.TakeString();
+void BenchReport::AttachSeries(const TimeSeriesRecorder* recorder,
+                               Labels labels) {
+  series_.emplace_back(recorder, std::move(labels));
+}
+
+std::string BenchReport::ToJson() {
+  auto render = [this] {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("bench").String(name_);
+    w.Key("metrics").Raw(registry_.Snapshot().ToJson());
+    bool any_series = false;
+    for (const auto& [recorder, labels] : series_) {
+      if (recorder->empty()) continue;
+      if (!any_series) {
+        w.Key("series").BeginArray();
+        any_series = true;
+      }
+      recorder->AppendJson(&w, labels);
+    }
+    if (any_series) w.EndArray();
+    w.EndObject();
+    return w.TakeString();
+  };
+  std::string body = render();
+  // Rendering may itself have pushed non-finite values through JsonNumber;
+  // fold the process-wide count in and re-render so the report admits to
+  // its own nulls. No counter is interned when the count is zero, keeping
+  // clean reports byte-identical to the pre-counter format.
+  int64_t nonfinite = NonfiniteJsonValues();
+  if (nonfinite > 0) {
+    Counter* c = registry_.counter("telemetry.nonfinite_values");
+    if (c->value() != nonfinite) c->Increment(nonfinite - c->value());
+    body = render();
+  }
+  return body;
 }
 
 std::string BenchReport::OutputPath() const {
@@ -65,7 +94,7 @@ std::string BenchReport::OutputPath() const {
   return prefix + "BENCH_" + name_ + ".json";
 }
 
-common::Status BenchReport::WriteFile() const {
+common::Status BenchReport::WriteFile() {
   std::string path = OutputPath();
   std::ofstream os(path);
   if (!os) return common::Status::InvalidArgument("cannot open " + path);
@@ -75,7 +104,7 @@ common::Status BenchReport::WriteFile() const {
   return common::Status::OK();
 }
 
-void BenchReport::WriteFileOrDie() const {
+void BenchReport::WriteFileOrDie() {
   common::Status s = WriteFile();
   if (!s.ok()) {
     std::fprintf(stderr, "BenchReport: %s\n", s.ToString().c_str());

@@ -3,9 +3,12 @@
 
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "telemetry/registry.h"
+#include "telemetry/timeseries.h"
 
 namespace dsps::telemetry {
 
@@ -38,19 +41,31 @@ class BenchReport {
   /// write into the report directly.
   MetricsRegistry* registry() { return &registry_; }
 
-  /// {"bench": name, "metrics": [...]}; deterministic for identical data.
-  std::string ToJson() const;
+  /// Attaches a time-series recorder; its windows appear as one block of
+  /// the report's "series" array, annotated with `labels` (e.g. the
+  /// scenario of this run). The recorder must outlive the report. Empty
+  /// recorders are skipped at serialization time, so attaching a
+  /// never-sampled recorder leaves the JSON byte-identical.
+  void AttachSeries(const TimeSeriesRecorder* recorder, Labels labels = {});
+
+  /// {"bench": name, "metrics": [...], "series": [...]}; deterministic
+  /// for identical data. "series" is present only when a non-empty
+  /// recorder is attached. Non-const: folds the process-wide non-finite
+  /// JSON value count (see JsonNumber) into a `telemetry.nonfinite_values`
+  /// counter so bad math is visible in the report itself.
+  std::string ToJson();
 
   /// Resolved output path (honors DSPS_BENCH_DIR).
   std::string OutputPath() const;
 
-  common::Status WriteFile() const;
+  common::Status WriteFile();
   /// WriteFile, aborting on failure (bench binaries have no error path).
-  void WriteFileOrDie() const;
+  void WriteFileOrDie();
 
  private:
   std::string name_;
   MetricsRegistry registry_;
+  std::vector<std::pair<const TimeSeriesRecorder*, Labels>> series_;
 };
 
 }  // namespace dsps::telemetry

@@ -1,0 +1,134 @@
+#include "telemetry/chrome_trace.h"
+
+#include <istream>
+#include <string>
+#include <utility>
+
+#include "telemetry/json.h"
+
+namespace dsps::telemetry {
+
+namespace {
+
+common::Status LineError(size_t line_no, const std::string& detail) {
+  return common::Status::InvalidArgument(
+      "trace JSONL line " + std::to_string(line_no) + ": " + detail);
+}
+
+}  // namespace
+
+common::Result<TraceRecords> ReadTraceJsonLines(std::istream& is) {
+  TraceRecords out;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto parsed = ParseJson(line);
+    if (!parsed.ok()) {
+      return LineError(line_no, parsed.status().message());
+    }
+    const JsonValue& v = parsed.value();
+    if (!v.is_object()) {
+      return LineError(line_no, "expected a JSON object");
+    }
+    if (const JsonValue* name = v.Find("instant"); name != nullptr) {
+      if (name->kind != JsonValue::Kind::kString) {
+        return LineError(line_no, "\"instant\" must be a string");
+      }
+      if (v.Find("t") == nullptr) {
+        return LineError(line_no, "instant missing \"t\"");
+      }
+      Instant instant;
+      instant.name = name->string;
+      instant.t = v.NumberOr("t", 0.0);
+      instant.node = static_cast<int32_t>(v.NumberOr("node", -1.0));
+      instant.value = v.NumberOr("value", 0.0);
+      out.instants.push_back(std::move(instant));
+      continue;
+    }
+    for (const char* key : {"trace", "stage", "start", "end"}) {
+      if (v.Find(key) == nullptr) {
+        return LineError(line_no,
+                         std::string("span missing \"") + key + "\"");
+      }
+    }
+    Span span;
+    span.trace = static_cast<int64_t>(v.NumberOr("trace", 0.0));
+    span.stage = StageFromName(v.StringOr("stage", "other"));
+    span.start = v.NumberOr("start", 0.0);
+    span.end = v.NumberOr("end", 0.0);
+    span.from = static_cast<int32_t>(v.NumberOr("from", -1.0));
+    span.to = static_cast<int32_t>(v.NumberOr("to", -1.0));
+    span.query = static_cast<int64_t>(v.NumberOr("query", -1.0));
+    out.spans.push_back(span);
+  }
+  // A truncated last line (no trailing newline, killed mid-write) still
+  // reaches getline and fails ParseJson above, so arriving here means the
+  // whole file parsed.
+  return out;
+}
+
+namespace {
+
+constexpr int kTuplePid = 1;
+constexpr int kSystemPid = 2;
+
+void WriteMetadata(JsonWriter* w, int pid, const char* process_name) {
+  w->BeginObject();
+  w->Key("ph").String("M");
+  w->Key("pid").Int(pid);
+  w->Key("tid").Int(0);
+  w->Key("name").String("process_name");
+  w->Key("args").BeginObject();
+  w->Key("name").String(process_name);
+  w->EndObject();
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string ToChromeTraceJson(const TraceRecords& records) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit").String("ms");
+  w.Key("traceEvents").BeginArray();
+  WriteMetadata(&w, kTuplePid, "dsps traced tuples");
+  WriteMetadata(&w, kSystemPid, "dsps system events");
+  for (const Span& span : records.spans) {
+    w.BeginObject();
+    w.Key("ph").String("X");
+    w.Key("pid").Int(kTuplePid);
+    // One Perfetto track per traced tuple: its spans line up causally.
+    w.Key("tid").Int(span.trace);
+    w.Key("name").String(StageName(span.stage));
+    // Simulated seconds -> trace-event microseconds.
+    w.Key("ts").Number(span.start * 1e6);
+    w.Key("dur").Number(span.duration() * 1e6);
+    w.Key("args").BeginObject();
+    if (span.from >= 0) w.Key("from").Int(span.from);
+    if (span.to >= 0) w.Key("to").Int(span.to);
+    if (span.query >= 0) w.Key("query").Int(span.query);
+    w.EndObject();
+    w.EndObject();
+  }
+  for (const Instant& instant : records.instants) {
+    w.BeginObject();
+    w.Key("ph").String("i");
+    w.Key("pid").Int(kSystemPid);
+    w.Key("tid").Int(0);
+    w.Key("name").String(instant.name);
+    w.Key("ts").Number(instant.t * 1e6);
+    w.Key("s").String("g");
+    w.Key("args").BeginObject();
+    if (instant.node >= 0) w.Key("node").Int(instant.node);
+    w.Key("value").Number(instant.value);
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace dsps::telemetry

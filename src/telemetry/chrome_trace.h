@@ -1,0 +1,38 @@
+#ifndef DSPS_TELEMETRY_CHROME_TRACE_H_
+#define DSPS_TELEMETRY_CHROME_TRACE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "telemetry/trace.h"
+
+namespace dsps::telemetry {
+
+/// Spans + instants re-read from the JSONL the sinks write. Decouples the
+/// exporter from a live TraceLog so tools/trace_export can run on a file
+/// long after the bench exited.
+struct TraceRecords {
+  std::vector<Span> spans;
+  std::vector<Instant> instants;
+};
+
+/// Parses the trace JSONL format (one span or instant object per line;
+/// blank lines allowed). Strict: any malformed line — including a
+/// truncated final line from a killed run — fails with its 1-based line
+/// number rather than silently dropping data.
+common::Result<TraceRecords> ReadTraceJsonLines(std::istream& is);
+
+/// Renders the records as a Chrome trace-event JSON document (the format
+/// chrome://tracing, Perfetto, and speedscope load):
+///  - process 1 "dsps traced tuples": one "X" (complete) event per span,
+///    one thread per trace id, ts/dur in microseconds of simulated time;
+///  - process 2 "dsps system events": one "i" (global instant) event per
+///    control-plane instant (repartition, tree_reorg, crash, ...).
+/// Deterministic byte-for-byte for identical records.
+std::string ToChromeTraceJson(const TraceRecords& records);
+
+}  // namespace dsps::telemetry
+
+#endif  // DSPS_TELEMETRY_CHROME_TRACE_H_

@@ -47,13 +47,27 @@ std::string JsonQuote(std::string_view s) {
   return out;
 }
 
+namespace {
+int64_t g_nonfinite_values = 0;
+}  // namespace
+
 std::string JsonNumber(double v) {
-  if (!std::isfinite(v)) return "0";
+  if (!std::isfinite(v)) {
+    ++g_nonfinite_values;
+    return "null";
+  }
   char buf[64];
   auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
-  if (ec != std::errc()) return "0";
+  if (ec != std::errc()) {
+    ++g_nonfinite_values;
+    return "null";
+  }
   return std::string(buf, ptr);
 }
+
+int64_t NonfiniteJsonValues() { return g_nonfinite_values; }
+
+void ResetNonfiniteJsonValues() { g_nonfinite_values = 0; }
 
 void JsonWriter::MaybeComma() {
   if (after_key_) {

@@ -14,9 +14,17 @@ namespace dsps::telemetry {
 /// Escapes `s` per RFC 8259 string rules and wraps it in double quotes.
 std::string JsonQuote(std::string_view s);
 
-/// Formats a double as a JSON number (shortest round-trippable form;
-/// non-finite values render as 0 since JSON has no Inf/NaN).
+/// Formats a double as a JSON number (shortest round-trippable form).
+/// JSON has no Inf/NaN, so non-finite values render as `null` and bump
+/// the process-wide counter below — silently writing 0 would let bad
+/// math hide inside otherwise-plausible bench numbers.
 std::string JsonNumber(double v);
+
+/// Number of non-finite doubles JsonNumber has rendered as null since
+/// process start (or the last reset). BenchReport folds this into a
+/// `telemetry.nonfinite_values` counter so it shows up in bench JSON.
+int64_t NonfiniteJsonValues();
+void ResetNonfiniteJsonValues();
 
 /// Minimal streaming JSON writer. Emits syntactically valid JSON as long
 /// as calls respect the grammar (the writer inserts commas, the caller

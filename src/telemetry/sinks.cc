@@ -25,9 +25,23 @@ std::string SpanToJson(const Span& span) {
   return w.TakeString();
 }
 
+std::string InstantToJson(const Instant& instant) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("instant").String(instant.name);
+  w.Key("t").Number(instant.t);
+  if (instant.node >= 0) w.Key("node").Int(instant.node);
+  if (instant.value != 0.0) w.Key("value").Number(instant.value);
+  w.EndObject();
+  return w.TakeString();
+}
+
 void WriteSpansJsonLines(const TraceLog& log, std::ostream& os) {
   for (const Span& span : log.spans()) {
     os << SpanToJson(span) << '\n';
+  }
+  for (const Instant& instant : log.instants()) {
+    os << InstantToJson(instant) << '\n';
   }
 }
 

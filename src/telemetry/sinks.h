@@ -13,8 +13,13 @@ namespace dsps::telemetry {
 /// Serializes one span as a single-line JSON object (no newline).
 std::string SpanToJson(const Span& span);
 
-/// Writes every retained span as one JSON object per line (JSONL), the
-/// format tools/trace_stats consumes.
+/// Serializes one instant event as a single-line JSON object (no
+/// newline). Distinguished from spans by its "instant" key.
+std::string InstantToJson(const Instant& instant);
+
+/// Writes every retained span — then every instant — as one JSON object
+/// per line (JSONL), the format tools/trace_stats and tools/trace_export
+/// consume.
 void WriteSpansJsonLines(const TraceLog& log, std::ostream& os);
 
 /// WriteSpansJsonLines into a file; fails with a Status on IO errors.

@@ -67,8 +67,19 @@ void TraceLog::RecordMessage(int64_t trace, int msg_type, double start,
   Record(trace, StageForMessageType(msg_type), start, end, from, to);
 }
 
+void TraceLog::RecordInstant(std::string_view name, double t, int32_t node,
+                             double value) {
+  if (!enabled()) return;
+  if (spans_.size() + instants_.size() >= config_.max_spans) {
+    ++dropped_;
+    return;
+  }
+  instants_.push_back(Instant{std::string(name), t, node, value});
+}
+
 void TraceLog::Clear() {
   spans_.clear();
+  instants_.clear();
   publications_ = 0;
   next_trace_ = 1;
   dropped_ = 0;

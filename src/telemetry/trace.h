@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -58,6 +59,20 @@ struct Span {
   double duration() const { return end - start; }
 };
 
+/// A point-in-time system event ("repartition", "tree_reorg", "crash",
+/// ...). Instants are not tied to a traced tuple; they mark the control
+/// plane's adaptation actions so exported traces show *why* the data
+/// plane's latencies shifted.
+struct Instant {
+  std::string name;
+  /// Simulated seconds.
+  double t = 0.0;
+  /// Affected sim node / entity id; -1 when not node-specific.
+  int32_t node = -1;
+  /// Event magnitude (queries migrated, entities moved, ...); 0 if n/a.
+  double value = 0.0;
+};
+
 /// Append-only log of spans for a sampled subset of tuples.
 ///
 /// Sampling is deterministic — every `sample_every_n`-th source
@@ -100,7 +115,13 @@ class TraceLog {
   void RecordMessage(int64_t trace, int msg_type, double start, double end,
                      int32_t from, int32_t to);
 
+  /// Records a system instant event (no-op when the log is disabled).
+  /// Instants share the max_spans budget with spans.
+  void RecordInstant(std::string_view name, double t, int32_t node = -1,
+                     double value = 0.0);
+
   const std::vector<Span>& spans() const { return spans_; }
+  const std::vector<Instant>& instants() const { return instants_; }
   int64_t traces_started() const { return next_trace_ - 1; }
   int64_t publications_seen() const { return publications_; }
   int64_t dropped_spans() const { return dropped_; }
@@ -111,6 +132,7 @@ class TraceLog {
  private:
   Config config_;
   std::vector<Span> spans_;
+  std::vector<Instant> instants_;
   std::map<int, Stage> stage_of_type_;
   int64_t publications_ = 0;
   int64_t next_trace_ = 1;

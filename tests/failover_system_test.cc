@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "system/auditor.h"
 #include "system/system.h"
 #include "workload/stream_gen.h"
 
@@ -15,6 +16,22 @@ namespace {
 uint64_t FaultSeed() {
   const char* s = std::getenv("DSPS_FAULT_SEED");
   return s == nullptr ? 1 : std::strtoull(s, nullptr, 10);
+}
+
+/// When CI also sets DSPS_AUDIT_INTERVAL, every fault test runs with the
+/// invariant auditor sweeping concurrently: the crash/repair machinery
+/// must hold the system's invariants under any fault schedule, not just
+/// pass its own assertions. Sweeps are read-only, so enabling them never
+/// changes what the tests observe.
+void MaybeEnableAudit(System* sys, double until) {
+  double period = AuditIntervalFromEnv();
+  if (period > 0) sys->EnableAudit(period, until);
+}
+
+void ExpectCleanAudit(System* sys) {
+  if (sys->auditor() == nullptr) return;
+  EXPECT_GT(sys->auditor()->sweeps(), 0);
+  EXPECT_EQ(sys->auditor()->violations(), 0);
 }
 
 System::Config FaultConfig(int num_entities = 4) {
@@ -68,6 +85,7 @@ TEST(FailoverSystemTest, CrashDetectedByHeartbeatsAndQueriesRehomed) {
     ASSERT_TRUE(sys.SubmitQuery(WideQuery(i, i % 2)).ok());
   }
   sys.EnableFailureDetection(FastDetection(), /*until=*/10.0);
+  MaybeEnableAudit(&sys, /*until=*/5.0);
   sys.GenerateTraffic(4.0);
   // Entity 1 crashes at t=1 and never recovers within the run.
   sys.ScheduleCrash(1, /*crash_at=*/1.0, /*recover_at=*/50.0);
@@ -95,6 +113,7 @@ TEST(FailoverSystemTest, CrashDetectedByHeartbeatsAndQueriesRehomed) {
   // The crash dropped real traffic (heartbeats and/or tuples), counted.
   EXPECT_GT(sys.Collect().dropped_messages, 0);
   EXPECT_GT(sys.fault_injector()->dropped_node_down(), 0);
+  ExpectCleanAudit(&sys);
 }
 
 TEST(FailoverSystemTest, SurvivorAtCapacityKeepsOrphansQueuedNotLost) {
@@ -144,6 +163,7 @@ TEST(FailoverSystemTest, RepeatedCrashRecoverCyclesReadmitEntity) {
     ASSERT_TRUE(sys.SubmitQuery(WideQuery(i, i % 2)).ok());
   }
   sys.EnableFailureDetection(FastDetection(), /*until=*/10.0);
+  MaybeEnableAudit(&sys, /*until=*/6.0);
   sys.ScheduleCrash(1, 1.0, 2.0);
   sys.ScheduleCrash(1, 3.0, 4.0);
   sys.RunUntil(6.0);
@@ -163,6 +183,7 @@ TEST(FailoverSystemTest, RepeatedCrashRecoverCyclesReadmitEntity) {
     ASSERT_NE(sys.EntityOf(i), common::kInvalidEntity);
     EXPECT_TRUE(sys.IsAlive(sys.EntityOf(i)));
   }
+  ExpectCleanAudit(&sys);
 }
 
 TEST(FailoverSystemTest, FalsePositiveEvictionSelfHealsViaHeartbeat) {
@@ -172,6 +193,7 @@ TEST(FailoverSystemTest, FalsePositiveEvictionSelfHealsViaHeartbeat) {
     ASSERT_TRUE(sys.SubmitQuery(WideQuery(i, i % 2)).ok());
   }
   sys.EnableFailureDetection(FastDetection(), /*until=*/10.0);
+  MaybeEnableAudit(&sys, /*until=*/4.0);
   ASSERT_NE(sys.monitor_node(), common::kInvalidSimNode);
   common::SimNodeId gw = sys.entity_at(1)->gateway_node();
 
@@ -197,6 +219,7 @@ TEST(FailoverSystemTest, FalsePositiveEvictionSelfHealsViaHeartbeat) {
   EXPECT_TRUE(sys.IsAlive(1));
   EXPECT_EQ(sys.num_alive(), 3);
   EXPECT_EQ(sys.unplaced_count(), 0);
+  ExpectCleanAudit(&sys);
 }
 
 TEST(FailoverSystemTest, NeverEvictsLastAliveEntity) {
@@ -205,6 +228,7 @@ TEST(FailoverSystemTest, NeverEvictsLastAliveEntity) {
   ASSERT_TRUE(sys.SubmitQuery(WideQuery(1, 0)).ok());
   ASSERT_TRUE(sys.SubmitQuery(WideQuery(2, 0)).ok());
   sys.EnableFailureDetection(FastDetection(), /*until=*/10.0);
+  MaybeEnableAudit(&sys, /*until=*/5.0);
   // Both entities go silent: one eviction is allowed, the survivor must
   // be spared no matter how late its heartbeats are.
   sys.ScheduleCrash(0, 1.0, 50.0);
@@ -212,6 +236,7 @@ TEST(FailoverSystemTest, NeverEvictsLastAliveEntity) {
   sys.RunUntil(5.0);
   EXPECT_EQ(sys.num_alive(), 1);
   EXPECT_GE(sys.failure_stats().skipped_last_alive, 1);
+  ExpectCleanAudit(&sys);
 }
 
 TEST(FailoverSystemTest, ReliableDisseminationSurvivesLossAndDuplication) {
@@ -224,6 +249,7 @@ TEST(FailoverSystemTest, ReliableDisseminationSurvivesLossAndDuplication) {
   sys.AddStreams(SmallStreams(2));
   ASSERT_TRUE(sys.SubmitQuery(WideQuery(1, 0)).ok());
   ASSERT_TRUE(sys.SubmitQuery(WideQuery(2, 1)).ok());
+  MaybeEnableAudit(&sys, /*until=*/5.0);
   sys.GenerateTraffic(1.0);
   sys.RunUntil(5.0);  // generous tail so every retry chain resolves
 
@@ -237,6 +263,7 @@ TEST(FailoverSystemTest, ReliableDisseminationSurvivesLossAndDuplication) {
   EXPECT_GT(diss->duplicates_suppressed_count(), 0);
   // Every reliable send was resolved: acked or counted as failed.
   EXPECT_EQ(diss->pending_reliable_count(), 0u);
+  ExpectCleanAudit(&sys);
 }
 
 TEST(FailoverSystemTest, ReliableClientResultsAreExactlyOnceUnderLoss) {
@@ -249,6 +276,7 @@ TEST(FailoverSystemTest, ReliableClientResultsAreExactlyOnceUnderLoss) {
   sys.AddStreams(SmallStreams(2));
   ASSERT_TRUE(sys.SubmitQuery(WideQuery(1, 0)).ok());
   ASSERT_TRUE(sys.SubmitQuery(WideQuery(2, 1)).ok());
+  MaybeEnableAudit(&sys, /*until=*/5.0);
   sys.GenerateTraffic(1.0);
   sys.RunUntil(5.0);
 
@@ -261,6 +289,7 @@ TEST(FailoverSystemTest, ReliableClientResultsAreExactlyOnceUnderLoss) {
   EXPECT_GT(sys.result_retries(), 0);
   // At 20% loss with 4 retries, nearly everything gets through.
   EXPECT_GT(m.client_results, m.results * 9 / 10);
+  ExpectCleanAudit(&sys);
 }
 
 TEST(FailoverSystemTest, FaultFreeRunsIdenticalWithAndWithoutFaultLayer) {

@@ -5,11 +5,16 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "engine/query_builder.h"
 #include "system/system.h"
+#include "telemetry/chrome_trace.h"
 #include "telemetry/registry.h"
+#include "telemetry/sinks.h"
 #include "telemetry/trace.h"
 #include "workload/stream_gen.h"
 
@@ -112,6 +117,63 @@ TEST(TelemetrySystemTest, MetricsAgreeWithSystemCounters) {
   const telemetry::MetricSample* net_bytes = snap.Find("net.bytes");
   ASSERT_NE(net_bytes, nullptr);
   EXPECT_GT(net_bytes->value, 0.0);
+}
+
+TEST(TelemetrySystemTest, CrashRunRecordsControlPlaneInstants) {
+  telemetry::TraceLog::Config tcfg;
+  // Tracing on (instants need an enabled log), but the sampling stride
+  // outruns the run: control-plane instants without per-tuple spans.
+  tcfg.sample_every_n = 1 << 20;
+  telemetry::TraceLog trace(tcfg);
+  System::Config cfg = BaseConfig();
+  cfg.topology.num_entities = 3;
+  cfg.trace = &trace;
+  cfg.inject_faults = true;
+  cfg.faults.seed = 5;
+  System sys(cfg);
+  workload::StockTickerGen::Config scfg;
+  scfg.tuples_per_s = 100.0;
+  interest::StreamCatalog scratch;
+  common::Rng rng(3);
+  sys.AddStreams(workload::MakeTickerStreams(1, scfg, &scratch, &rng));
+  for (int i = 1; i <= 3; ++i) {
+    auto q = engine::QueryBuilder(i).From(0, sys.catalog()).Build();
+    ASSERT_TRUE(q.ok());
+    ASSERT_TRUE(sys.SubmitQuery(q.value()).ok());
+  }
+  System::FailureDetectionConfig det;
+  det.heartbeat_period_s = 0.1;
+  det.timeout_s = 0.35;
+  det.sweep_period_s = 0.1;
+  sys.EnableFailureDetection(det, /*until=*/5.0);
+  sys.ScheduleCrash(1, /*crash_at=*/1.0, /*recover_at=*/2.5);
+  sys.GenerateTraffic(3.0);
+  sys.RunUntil(4.0);
+
+  // The crash/detect/evict/recover/readmit lifecycle left markers, in
+  // simulated-time order.
+  std::set<std::string> names;
+  double prev = 0.0;
+  for (const telemetry::Instant& instant : trace.instants()) {
+    names.insert(instant.name);
+    EXPECT_GE(instant.t, prev);
+    prev = instant.t;
+  }
+  for (const char* expected :
+       {"crash", "detect", "evict", "recover", "readmit"}) {
+    EXPECT_TRUE(names.count(expected)) << "missing instant: " << expected;
+  }
+
+  // The JSONL round-trip and the Chrome export both carry the instants.
+  std::ostringstream os;
+  WriteSpansJsonLines(trace, os);
+  std::istringstream is(os.str());
+  auto records = telemetry::ReadTraceJsonLines(is);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  EXPECT_EQ(records.value().instants.size(), trace.instants().size());
+  std::string chrome = telemetry::ToChromeTraceJson(records.value());
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"crash\""), std::string::npos);
 }
 
 TEST(TelemetrySystemTest, TelemetryDoesNotPerturbTheSimulation) {

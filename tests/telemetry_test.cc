@@ -1,12 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
 
 #include "telemetry/bench_report.h"
+#include "telemetry/chrome_trace.h"
 #include "telemetry/json.h"
 #include "telemetry/registry.h"
 #include "telemetry/sinks.h"
+#include "telemetry/timeseries.h"
 #include "telemetry/trace.h"
 
 namespace dsps::telemetry {
@@ -239,6 +243,217 @@ TEST(BenchReportTest, ProducesParseableJsonWithHeadlines) {
     }
   }
   EXPECT_TRUE(found_headline);
+}
+
+TEST(JsonTest, NonfiniteNumbersRenderNullAndCount) {
+  ResetNonfiniteJsonValues();
+  EXPECT_EQ(JsonNumber(1.5), "1.5");
+  EXPECT_EQ(NonfiniteJsonValues(), 0);
+  EXPECT_EQ(JsonNumber(std::nan("")), "null");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonNumber(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(NonfiniteJsonValues(), 3);
+  // null is still valid JSON inside any value position.
+  JsonWriter w;
+  w.BeginArray().Number(std::nan("")).Number(2.0).EndArray();
+  auto parsed = ParseJson(w.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed.value().items[0].kind, JsonValue::Kind::kNull);
+  ResetNonfiniteJsonValues();
+}
+
+TEST(MetricsRegistryTest, ShardedHistogramMergeEqualsUnion) {
+  // Per-shard registries merged into one must be indistinguishable —
+  // byte-for-byte in snapshot JSON — from a single registry that observed
+  // the union of samples.
+  MetricsRegistry shard_a, shard_b, whole;
+  for (int i = 1; i <= 50; ++i) {
+    shard_a.histogram("lat", MakeLabels({{"op", "x"}}))->Observe(i);
+    whole.histogram("lat", MakeLabels({{"op", "x"}}))->Observe(i);
+  }
+  for (int i = 51; i <= 100; ++i) {
+    shard_b.histogram("lat", MakeLabels({{"op", "x"}}))->Observe(i);
+    whole.histogram("lat", MakeLabels({{"op", "x"}}))->Observe(i);
+  }
+  shard_a.counter("n")->Increment(2);
+  shard_b.counter("n")->Increment(3);
+  whole.counter("n")->Increment(5);
+  shard_a.MergeFrom(shard_b);
+  EXPECT_EQ(shard_a.histogram("lat", MakeLabels({{"op", "x"}}))
+                ->data()
+                .count(),
+            100u);
+  EXPECT_EQ(shard_a.Snapshot().ToJson(), whole.Snapshot().ToJson());
+}
+
+TEST(BenchReportTest, NonfiniteHeadlineBecomesNullAndCounter) {
+  ResetNonfiniteJsonValues();
+  BenchReport report("nonfinite");
+  report.SetHeadline("ok_value", 2.0);
+  report.SetHeadline("bad_value", std::nan(""));
+  auto parsed = ParseJson(report.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const JsonValue* metrics = parsed.value().Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  bool saw_null = false;
+  double nonfinite_counter = 0.0;
+  for (const JsonValue& item : metrics->items) {
+    std::string name = item.StringOr("name", "");
+    if (name == "headline.bad_value") {
+      const JsonValue* v = item.Find("value");
+      ASSERT_NE(v, nullptr);
+      saw_null = v->kind == JsonValue::Kind::kNull;
+    } else if (name == "telemetry.nonfinite_values") {
+      nonfinite_counter = item.NumberOr("value", 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_null);
+  EXPECT_GT(nonfinite_counter, 0.0);
+  ResetNonfiniteJsonValues();
+}
+
+TEST(BenchReportTest, CleanReportHasNoNonfiniteCounterAndIsStable) {
+  ResetNonfiniteJsonValues();
+  BenchReport report("clean");
+  report.SetHeadline("v", 1.25);
+  std::string first = report.ToJson();
+  EXPECT_EQ(first.find("telemetry.nonfinite_values"), std::string::npos);
+  // Rendering is deterministic byte-for-byte.
+  EXPECT_EQ(report.ToJson(), first);
+}
+
+TEST(TimeSeriesRecorderTest, GaugeAndRateProbes) {
+  TimeSeriesRecorder rec;
+  double gauge = 10.0;
+  double cumulative = 0.0;
+  rec.AddGaugeProbe("g", {}, [&] { return gauge; });
+  rec.AddRateProbe("r", {}, [&] { return cumulative; });
+  rec.Sample(0.0);  // first window: rate 0
+  gauge = 20.0;
+  cumulative = 50.0;
+  rec.Sample(0.5);
+  gauge = 15.0;
+  cumulative = 60.0;
+  rec.Sample(1.0);
+  ASSERT_EQ(rec.num_samples(), 3u);
+  ASSERT_EQ(rec.num_series(), 2u);
+  EXPECT_EQ(rec.values(0), (std::vector<double>{10.0, 20.0, 15.0}));
+  EXPECT_EQ(rec.values(1), (std::vector<double>{0.0, 100.0, 20.0}));
+}
+
+TEST(TimeSeriesRecorderTest, SeriesSectionOnlyWhenNonEmpty) {
+  BenchReport report("ts_unit");
+  report.SetHeadline("v", 1.0);
+  TimeSeriesRecorder empty_rec;
+  report.AttachSeries(&empty_rec);
+  // An attached-but-never-sampled recorder emits nothing: the report is
+  // byte-identical to one with no recorder at all.
+  BenchReport bare("ts_unit");
+  bare.SetHeadline("v", 1.0);
+  EXPECT_EQ(report.ToJson(), bare.ToJson());
+  EXPECT_EQ(report.ToJson().find("\"series\""), std::string::npos);
+
+  TimeSeriesRecorder rec;
+  rec.AddGaugeProbe("load", MakeLabels({{"entity", "0"}}),
+                    [] { return 0.5; });
+  rec.Sample(0.0);
+  rec.Sample(1.0);
+  report.AttachSeries(&rec, MakeLabels({{"scenario", "unit"}}));
+  auto parsed = ParseJson(report.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const JsonValue* series = parsed.value().Find("series");
+  ASSERT_NE(series, nullptr);
+  ASSERT_TRUE(series->is_array());
+  ASSERT_EQ(series->items.size(), 1u);
+  const JsonValue& block = series->items[0];
+  const JsonValue* labels = block.Find("labels");
+  ASSERT_NE(labels, nullptr);
+  EXPECT_EQ(labels->StringOr("scenario", ""), "unit");
+  const JsonValue* t = block.Find("t");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->items.size(), 2u);
+  const JsonValue* inner = block.Find("series");
+  ASSERT_NE(inner, nullptr);
+  ASSERT_EQ(inner->items.size(), 1u);
+  EXPECT_EQ(inner->items[0].StringOr("name", ""), "load");
+  EXPECT_EQ(inner->items[0].Find("points")->items.size(), 2u);
+}
+
+TEST(ChromeTraceTest, ExportMatchesTraceEventSchema) {
+  TraceLog::Config cfg;
+  cfg.sample_every_n = 1;
+  TraceLog log(cfg);
+  int64_t t = log.MaybeStartTrace();
+  log.Record(t, Stage::kDisseminationHop, 0.0, 0.5, 1, 2);
+  log.Record(t, Stage::kResult, 0.0, 2.0, -1, -1, 7);
+  log.RecordInstant("repartition", 1.0, -1, 3.0);
+  log.RecordInstant("crash", 1.5, 4);
+  std::ostringstream os;
+  WriteSpansJsonLines(log, os);
+  std::istringstream is(os.str());
+  auto records = ReadTraceJsonLines(is);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  EXPECT_EQ(records.value().spans.size(), 2u);
+  EXPECT_EQ(records.value().instants.size(), 2u);
+
+  auto parsed = ParseJson(ToChromeTraceJson(records.value()));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const JsonValue& doc = parsed.value();
+  EXPECT_EQ(doc.StringOr("displayTimeUnit", ""), "ms");
+  const JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  int complete = 0, instants = 0, metadata = 0;
+  for (const JsonValue& ev : events->items) {
+    // Every event carries the trace-event required keys.
+    std::string ph = ev.StringOr("ph", "");
+    ASSERT_FALSE(ph.empty());
+    EXPECT_NE(ev.Find("pid"), nullptr);
+    EXPECT_NE(ev.Find("tid"), nullptr);
+    EXPECT_NE(ev.Find("name"), nullptr);
+    if (ph == "M") {
+      ++metadata;
+      continue;
+    }
+    EXPECT_NE(ev.Find("ts"), nullptr);
+    if (ph == "X") {
+      ++complete;
+      EXPECT_NE(ev.Find("dur"), nullptr);
+    } else if (ph == "i") {
+      ++instants;
+      EXPECT_EQ(ev.StringOr("s", ""), "g");
+    }
+  }
+  EXPECT_EQ(complete, 2);
+  EXPECT_EQ(instants, 2);
+  EXPECT_GE(metadata, 2);  // at least the two process_name records
+  // Simulated seconds scale to trace microseconds: the 2s result span.
+  bool found_2s = false;
+  for (const JsonValue& ev : events->items) {
+    if (ev.StringOr("ph", "") == "X" && ev.NumberOr("dur", 0) == 2e6) {
+      found_2s = true;
+    }
+  }
+  EXPECT_TRUE(found_2s);
+}
+
+TEST(ChromeTraceTest, StrictReaderRejectsTruncatedInput) {
+  TraceLog::Config cfg;
+  cfg.sample_every_n = 1;
+  TraceLog log(cfg);
+  int64_t t = log.MaybeStartTrace();
+  log.Record(t, Stage::kExecute, 0.0, 1.0);
+  log.Record(t, Stage::kResult, 0.0, 2.0);
+  std::ostringstream os;
+  WriteSpansJsonLines(log, os);
+  std::string full = os.str();
+  // Chop mid-way through the final line, as a killed writer would.
+  std::string truncated = full.substr(0, full.size() - 5);
+  std::istringstream is(truncated);
+  auto records = ReadTraceJsonLines(is);
+  ASSERT_FALSE(records.ok());
+  EXPECT_NE(records.status().message().find("line 2"), std::string::npos)
+      << records.status().message();
 }
 
 TEST(BenchReportTest, OutputPathHonorsEnvOverride) {

@@ -1,0 +1,147 @@
+// Health summarizer over the observability plane's machine-readable
+// outputs: audit reports (system::Auditor::WriteReport) and bench JSON
+// (telemetry::BenchReport). Prints one table row per file and exits
+// non-zero when anything is unhealthy, so CI can gate on it:
+//
+//   - an audit report is unhealthy when violations > 0 (or it recorded
+//     zero sweeps — an auditor that never ran proves nothing);
+//   - a bench report is unhealthy when its telemetry.nonfinite_values
+//     counter is non-zero (NaN/Inf leaked into the metrics).
+//
+// Usage: dsps_doctor <report.json>...
+// Exit status: 0 = healthy, 1 = violations found, 2 = usage/parse error.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "telemetry/json.h"
+
+namespace {
+
+using dsps::common::Table;
+using dsps::telemetry::JsonValue;
+using dsps::telemetry::ParseJson;
+
+struct FileHealth {
+  std::string path;
+  std::string kind;
+  std::string summary;
+  bool healthy = true;
+};
+
+/// {"report":"audit","sweeps":..,"violations":..,"checks":[...]}
+FileHealth SummarizeAudit(const std::string& path, const JsonValue& doc) {
+  FileHealth h;
+  h.path = path;
+  h.kind = "audit";
+  auto sweeps = static_cast<int64_t>(doc.NumberOr("sweeps", 0));
+  auto violations = static_cast<int64_t>(doc.NumberOr("violations", -1));
+  std::ostringstream os;
+  os << sweeps << " sweeps, " << violations << " violations";
+  if (violations != 0) {
+    h.healthy = false;
+    const JsonValue* checks = doc.Find("checks");
+    if (checks != nullptr && checks->is_array()) {
+      for (const JsonValue& check : checks->items) {
+        if (check.NumberOr("violations", 0) > 0) {
+          os << "; " << check.StringOr("name", "?") << ": "
+             << check.StringOr("last_detail", "?");
+          break;
+        }
+      }
+    }
+  } else if (sweeps == 0) {
+    h.healthy = false;
+    os << " (auditor never ran)";
+  }
+  h.summary = os.str();
+  return h;
+}
+
+/// {"bench":name,"metrics":[{"name":..,"value":..},...],...}
+FileHealth SummarizeBench(const std::string& path, const JsonValue& doc) {
+  FileHealth h;
+  h.path = path;
+  h.kind = "bench " + doc.StringOr("bench", "?");
+  double nonfinite = 0.0;
+  double audit_violations = 0.0;
+  size_t num_metrics = 0;
+  const JsonValue* metrics = doc.Find("metrics");
+  if (metrics != nullptr && metrics->is_array()) {
+    num_metrics = metrics->items.size();
+    for (const JsonValue& sample : metrics->items) {
+      std::string name = sample.StringOr("name", "");
+      if (name == "telemetry.nonfinite_values") {
+        nonfinite += sample.NumberOr("value", 0.0);
+      } else if (name == "audit.violations") {
+        audit_violations += sample.NumberOr("value", 0.0);
+      }
+    }
+  }
+  size_t num_series = 0;
+  const JsonValue* series = doc.Find("series");
+  if (series != nullptr && series->is_array()) num_series = series->items.size();
+  std::ostringstream os;
+  os << num_metrics << " metrics, " << num_series << " series blocks";
+  if (nonfinite > 0) {
+    h.healthy = false;
+    os << "; " << nonfinite << " non-finite values";
+  }
+  if (audit_violations > 0) {
+    h.healthy = false;
+    os << "; " << audit_violations << " audit violations";
+  }
+  h.summary = os.str();
+  return h;
+}
+
+int RunMain(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: dsps_doctor <report.json>..." << std::endl;
+    return 2;
+  }
+  std::vector<FileHealth> results;
+  for (int i = 1; i < argc; ++i) {
+    std::string path = argv[i];
+    std::ifstream file(path);
+    if (!file) {
+      std::cerr << "dsps_doctor: cannot open " << path << std::endl;
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << file.rdbuf();
+    auto parsed = ParseJson(buf.str());
+    if (!parsed.ok()) {
+      std::cerr << "dsps_doctor: " << path << ": "
+                << parsed.status().ToString() << std::endl;
+      return 2;
+    }
+    const JsonValue& doc = parsed.value();
+    if (doc.StringOr("report", "") == "audit") {
+      results.push_back(SummarizeAudit(path, doc));
+    } else if (doc.Find("bench") != nullptr) {
+      results.push_back(SummarizeBench(path, doc));
+    } else {
+      std::cerr << "dsps_doctor: " << path
+                << ": neither an audit report nor a bench report"
+                << std::endl;
+      return 2;
+    }
+  }
+  Table table({"file", "kind", "status", "summary"});
+  bool all_healthy = true;
+  for (const FileHealth& h : results) {
+    all_healthy = all_healthy && h.healthy;
+    table.AddRow({h.path, h.kind, h.healthy ? "OK" : "UNHEALTHY", h.summary});
+  }
+  table.Print("dsps_doctor");
+  return all_healthy ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return RunMain(argc, argv); }

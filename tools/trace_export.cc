@@ -1,0 +1,70 @@
+// Converts a span/instant JSONL log (the format
+// telemetry::WriteSpansJsonLines emits) into a Chrome trace-event JSON
+// document loadable by chrome://tracing, Perfetto (ui.perfetto.dev), and
+// speedscope. Traced tuples appear as one track each (their causal spans
+// laid out in simulated time); control-plane instants (repartition
+// rounds, tree reorganizations, crash/recover/detect events) appear as
+// global markers on a separate "system events" process.
+//
+// Input is parsed strictly: a malformed or truncated line fails the
+// whole export with its line number.
+//
+// Usage: trace_export <spans.jsonl> [out.json]
+//        ("-" reads stdin; default output is stdout)
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "telemetry/chrome_trace.h"
+
+namespace {
+
+int RunMain(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::cerr << "usage: trace_export <spans.jsonl> [out.json]  "
+                 "(\"-\" for stdin)"
+              << std::endl;
+    return 2;
+  }
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (std::string(argv[1]) != "-") {
+    file.open(argv[1]);
+    if (!file) {
+      std::cerr << "trace_export: cannot open " << argv[1] << std::endl;
+      return 1;
+    }
+    in = &file;
+  }
+  auto records = dsps::telemetry::ReadTraceJsonLines(*in);
+  if (!records.ok()) {
+    std::cerr << "trace_export: " << records.status().ToString()
+              << " — refusing to export partial input" << std::endl;
+    return 1;
+  }
+  std::string json = dsps::telemetry::ToChromeTraceJson(records.value());
+  if (argc == 3) {
+    std::ofstream out(argv[2]);
+    if (!out) {
+      std::cerr << "trace_export: cannot open " << argv[2] << std::endl;
+      return 1;
+    }
+    out << json << '\n';
+    out.flush();
+    if (!out) {
+      std::cerr << "trace_export: write failed for " << argv[2] << std::endl;
+      return 1;
+    }
+    std::cerr << "trace_export: wrote " << records.value().spans.size()
+              << " spans + " << records.value().instants.size()
+              << " instants to " << argv[2] << std::endl;
+  } else {
+    std::cout << json << std::endl;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return RunMain(argc, argv); }

@@ -1,9 +1,13 @@
-// Reads a span log (JSON lines, one span per line — the format
-// telemetry::WriteSpansJsonLines emits) and reports where traced tuples
-// spent their time: a per-stage latency table plus the mean end-to-end
+// Reads a span log (JSON lines, one span or instant per line — the
+// format telemetry::WriteSpansJsonLines emits) and reports where traced
+// tuples spent their time: a per-stage latency table plus the end-to-end
 // decomposition across complete traces (those with a `result` span),
 // mirroring the paper's delay breakdown d_k = dissemination + queueing +
 // execution + delivery.
+//
+// Input is parsed strictly: a malformed or truncated line (e.g. the
+// partial final line of a killed run) fails the whole invocation with
+// its line number — silently skipping lines would bias every statistic.
 //
 // Usage: trace_stats <spans.jsonl>   ("-" reads stdin)
 
@@ -16,34 +20,15 @@
 
 #include "common/stats.h"
 #include "common/table.h"
-#include "telemetry/json.h"
-#include "telemetry/sinks.h"
+#include "telemetry/chrome_trace.h"
 #include "telemetry/trace.h"
 
 namespace {
 
 using dsps::common::Table;
-using dsps::telemetry::JsonValue;
-using dsps::telemetry::ParseJson;
 using dsps::telemetry::Span;
 using dsps::telemetry::Stage;
-using dsps::telemetry::StageFromName;
 using dsps::telemetry::StageName;
-
-/// Parses one JSONL line into a Span; returns false on malformed input.
-bool ParseSpanLine(const std::string& line, Span* span) {
-  auto parsed = ParseJson(line);
-  if (!parsed.ok() || !parsed.value().is_object()) return false;
-  const JsonValue& v = parsed.value();
-  span->trace = static_cast<int64_t>(v.NumberOr("trace", 0));
-  span->stage = StageFromName(v.StringOr("stage", ""));
-  span->start = v.NumberOr("start", 0.0);
-  span->end = v.NumberOr("end", 0.0);
-  span->from = static_cast<int32_t>(v.NumberOr("from", -1));
-  span->to = static_cast<int32_t>(v.NumberOr("to", -1));
-  span->query = static_cast<int64_t>(v.NumberOr("query", -1));
-  return span->trace != 0;
-}
 
 void PrintPerStage(const std::vector<Span>& spans) {
   std::map<Stage, dsps::common::Histogram> per_stage;
@@ -62,9 +47,11 @@ void PrintPerStage(const std::vector<Span>& spans) {
   table.Print("Per-stage latency (all spans)");
 }
 
-/// Mean decomposition of end-to-end latency over complete traces. The
-/// residual row is end-to-end time not covered by any instrumented stage
-/// (ideally ~0: the stages partition the tuple's journey).
+/// Decomposition of end-to-end latency over complete traces: per stage,
+/// the distribution (mean/p50/p95/p99) of that stage's total time within
+/// one trace — a stage absent from a trace contributes 0, so the means
+/// still sum to the mean end-to-end. The residual row is end-to-end time
+/// not covered by any instrumented stage (ideally ~0).
 void PrintBreakdown(const std::vector<Span>& spans) {
   struct TraceAccum {
     std::map<Stage, double> stage_s;
@@ -81,36 +68,47 @@ void PrintBreakdown(const std::vector<Span>& spans) {
       acc.stage_s[s.stage] += s.duration();
     }
   }
-  std::map<Stage, dsps::common::RunningStat> mean_stage;
-  dsps::common::RunningStat mean_e2e, mean_residual;
+  std::vector<const TraceAccum*> complete;
+  std::map<Stage, dsps::common::Histogram> per_stage;
   for (const auto& [trace, acc] : traces) {
     if (acc.end_to_end < 0) continue;  // incomplete trace: no result span
-    double covered = 0.0;
-    for (const auto& [stage, seconds] : acc.stage_s) {
-      mean_stage[stage].Add(seconds);
-      covered += seconds;
-    }
-    mean_e2e.Add(acc.end_to_end);
-    mean_residual.Add(acc.end_to_end - covered);
+    complete.push_back(&acc);
+    for (const auto& [stage, seconds] : acc.stage_s) (void)per_stage[stage];
   }
-  if (mean_e2e.count() == 0) {
+  if (complete.empty()) {
     std::cout << "No complete traces (no `result` spans); breakdown skipped."
               << std::endl;
     return;
   }
-  Table table({"stage", "mean ms/trace", "% of end-to-end"});
-  for (const auto& [stage, stat] : mean_stage) {
-    table.AddRow({StageName(stage), Table::Num(stat.sum() / mean_e2e.count() * 1e3, 4),
-                  Table::Num(100.0 * stat.sum() / mean_e2e.sum(), 1)});
+  dsps::common::Histogram e2e, residual;
+  for (const TraceAccum* acc : complete) {
+    double covered = 0.0;
+    for (auto& [stage, hist] : per_stage) {
+      auto it = acc->stage_s.find(stage);
+      double seconds = it == acc->stage_s.end() ? 0.0 : it->second;
+      hist.Add(seconds);
+      covered += seconds;
+    }
+    e2e.Add(acc->end_to_end);
+    residual.Add(acc->end_to_end - covered);
   }
-  table.AddRow({"(unattributed)",
-                Table::Num(mean_residual.sum() / mean_e2e.count() * 1e3, 4),
-                Table::Num(100.0 * mean_residual.sum() / mean_e2e.sum(), 1)});
-  table.AddRow({"end-to-end", Table::Num(mean_e2e.mean() * 1e3, 4),
-                Table::Num(100.0, 1)});
+  Table table({"stage", "mean ms", "p50 ms", "p95 ms", "p99 ms",
+               "% of end-to-end"});
+  auto row = [&](const char* name, const dsps::common::Histogram& hist) {
+    table.AddRow({name, Table::Num(hist.mean() * 1e3, 4),
+                  Table::Num(hist.p50() * 1e3, 4),
+                  Table::Num(hist.p95() * 1e3, 4),
+                  Table::Num(hist.p99() * 1e3, 4),
+                  Table::Num(100.0 * hist.mean() * hist.count() /
+                                 (e2e.mean() * e2e.count()),
+                             1)});
+  };
+  for (const auto& [stage, hist] : per_stage) row(StageName(stage), hist);
+  row("(unattributed)", residual);
+  row("end-to-end", e2e);
   std::ostringstream title;
-  title << "End-to-end decomposition over "
-        << static_cast<int64_t>(mean_e2e.count()) << " complete traces";
+  title << "End-to-end decomposition over " << complete.size()
+        << " complete traces (per-trace totals)";
   table.Print(title.str());
 }
 
@@ -130,28 +128,19 @@ int RunMain(int argc, char** argv) {
     }
     in = &file;
   }
-  std::vector<Span> spans;
-  int64_t malformed = 0;
-  std::string line;
-  while (std::getline(*in, line)) {
-    if (line.empty()) continue;
-    Span span;
-    if (ParseSpanLine(line, &span)) {
-      spans.push_back(span);
-    } else {
-      ++malformed;
-    }
-  }
-  if (spans.empty()) {
-    std::cerr << "trace_stats: no valid spans in input (" << malformed
-              << " malformed lines)" << std::endl;
+  auto records = dsps::telemetry::ReadTraceJsonLines(*in);
+  if (!records.ok()) {
+    std::cerr << "trace_stats: " << records.status().ToString()
+              << " — refusing to report on partial input" << std::endl;
     return 1;
   }
-  if (malformed > 0) {
-    std::cerr << "trace_stats: skipped " << malformed << " malformed lines"
-              << std::endl;
+  const std::vector<Span>& spans = records.value().spans;
+  if (spans.empty()) {
+    std::cerr << "trace_stats: no spans in input" << std::endl;
+    return 1;
   }
-  std::cout << "spans: " << spans.size() << std::endl;
+  std::cout << "spans: " << spans.size()
+            << "  instants: " << records.value().instants.size() << std::endl;
   PrintPerStage(spans);
   PrintBreakdown(spans);
   return 0;
