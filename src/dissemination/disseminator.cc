@@ -23,6 +23,8 @@ Disseminator::Disseminator(sim::Network* network, const Config& config)
           config_.metrics->counter("dissemination.delivery_failed");
       duplicates_counter_ =
           config_.metrics->counter("dissemination.duplicates_suppressed");
+      retries_cancelled_counter_ =
+          config_.metrics->counter("dissemination.retries_cancelled");
     }
   }
 }
@@ -69,8 +71,12 @@ common::Status Disseminator::RemoveEntity(common::EntityId id) {
       DSPS_RETURN_IF_ERROR(tree->RemoveEntity(id));
     }
   }
-  // Abandon reliable sends addressed to the removed entity: it will never
-  // ack, so retrying is pointless. Counted, not silent.
+  // Abandon reliable sends addressed to the removed entity (it will never
+  // ack — counted as delivery failures) and cancel sends *from* its
+  // gateway (the sender process is gone; its retransmissions would only
+  // burn simulated bandwidth on a peer known dead, running to max_retries
+  // for nothing — counted as cancelled). The retry timers themselves are
+  // inert once the pending entry is erased.
   if (config_.reliable) {
     common::SimNodeId gone = it->second;
     for (auto p = pending_.begin(); p != pending_.end();) {
@@ -78,6 +84,12 @@ common::Status Disseminator::RemoveEntity(common::EntityId id) {
         delivery_failures_ += 1;
         if (delivery_failed_counter_ != nullptr) {
           delivery_failed_counter_->Increment();
+        }
+        p = pending_.erase(p);
+      } else if (p->second.msg.from == gone) {
+        retries_cancelled_ += 1;
+        if (retries_cancelled_counter_ != nullptr) {
+          retries_cancelled_counter_->Increment();
         }
         p = pending_.erase(p);
       } else {

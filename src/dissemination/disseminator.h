@@ -127,6 +127,10 @@ class Disseminator {
   int64_t duplicates_suppressed_count() const {
     return duplicates_suppressed_;
   }
+  /// Pending sends abandoned because their *sender* gateway was removed
+  /// (RemoveEntity): a dead process cannot retransmit, so its ack/retry
+  /// timers are cancelled instead of running to max_retries.
+  int64_t retries_cancelled_count() const { return retries_cancelled_; }
   /// Sends awaiting an ack right now.
   size_t pending_reliable_count() const { return pending_.size(); }
 
@@ -178,9 +182,11 @@ class Disseminator {
   int64_t retries_ = 0;
   int64_t delivery_failures_ = 0;
   int64_t duplicates_suppressed_ = 0;
+  int64_t retries_cancelled_ = 0;
   telemetry::Counter* retries_counter_ = nullptr;
   telemetry::Counter* delivery_failed_counter_ = nullptr;
   telemetry::Counter* duplicates_counter_ = nullptr;
+  telemetry::Counter* retries_cancelled_counter_ = nullptr;
 };
 
 }  // namespace dsps::dissemination

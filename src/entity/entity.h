@@ -66,6 +66,11 @@ class Entity {
     /// Baseline knob (Figure 3 ablation): route every stream through
     /// processor 0 instead of per-stream delegates.
     bool single_receiver = false;
+    /// Fault domain (rack/site) this entity's processors share — set
+    /// from TopologyConfig::num_fault_domains by the System so placement
+    /// can straddle domains; the auditor cross-checks the placement
+    /// map's domain view against this ground truth.
+    int fault_domain = 0;
     /// When set, delegates use a per-stream BoxIndex over the queries'
     /// interests to fan tuples out only to queries whose filter can
     /// match — the delegate's hot loop goes from O(queries) to O(cell).
@@ -91,6 +96,7 @@ class Entity {
   Entity& operator=(const Entity&) = delete;
 
   common::EntityId id() const { return id_; }
+  int fault_domain() const { return config_.fault_domain; }
   common::SimNodeId gateway_node() const;
   int num_processors() const { return static_cast<int>(processors_.size()); }
   Processor* processor(common::ProcessorId id);

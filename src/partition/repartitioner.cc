@@ -281,4 +281,22 @@ RepartitionResult HybridRepartitioner::Repartition(
   return r;
 }
 
+AssignmentQuality EvaluateAssignment(const QueryGraph& graph,
+                                     const std::vector<int>& assignment,
+                                     int k) {
+  AssignmentQuality q;
+  q.edge_cut = graph.EdgeCut(assignment);
+  q.imbalance = graph.Imbalance(assignment, k);
+  return q;
+}
+
+std::unique_ptr<Repartitioner> MakeRepartitioner(const std::string& name) {
+  if (name == "scratch") return std::make_unique<ScratchRepartitioner>();
+  if (name == "incremental") {
+    return std::make_unique<IncrementalRepartitioner>();
+  }
+  if (name == "hybrid") return std::make_unique<HybridRepartitioner>();
+  return nullptr;
+}
+
 }  // namespace dsps::partition

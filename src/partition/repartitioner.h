@@ -2,6 +2,7 @@
 #define DSPS_PARTITION_REPARTITIONER_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "partition/partitioner.h"
@@ -94,6 +95,21 @@ class HybridRepartitioner : public Repartitioner {
  private:
   Config config_;
 };
+
+/// Cut/imbalance of an arbitrary assignment — the common yardstick for
+/// comparing repartitioning strategies against algorithmic (placement-map)
+/// assignments that no Repartitioner produced.
+struct AssignmentQuality {
+  double edge_cut = 0.0;
+  double imbalance = 1.0;
+};
+AssignmentQuality EvaluateAssignment(const QueryGraph& graph,
+                                     const std::vector<int>& assignment,
+                                     int k);
+
+/// Strategy selection by name ("scratch", "incremental", "hybrid") for
+/// benches and CI legs that sweep strategies; null for unknown names.
+std::unique_ptr<Repartitioner> MakeRepartitioner(const std::string& name);
 
 /// Relabels `new_assignment`'s part ids to maximize vertex-weight overlap
 /// with `old_assignment` (greedy max-weight matching on the k x k overlap

@@ -1,0 +1,90 @@
+#ifndef DSPS_PLACEMENT_PLACEMENT_MAP_H_
+#define DSPS_PLACEMENT_PLACEMENT_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace dsps::placement {
+
+/// Lamping-Veach jump consistent hash: maps `key` uniformly into
+/// [0, num_buckets) such that growing the bucket count only remaps keys
+/// into the newly added bucket (minimal disruption).
+int32_t JumpConsistentHash(uint64_t key, int32_t num_buckets);
+
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit hash.
+uint64_t HashMix(uint64_t x);
+
+/// DAOS-style algorithmic placement map over fault domains.
+///
+/// Entities (dense ids [0, n)) are assigned to fault domains (racks /
+/// sites — components that fail together). The map builds several
+/// independent consistent-hash rings, each holding `vnodes` pseudo-random
+/// virtual points per entity; a query is routed by jump-hashing onto one
+/// ring and walking it clockwise from its hashed start position,
+/// collecting a primary plus `replicas` warm-standby targets that straddle
+/// distinct fault domains for as long as distinct domains remain.
+///
+/// The payoff is declustering: two queries co-resident on one entity walk
+/// different rings from different offsets, so when that entity fails their
+/// standby targets scatter across *all* survivors instead of piling onto
+/// one neighbor — rebuild work spreads, and recovery time shrinks roughly
+/// with the survivor count. Placement is stateless (any holder of the map
+/// computes identical targets) and minimally disruptive: an entity's death
+/// only changes the target lists that contained it.
+class PlacementMap {
+ public:
+  struct Config {
+    /// Warm standbys per query (k). Targets() returns up to replicas + 1
+    /// entities: primary first, standbys after.
+    int replicas = 2;
+    /// Independent rings; more rings → better declustering of co-resident
+    /// queries at map-build cost.
+    int rings = 4;
+    /// Virtual points per entity per ring.
+    int vnodes = 16;
+    uint64_t seed = 0x9E3779B97F4A7C15ull;
+  };
+
+  /// `domain_of[e]` is the fault domain of entity id `e`; every entity in
+  /// [0, domain_of.size()) starts alive.
+  PlacementMap(std::vector<int> domain_of, const Config& config);
+
+  int num_entities() const { return static_cast<int>(domain_of_.size()); }
+  int num_domains() const { return num_domains_; }
+  int domain_of(common::EntityId entity) const { return domain_of_[entity]; }
+  const Config& config() const { return config_; }
+
+  /// Membership: dead entities are transparently skipped by Targets.
+  void SetAlive(common::EntityId entity, bool alive);
+  bool IsAlive(common::EntityId entity) const;
+  int num_alive() const;
+
+  /// The query's primary plus up to Config::replicas standbys — all
+  /// alive, all distinct, and in pairwise-distinct fault domains while
+  /// unused domains remain (the declustering walk relaxes the domain
+  /// constraint only once every alive domain is represented). Empty iff
+  /// no entity is alive. Stateless: equal maps give equal answers.
+  std::vector<common::EntityId> Targets(common::QueryId query) const;
+
+  /// Targets(query)[0]; kInvalidEntity when nothing is alive.
+  common::EntityId Primary(common::QueryId query) const;
+
+ private:
+  struct RingPoint {
+    uint64_t pos = 0;
+    common::EntityId entity = common::kInvalidEntity;
+  };
+
+  Config config_;
+  std::vector<int> domain_of_;
+  std::vector<bool> alive_;
+  int num_domains_ = 0;
+  /// rings_[r] sorted by (pos, entity).
+  std::vector<std::vector<RingPoint>> rings_;
+};
+
+}  // namespace dsps::placement
+
+#endif  // DSPS_PLACEMENT_PLACEMENT_MAP_H_

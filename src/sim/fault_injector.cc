@@ -65,6 +65,15 @@ bool FaultInjector::IsNodeUp(common::SimNodeId node) const {
   return down_nodes_.count(node) == 0;
 }
 
+void FaultInjector::CrashGroup(const std::vector<common::SimNodeId>& nodes) {
+  for (common::SimNodeId node : nodes) CrashNode(node);
+  correlated_crashes_ += 1;
+}
+
+void FaultInjector::RecoverGroup(const std::vector<common::SimNodeId>& nodes) {
+  for (common::SimNodeId node : nodes) RecoverNode(node);
+}
+
 void FaultInjector::Partition(common::SimNodeId a, common::SimNodeId b) {
   partitions_.insert(Ordered(a, b));
 }

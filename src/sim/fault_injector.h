@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 #include <utility>
+#include <vector>
 
 #include "common/ids.h"
 #include "common/rng.h"
@@ -71,6 +72,15 @@ class FaultInjector {
   void RecoverNode(common::SimNodeId node);
   bool IsNodeUp(common::SimNodeId node) const;
 
+  /// Correlated failure: crashes (recovers) every node of the group as
+  /// one event — a whole rack or site going dark at once, the scenario
+  /// declustered placement must straddle. Counted separately from
+  /// independent crashes so benches can report how many correlated
+  /// events a run survived.
+  void CrashGroup(const std::vector<common::SimNodeId>& nodes);
+  void RecoverGroup(const std::vector<common::SimNodeId>& nodes);
+  int64_t correlated_crash_events() const { return correlated_crashes_; }
+
   /// Blocks the (a, b) pair in both directions until Heal. Idempotent.
   void Partition(common::SimNodeId a, common::SimNodeId b);
   void Heal(common::SimNodeId a, common::SimNodeId b);
@@ -114,6 +124,7 @@ class FaultInjector {
   int64_t dropped_partition_ = 0;
   int64_t dropped_loss_ = 0;
   int64_t duplicated_ = 0;
+  int64_t correlated_crashes_ = 0;
   telemetry::Counter* drop_node_down_counter_ = nullptr;
   telemetry::Counter* drop_partition_counter_ = nullptr;
   telemetry::Counter* drop_loss_counter_ = nullptr;

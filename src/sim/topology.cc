@@ -1,6 +1,8 @@
 #include "sim/topology.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "common/check.h"
 
@@ -31,9 +33,18 @@ Topology BuildTopology(Network* network, const TopologyConfig& config,
 
   Topology topo;
   topo.entities.reserve(config.num_entities);
+  const int domains = config.num_fault_domains > 0
+                          ? std::min(config.num_fault_domains,
+                                     config.num_entities)
+                          : config.num_entities;
   for (int e = 0; e < config.num_entities; ++e) {
     EntitySite site;
     site.entity = e;
+    // Contiguous blocks, no RNG: domain assignment never perturbs the
+    // node/position draws, so topologies stay bit-identical across
+    // num_fault_domains settings.
+    site.fault_domain = static_cast<int>(
+        static_cast<int64_t>(e) * domains / config.num_entities);
     site.center = Point{rng->Uniform(0, config.world_size),
                         rng->Uniform(0, config.world_size)};
     site.processors.reserve(config.processors_per_entity);

@@ -15,6 +15,12 @@ struct TopologyConfig {
   int num_entities = 4;
   int processors_per_entity = 4;
   int num_sources = 2;
+  /// Fault domains (racks / sites — groups of entities that fail
+  /// together). Entities are assigned to domains in contiguous blocks:
+  /// entity e gets domain e * num_fault_domains / num_entities. 0 (the
+  /// default) gives every entity its own domain — independent failures,
+  /// the pre-fault-domain behavior.
+  int num_fault_domains = 0;
   /// Entities and sources are placed uniformly in [0, world_size]^2.
   double world_size = 1000.0;
   /// Processors of one entity are placed within this radius of its center.
@@ -31,6 +37,8 @@ struct TopologyConfig {
 struct EntitySite {
   common::EntityId entity = common::kInvalidEntity;
   Point center;
+  /// The entity's fault domain (see TopologyConfig::num_fault_domains).
+  int fault_domain = 0;
   /// One sim node per processor; processors[0] is also the entity's
   /// wrapper/gateway node for inter-entity traffic.
   std::vector<common::SimNodeId> processors;

@@ -24,8 +24,8 @@ common::Status Violation(const std::string& what) {
 
 Auditor::Auditor(System* system, const Config& config)
     : system_(system), config_(config) {
-  for (const char* name :
-       {"coordinator", "dissemination", "query_graph", "conservation"}) {
+  for (const char* name : {"coordinator", "dissemination", "query_graph",
+                           "conservation", "replica_placement"}) {
     checks_.push_back(CheckStats{name, 0, 0, ""});
   }
   if (config_.metrics != nullptr) {
@@ -42,7 +42,8 @@ int Auditor::RunOnce() {
   ++sweeps_;
   if (sweeps_counter_ != nullptr) sweeps_counter_->Increment();
   common::Status results[] = {CheckCoordinator(), CheckDissemination(),
-                              CheckQueryGraph(), CheckConservation()};
+                              CheckQueryGraph(), CheckConservation(),
+                              CheckReplicaPlacement()};
   int found = 0;
   for (size_t i = 0; i < checks_.size(); ++i) {
     CheckStats& check = checks_[i];
@@ -163,6 +164,64 @@ common::Status Auditor::CheckConservation() const {
         !std::equal(installed.begin(), installed.end(), expect.begin())) {
       return Violation("conservation: entity " + std::to_string(e) +
                        " installs disagree with home map");
+    }
+  }
+  return common::Status::OK();
+}
+
+common::Status Auditor::CheckReplicaPlacement() const {
+  const System& sys = *system_;
+  // Only placement-map mode has a map to drift; other modes are clean by
+  // construction (the check never fires, keeping the sweep cost zero).
+  if (sys.placement_map_ == nullptr) return common::Status::OK();
+  const placement::PlacementMap& map = *sys.placement_map_;
+  for (int e = 0; e < sys.num_entities(); ++e) {
+    if (map.IsAlive(e) != sys.alive_[e]) {
+      return Violation("replica_placement: map alive set disagrees at entity " +
+                       std::to_string(e));
+    }
+    // The map's domain view must match the entities' own ground truth —
+    // a drifted copy would straddle the wrong failure-correlation sets.
+    if (map.domain_of(e) != sys.entities_[e]->fault_domain()) {
+      return Violation("replica_placement: map domain disagrees at entity " +
+                       std::to_string(e));
+    }
+  }
+  std::set<int> alive_domains;
+  for (int e = 0; e < sys.num_entities(); ++e) {
+    if (sys.alive_[e]) {
+      alive_domains.insert(sys.topology_.entities[e].fault_domain);
+    }
+  }
+  for (const auto& [qid, home] : sys.query_home_) {
+    std::vector<common::EntityId> targets = map.Targets(qid);
+    std::set<common::EntityId> distinct;
+    std::set<int> domains;
+    for (common::EntityId t : targets) {
+      if (!sys.IsAlive(t)) {
+        return Violation("replica_placement: dead target for query " +
+                         std::to_string(qid));
+      }
+      if (!distinct.insert(t).second) {
+        return Violation("replica_placement: duplicate target for query " +
+                         std::to_string(qid));
+      }
+      domains.insert(sys.topology_.entities[t].fault_domain);
+    }
+    // Declustering: replica targets straddle fault domains whenever
+    // enough alive domains exist to make that possible.
+    size_t want = std::min(targets.size(), alive_domains.size());
+    if (domains.size() < want) {
+      return Violation(
+          "replica_placement: targets of query " + std::to_string(qid) +
+          " cover " + std::to_string(domains.size()) + " fault domains, " +
+          std::to_string(want) + " possible");
+    }
+    if (sys.off_map_.count(qid) > 0) continue;
+    if (std::find(targets.begin(), targets.end(), home) == targets.end()) {
+      return Violation("replica_placement: home of query " +
+                       std::to_string(qid) +
+                       " is not a map target and not on the off-map ledger");
     }
   }
   return common::Status::OK();

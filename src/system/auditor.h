@@ -32,7 +32,14 @@ class System;
 ///                   weights and adjacency);
 ///  - conservation:  every admitted query is placed on exactly one alive
 ///                   entity or queued as unplaced — never both, never
-///                   lost — and the entities' own installs agree.
+///                   lost — and the entities' own installs agree;
+///  - replica_placement (placement-map mode only, trivially clean
+///                   otherwise): the map's alive set mirrors the
+///                   system's; every placed query's home is one of its
+///                   map targets unless the System explicitly moved it
+///                   off-map (migration/fallback, tracked in a ledger);
+///                   and replica target lists straddle fault domains
+///                   whenever enough alive domains exist.
 ///
 /// Every check is read-only (apart from deterministically pre-building
 /// routing caches the hot path would build anyway), consumes no RNG, and
@@ -90,6 +97,7 @@ class Auditor {
   common::Status CheckDissemination() const;
   common::Status CheckQueryGraph() const;
   common::Status CheckConservation() const;
+  common::Status CheckReplicaPlacement() const;
 
   System* system_;
   Config config_;

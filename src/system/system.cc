@@ -58,6 +58,7 @@ System::System(const Config& config) : config_(config), rng_(config.seed) {
   if (entity_config.metrics == nullptr) entity_config.metrics = config.metrics;
   if (entity_config.trace == nullptr) entity_config.trace = config.trace;
   for (int e = 0; e < config.topology.num_entities; ++e) {
+    entity_config.fault_domain = topology_.entities[e].fault_domain;
     auto entity = std::make_unique<entity::Entity>(
         topology_.entities[e].entity, network_.get(),
         topology_.entities[e].processors, MakeEngineFactory(e),
@@ -127,6 +128,27 @@ System::System(const Config& config) : config_(config), rng_(config.seed) {
     }
   }
 
+  // Declustered placement map over the topology's fault domains, plus the
+  // control-plane node re-home batches originate from. Only in map mode:
+  // every other allocation mode allocates no node and builds no map, so
+  // node-id assignment — and whole simulations — stay bit-identical.
+  if (config.allocation == AllocationMode::kPlacementMap) {
+    std::vector<int> domain_of(entities_.size());
+    for (size_t e = 0; e < entities_.size(); ++e) {
+      domain_of[e] = topology_.entities[e].fault_domain;
+    }
+    placement_map_ = std::make_unique<placement::PlacementMap>(
+        std::move(domain_of), config.placement_map);
+    double center = config_.topology.world_size / 2.0;
+    rehome_node_ = network_->AddNode({center, center});
+    network_->SetHandler(rehome_node_, [this](const sim::Message& msg) {
+      if (msg.type != kMsgRehomeAck) return;
+      const auto* ack = std::any_cast<RehomeAckEnvelope>(&msg.payload);
+      DSPS_CHECK(ack != nullptr);
+      pending_rehomes_.erase(ack->seq);
+    });
+  }
+
   // Dissemination layer.
   dissemination::Disseminator::Config diss_config = config.dissemination;
   if (diss_config.metrics == nullptr) diss_config.metrics = config.metrics;
@@ -174,11 +196,46 @@ void System::InstallGatewayDispatcher(common::EntityId entity) {
 }
 
 bool System::HandleSystemMessage(const sim::Message& msg) {
-  if (msg.type != kMsgClientResultAck) return false;
-  const auto* ack = std::any_cast<ClientResultAckEnvelope>(&msg.payload);
-  DSPS_CHECK(ack != nullptr);
-  pending_results_.erase(ack->seq);
-  return true;
+  if (msg.type == kMsgClientResultAck) {
+    const auto* ack = std::any_cast<ClientResultAckEnvelope>(&msg.payload);
+    DSPS_CHECK(ack != nullptr);
+    pending_results_.erase(ack->seq);
+    return true;
+  }
+  if (msg.type == kMsgRehomeBatch) {
+    const auto* env = std::any_cast<RehomeBatchEnvelope>(&msg.payload);
+    DSPS_CHECK(env != nullptr);
+    // A batch that reaches an already-evicted survivor is dead on
+    // arrival: its process is gone, so no ack and no installs (the
+    // control plane cancels the pending send; the queries stay
+    // unplaced for re-dispatch to the next standby).
+    if (!IsAlive(env->target)) return true;
+    // Always ack (the control plane may be retrying because our previous
+    // ack was lost), then install each sequence number at most once.
+    sim::Message ack;
+    ack.from = msg.to;
+    ack.to = msg.from;
+    ack.type = kMsgRehomeAck;
+    ack.size_bytes = 16;
+    ack.payload = RehomeAckEnvelope{env->seq};
+    common::Status s = network_->Send(std::move(ack));
+    DSPS_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
+    if (!seen_rehome_seqs_.insert(env->seq).second) return true;
+    // The survivor re-initializes one query's state at a time: installs
+    // within a batch serialize at install_latency_s, while different
+    // survivors work concurrently — recovery time scales with the
+    // largest per-survivor share, not the total orphan count.
+    common::EntityId target = env->target;
+    double delay = 0.0;
+    for (common::QueryId qid : env->queries) {
+      delay += config_.recovery.install_latency_s;
+      simulator_->Schedule(delay, [this, target, qid]() {
+        (void)InstallFromUnplaced(target, qid);
+      });
+    }
+    return true;
+  }
+  return false;
 }
 
 void System::ShipResultToClient(common::EntityId entity,
@@ -327,6 +384,24 @@ common::EntityId System::AllocateOne(const engine::Query& query) {
       DSPS_CHECK(route.ok());
       return route.value().entity;
     }
+    case AllocationMode::kPlacementMap: {
+      // O(1) stateless placement: the first alive map target. SubmitQuery
+      // normally walks the full target list itself (so admission refusals
+      // fall through to standbys); this case covers direct callers.
+      for (common::EntityId t : placement_map_->Targets(query.id)) {
+        if (IsAlive(t)) return t;
+      }
+      // No map target alive (only reachable when the map and the alive
+      // set disagree transiently): any survivor, marked off-map so the
+      // auditor knows this home was not the map's choice.
+      for (int e = 0; e < num_entities(); ++e) {
+        if (alive_[e]) {
+          off_map_.insert(query.id);
+          return e;
+        }
+      }
+      return 0;
+    }
     case AllocationMode::kGraphPartition: {
       // Single query under partition mode: place by interest affinity to
       // existing entity interests, tie-broken by load.
@@ -395,6 +470,17 @@ common::Status System::InstallOn(common::EntityId entity,
   // On the conservation ledger from here on: the query stays in
   // accepted_ until RemoveQuery withdraws it, whichever homes it visits.
   accepted_.insert(query.id);
+  if (placement_map_ != nullptr) {
+    // Single point of truth for the off-map ledger: a home the map would
+    // have chosen is on-map; any other (explicit migration, fallback) is
+    // excused from the auditor's replica-placement check.
+    std::vector<common::EntityId> targets = placement_map_->Targets(query.id);
+    if (std::find(targets.begin(), targets.end(), entity) != targets.end()) {
+      off_map_.erase(query.id);
+    } else {
+      off_map_.insert(query.id);
+    }
+  }
   return common::Status::OK();
 }
 
@@ -405,6 +491,19 @@ common::Status System::SubmitQuery(const engine::Query& query) {
   if (!client_nodes_.empty() && client_of_query_.count(query.id) == 0) {
     client_of_query_[query.id] = next_client_;
     next_client_ = (next_client_ + 1) % static_cast<int>(client_nodes_.size());
+  }
+  if (config_.allocation == AllocationMode::kPlacementMap) {
+    // Walk the map's target list in order — primary first, then the warm
+    // standbys — so an admission refusal falls through to the next
+    // domain-straddling replica target instead of failing the query.
+    common::Status last =
+        common::Status::FailedPrecondition("no alive placement target");
+    for (common::EntityId t : placement_map_->Targets(query.id)) {
+      if (!IsAlive(t)) continue;
+      last = InstallOn(t, query);
+      if (last.ok()) return last;
+    }
+    return last;
   }
   common::EntityId e = AllocateOne(query);
   return InstallOn(e, query);
@@ -467,6 +566,7 @@ common::Status System::RemoveQuery(common::QueryId query) {
     // A withdrawn query may be sitting in the unplaced queue.
     if (unplaced_.erase(query) > 0) {
       accepted_.erase(query);
+      off_map_.erase(query);
       return common::Status::OK();
     }
     return common::Status::NotFound("unknown query");
@@ -476,6 +576,7 @@ common::Status System::RemoveQuery(common::QueryId query) {
   query_home_.erase(home_it);
   queries_.erase(query);
   accepted_.erase(query);
+  off_map_.erase(query);
   GraphIndexRemove(query);
   RecomputeEntityInterest(home);
   return common::Status::OK();
@@ -500,12 +601,17 @@ common::Result<int> System::FailEntity(common::EntityId entity) {
 
 int System::EvictEntity(common::EntityId entity) {
   alive_[entity] = false;
+  if (placement_map_ != nullptr) placement_map_->SetAlive(entity, false);
   // Leave the federation structures (same repair path as graceful leave).
   auto leave = coordinator_->Leave(entity);
   if (leave.ok()) failure_stats_.repair_messages += leave.value();
   if (disseminator_ != nullptr) {
     (void)disseminator_->RemoveEntity(entity);
   }
+  // Timer hygiene: the evicted process cannot retransmit, and batches
+  // addressed to it will never be acked — cancel both instead of letting
+  // their retry timers run to max_retries against a known-dead peer.
+  CancelPendingFor(entity);
   // Re-home its queries on the survivors. Re-homes that fail are kept in
   // the unplaced queue and counted — a failed SubmitQuery used to drop
   // the query with no error and no metric.
@@ -520,6 +626,26 @@ int System::EvictEntity(common::EntityId entity) {
     GraphIndexRemove(q.id);
   }
   entity_interest_[entity].Clear();
+  if (config_.trace != nullptr) {
+    config_.trace->RecordInstant("evict", simulator_->now(), entity,
+                                 static_cast<double>(orphans.size()));
+  }
+  if (placement_map_ != nullptr) {
+    // Declustered recovery: orphans enter the unplaced ledger *first* (so
+    // the conservation invariant holds at every audit between now and
+    // their re-install), then fan out to their precomputed standby
+    // targets — in parallel per-survivor batches, or one costed serial
+    // chain for the baseline comparison. Nothing lands synchronously.
+    std::vector<common::QueryId> orphan_ids;
+    orphan_ids.reserve(orphans.size());
+    for (engine::Query& q : orphans) {
+      off_map_.erase(q.id);
+      orphan_ids.push_back(q.id);
+      unplaced_[q.id] = std::move(q);
+    }
+    DispatchDeclusteredRehomes(std::move(orphan_ids));
+    return 0;
+  }
   int rehomed = 0;
   for (const engine::Query& q : orphans) {
     if (SubmitQuery(q).ok()) {
@@ -529,11 +655,137 @@ int System::EvictEntity(common::EntityId entity) {
     }
   }
   failure_stats_.queries_rehomed += rehomed;
-  if (config_.trace != nullptr) {
-    config_.trace->RecordInstant("evict", simulator_->now(), entity,
-                                 static_cast<double>(orphans.size()));
-  }
   return rehomed;
+}
+
+void System::CancelPendingFor(common::EntityId entity) {
+  common::SimNodeId gw = entities_[entity]->gateway_node();
+  for (auto it = pending_results_.begin(); it != pending_results_.end();) {
+    if (it->second.msg.from == gw) {
+      result_retries_cancelled_ += 1;
+      it = pending_results_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (placement_map_ == nullptr) return;
+  // Re-home batches in flight to the dead entity: their queries are still
+  // in unplaced_ (installs remove them one by one), so cancelling loses
+  // nothing — re-dispatch the uninstalled remainder to the next standby
+  // target, which no longer includes `entity`.
+  std::vector<common::QueryId> stranded;
+  for (auto it = pending_rehomes_.begin(); it != pending_rehomes_.end();) {
+    if (it->second.target == entity) {
+      for (common::QueryId qid : it->second.queries) {
+        if (unplaced_.count(qid) > 0) stranded.push_back(qid);
+      }
+      failure_stats_.rehome_batches_cancelled += 1;
+      it = pending_rehomes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (!stranded.empty()) DispatchDeclusteredRehomes(std::move(stranded));
+}
+
+void System::DispatchDeclusteredRehomes(std::vector<common::QueryId> orphans) {
+  DSPS_CHECK(placement_map_ != nullptr);
+  // Group by first alive standby target. Queries with no alive target
+  // stay in unplaced_ for the maintenance retry path.
+  std::map<common::EntityId, std::vector<common::QueryId>> by_target;
+  for (common::QueryId qid : orphans) {
+    if (unplaced_.count(qid) == 0) continue;  // raced with removal/re-home
+    for (common::EntityId t : placement_map_->Targets(qid)) {
+      if (IsAlive(t)) {
+        by_target[t].push_back(qid);
+        break;
+      }
+    }
+  }
+  if (!config_.recovery.parallel) {
+    // Serial baseline: one global re-home chain. Every install queues
+    // behind a single watermark, so recovery time grows with the total
+    // orphan count no matter how many survivors could have helped.
+    double start = std::max(simulator_->now(), serial_rehome_free_at_);
+    for (auto& [target, qids] : by_target) {
+      for (common::QueryId qid : qids) {
+        start += config_.recovery.install_latency_s;
+        simulator_->ScheduleAt(start, [this, target = target, qid]() {
+          (void)InstallFromUnplaced(target, qid);
+        });
+      }
+    }
+    serial_rehome_free_at_ = start;
+    return;
+  }
+  for (auto& [target, qids] : by_target) {
+    SendRehomeBatch(target, std::move(qids));
+  }
+}
+
+void System::SendRehomeBatch(common::EntityId target,
+                             std::vector<common::QueryId> queries) {
+  RehomeBatchEnvelope env;
+  env.target = target;
+  env.queries = std::move(queries);
+  env.seq = next_rehome_seq_++;
+  sim::Message msg;
+  msg.from = rehome_node_;
+  msg.to = entities_[target]->gateway_node();
+  msg.type = kMsgRehomeBatch;
+  msg.size_bytes = 64 + config_.recovery.batch_bytes_per_query *
+                            static_cast<int64_t>(env.queries.size());
+  msg.payload = env;
+  PendingRehome pending;
+  pending.msg = msg;
+  pending.target = target;
+  pending.queries = env.queries;
+  pending.retries_left = config_.recovery.max_retries;
+  pending.timeout_s = config_.recovery.retry_timeout_s;
+  pending_rehomes_[env.seq] = std::move(pending);
+  failure_stats_.rehome_batches += 1;
+  common::Status s = network_->Send(std::move(msg));
+  DSPS_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
+  ScheduleRehomeRetry(env.seq, config_.recovery.retry_timeout_s);
+}
+
+void System::ScheduleRehomeRetry(int64_t seq, double timeout_s) {
+  simulator_->Schedule(timeout_s, [this, seq]() {
+    auto it = pending_rehomes_.find(seq);
+    if (it == pending_rehomes_.end()) return;  // acked or cancelled
+    PendingRehome& p = it->second;
+    if (p.retries_left <= 0) {
+      // Retries exhausted (target unreachable but not evicted): abandon
+      // the batch. Its uninstalled queries are still in unplaced_, which
+      // TryRehomeUnplaced and every maintenance round retry — a lost
+      // batch is never a lost query.
+      failure_stats_.rehome_batches_cancelled += 1;
+      pending_rehomes_.erase(it);
+      return;
+    }
+    p.retries_left -= 1;
+    p.timeout_s *= config_.recovery.retry_backoff;
+    failure_stats_.rehome_batch_retries += 1;
+    common::Status s = network_->Send(p.msg);
+    DSPS_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
+    ScheduleRehomeRetry(seq, p.timeout_s);
+  });
+}
+
+bool System::InstallFromUnplaced(common::EntityId target,
+                                 common::QueryId query) {
+  auto it = unplaced_.find(query);
+  // The query may have been withdrawn or re-homed elsewhere, and the
+  // target evicted, while the batch was in flight — both benign: the
+  // install is simply skipped (the query either no longer needs a home
+  // or waits in unplaced_ for the next dispatch).
+  if (it == unplaced_.end()) return false;
+  if (!IsAlive(target)) return false;
+  engine::Query q = it->second;
+  if (!InstallOn(target, q).ok()) return false;  // admission refusal: queued
+  unplaced_.erase(query);
+  failure_stats_.queries_rehomed += 1;
+  return true;
 }
 
 std::vector<common::QueryId> System::UnplacedQueries() const {
@@ -560,6 +812,21 @@ int System::TryRehomeUnplaced() {
 void System::ReadmitEntity(common::EntityId entity) {
   alive_[entity] = true;
   departed_[entity] = false;
+  if (placement_map_ != nullptr) {
+    placement_map_->SetAlive(entity, true);
+    // Adding a ring member can displace an existing standby from another
+    // query's target list (consistent hashing moves a 1/n share). Homes
+    // that fell off their list are still correct placements — park them
+    // on the off-map ledger so the auditor's replica check stays exact;
+    // later migrations or re-homes bring them back on-map.
+    for (const auto& [qid, home] : query_home_) {
+      if (off_map_.count(qid) > 0) continue;
+      std::vector<common::EntityId> targets = placement_map_->Targets(qid);
+      if (std::find(targets.begin(), targets.end(), home) == targets.end()) {
+        off_map_.insert(qid);
+      }
+    }
+  }
   auto join = coordinator_->Join(entity, topology_.entities[entity].center);
   if (join.ok()) failure_stats_.repair_messages += join.value();
   if (disseminator_ != nullptr) {
@@ -700,6 +967,55 @@ void System::ScheduleCrash(common::EntityId entity, double crash_at,
     }
     // Re-admission is heartbeat-driven: the revived gateway resumes
     // beaconing and OnHeartbeat re-admits the entity if it was evicted.
+  });
+}
+
+std::vector<common::EntityId> System::EntitiesInDomain(int domain) const {
+  std::vector<common::EntityId> members;
+  for (const sim::EntitySite& site : topology_.entities) {
+    if (site.fault_domain == domain) members.push_back(site.entity);
+  }
+  return members;
+}
+
+void System::ScheduleDomainCrash(int domain, double crash_at,
+                                 double recover_at) {
+  DSPS_CHECK_MSG(faults_ != nullptr,
+                 "ScheduleDomainCrash requires Config::inject_faults");
+  DSPS_CHECK(recover_at > crash_at);
+  std::vector<common::EntityId> members = EntitiesInDomain(domain);
+  DSPS_CHECK_MSG(!members.empty(), "fault domain %d has no entities", domain);
+  simulator_->ScheduleAt(crash_at, [this, members]() {
+    // One correlated event: every node of every member goes down in the
+    // same instant — the rack/site failure declustering must survive.
+    std::vector<common::SimNodeId> nodes;
+    for (common::EntityId e : members) {
+      for (common::SimNodeId node : topology_.entities[e].processors) {
+        nodes.push_back(node);
+      }
+    }
+    faults_->CrashGroup(nodes);
+    for (common::EntityId e : members) {
+      crash_time_[e] = simulator_->now();
+      if (config_.trace != nullptr) {
+        config_.trace->RecordInstant("crash", simulator_->now(), e);
+      }
+    }
+  });
+  simulator_->ScheduleAt(recover_at, [this, members]() {
+    std::vector<common::SimNodeId> nodes;
+    for (common::EntityId e : members) {
+      for (common::SimNodeId node : topology_.entities[e].processors) {
+        nodes.push_back(node);
+      }
+    }
+    faults_->RecoverGroup(nodes);
+    for (common::EntityId e : members) {
+      crash_time_[e] = std::numeric_limits<double>::quiet_NaN();
+      if (config_.trace != nullptr) {
+        config_.trace->RecordInstant("recover", simulator_->now(), e);
+      }
+    }
   });
 }
 
@@ -938,6 +1254,9 @@ void System::RegisterSeriesProbes(telemetry::TimeSeriesRecorder* recorder) {
   });
   recorder->AddRateProbe("series.results_per_s", {}, [this] {
     return static_cast<double>(metrics_.results);
+  });
+  recorder->AddRateProbe("series.rehomed_per_s", {}, [this] {
+    return static_cast<double>(failure_stats_.queries_rehomed);
   });
 }
 

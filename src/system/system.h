@@ -20,6 +20,7 @@
 #include "partition/partitioner.h"
 #include "partition/repartitioner.h"
 #include "placement/placement.h"
+#include "placement/placement_map.h"
 #include "sim/fault_injector.h"
 #include "sim/topology.h"
 #include "system/auditor.h"
@@ -37,6 +38,11 @@ inline constexpr int kMsgClientResult = 401;
 inline constexpr int kMsgClientResultAck = 402;
 /// Entity gateway -> failure monitor liveness beacon.
 inline constexpr int kMsgHeartbeat = 403;
+/// Control plane -> survivor gateway: batch of orphaned queries to
+/// re-install (declustered parallel recovery).
+inline constexpr int kMsgRehomeBatch = 404;
+/// Survivor gateway -> control plane ack of a kMsgRehomeBatch.
+inline constexpr int kMsgRehomeAck = 405;
 
 /// Payload of kMsgClientResult.
 struct ClientResultEnvelope {
@@ -56,6 +62,19 @@ struct HeartbeatEnvelope {
   common::EntityId entity = common::kInvalidEntity;
 };
 
+/// Payload of kMsgRehomeBatch.
+struct RehomeBatchEnvelope {
+  common::EntityId target = common::kInvalidEntity;
+  std::vector<common::QueryId> queries;
+  /// Reliable sequence number (batches are acked, retried, deduplicated).
+  int64_t seq = 0;
+};
+
+/// Payload of kMsgRehomeAck.
+struct RehomeAckEnvelope {
+  int64_t seq = 0;
+};
+
 /// How arriving queries are allocated to entities (Section 3.2).
 enum class AllocationMode {
   /// Level-by-level routing down the hierarchical coordinator tree
@@ -69,6 +88,13 @@ enum class AllocationMode {
   kGraphPartition,
   /// Round-robin baseline (no load or interest awareness).
   kRoundRobin,
+  /// DAOS-style algorithmic placement (placement/placement_map.h): a
+  /// multi-ring consistent hash over fault domains gives every query an
+  /// O(1) stateless primary plus k warm-standby replica targets that
+  /// straddle domains; on failure, orphans fan out to their precomputed
+  /// standbys in parallel per-survivor batches instead of the serial
+  /// re-home queue.
+  kPlacementMap,
   /// Isolated regime (Table 1): each query sticks to the entity its client
   /// happens to use — Zipf-skewed random, no load sharing at all.
   kIsolatedZipf,
@@ -140,6 +166,33 @@ class System {
     double result_retry_timeout_s = 0.05;
     double result_retry_backoff = 2.0;
     int result_max_retries = 4;
+    /// Declustered placement (only read when allocation ==
+    /// AllocationMode::kPlacementMap): ring/replica parameters of the
+    /// placement map built over the topology's fault domains.
+    placement::PlacementMap::Config placement_map;
+    /// Crash-recovery pipeline parameters (placement-map mode only; the
+    /// other allocation modes keep the synchronous re-home of PR 3).
+    struct RecoveryConfig {
+      /// true: orphans fan out to their standby targets in parallel
+      /// per-survivor batches over the network (each survivor installs
+      /// its batch serially; survivors work concurrently). false: one
+      /// global serial re-home chain — the old single-queue behavior,
+      /// but costed in simulated time so the two are comparable.
+      bool parallel = true;
+      /// Simulated per-query re-install time at the receiving entity
+      /// (state re-initialization; queries of one batch serialize).
+      double install_latency_s = 0.02;
+      /// Wire size of one batch: 64 header bytes + this per query.
+      int64_t batch_bytes_per_query = 96;
+      /// Reliable batch delivery: unacked batches are retried with
+      /// bounded exponential backoff and deduplicated by sequence
+      /// number; exhausted retries leave the queries in the unplaced
+      /// queue for the maintenance retry path — never lost.
+      double retry_timeout_s = 0.05;
+      double retry_backoff = 2.0;
+      int max_retries = 4;
+    };
+    RecoveryConfig recovery;
   };
 
   explicit System(const Config& config);
@@ -217,6 +270,21 @@ class System {
   void ScheduleCrash(common::EntityId entity, double crash_at,
                      double recover_at);
 
+  /// Schedules a *correlated* crash window (requires inject_faults): every
+  /// entity in fault domain `domain` (see TopologyConfig::num_fault_domains)
+  /// crashes at `crash_at` in one event and recovers at `recover_at` — the
+  /// rack/site failure the declustered placement map is built to survive.
+  void ScheduleDomainCrash(int domain, double crash_at, double recover_at);
+
+  /// Entities assigned to fault domain `domain` by the topology.
+  std::vector<common::EntityId> EntitiesInDomain(int domain) const;
+
+  /// The declustered placement map (null unless allocation ==
+  /// AllocationMode::kPlacementMap). Exposed for tests and the auditor.
+  const placement::PlacementMap* placement_map() const {
+    return placement_map_.get();
+  }
+
   /// Real heartbeat-driven failure detection (Section 3.2.1): every
   /// heartbeat_period_s each non-departed entity's gateway sends a
   /// heartbeat *message over the simulated network* to a monitor node;
@@ -252,6 +320,12 @@ class System {
     int64_t heartbeat_messages = 0;
     /// Coordinator protocol messages spent on Leave/Join repairs.
     int64_t repair_messages = 0;
+    /// Declustered recovery (placement-map mode): re-home batches sent to
+    /// survivors, their retransmissions, and batches cancelled because
+    /// their target died before acking (queries stay unplaced, retried).
+    int64_t rehome_batches = 0;
+    int64_t rehome_batch_retries = 0;
+    int64_t rehome_batches_cancelled = 0;
     /// Crash-to-sweep delay of every detected (real) crash.
     common::Histogram detection_latency;
   };
@@ -261,6 +335,12 @@ class System {
   /// EnableFailureDetection ran). Exposed so fault scenarios can target
   /// the heartbeat path itself (partitions, loss).
   common::SimNodeId monitor_node() const { return monitor_node_; }
+
+  /// Network node of client `index` (requires Config::num_clients >
+  /// index). Exposed so fault scenarios can target the result path.
+  common::SimNodeId client_node(int index) const {
+    return client_nodes_[index];
+  }
 
   /// Queries currently without a home because re-home or admission
   /// failed. They stay queued: TryRehomeUnplaced retries them (also
@@ -277,6 +357,12 @@ class System {
   int64_t result_retries() const { return result_retries_; }
   int64_t result_delivery_failures() const {
     return result_delivery_failures_;
+  }
+  /// Pending result retries cancelled because their sending entity was
+  /// evicted (the process is gone; its timers must not run to
+  /// max_retries against a client that already saw the failure).
+  int64_t result_retries_cancelled() const {
+    return result_retries_cancelled_;
   }
 
   /// Moves a live query to another entity. Because entities may run
@@ -366,6 +452,23 @@ class System {
   void SampleTick(telemetry::TimeSeriesRecorder* recorder, double period_s,
                   double until);
   void ScheduleResultRetry(int64_t seq, double timeout_s);
+  /// Declustered recovery pipeline (placement-map mode). Orphans are
+  /// already in unplaced_ when these run; DispatchDeclusteredRehomes
+  /// groups them by first alive standby target and either fans batches
+  /// out to survivor gateways in parallel (reliable: acked, retried,
+  /// deduplicated) or schedules one global serial install chain.
+  void DispatchDeclusteredRehomes(std::vector<common::QueryId> orphans);
+  void SendRehomeBatch(common::EntityId target,
+                       std::vector<common::QueryId> queries);
+  void ScheduleRehomeRetry(int64_t seq, double timeout_s);
+  /// Installs one unplaced query on `target` if both still qualify (the
+  /// query may have been removed or re-homed, the target evicted, while
+  /// the batch was in flight). Returns true if it landed.
+  bool InstallFromUnplaced(common::EntityId target, common::QueryId query);
+  /// Eviction-time timer hygiene: drops pending result retries whose
+  /// sender gateway died and pending re-home batches addressed to the
+  /// dead entity (their queries remain in unplaced_ for re-dispatch).
+  void CancelPendingFor(common::EntityId entity);
 
   Config config_;
   common::Rng rng_;
@@ -426,6 +529,29 @@ class System {
   int64_t next_result_seq_ = 1;
   int64_t result_retries_ = 0;
   int64_t result_delivery_failures_ = 0;
+  int64_t result_retries_cancelled_ = 0;
+  /// Declustered placement state (null / untouched unless allocation ==
+  /// kPlacementMap). The map mirrors the System's alive set; rehome_node_
+  /// is the control-plane node batches originate from.
+  std::unique_ptr<placement::PlacementMap> placement_map_;
+  common::SimNodeId rehome_node_ = common::kInvalidSimNode;
+  struct PendingRehome {
+    sim::Message msg;
+    common::EntityId target = common::kInvalidEntity;
+    std::vector<common::QueryId> queries;
+    int retries_left = 0;
+    double timeout_s = 0.0;
+  };
+  std::map<int64_t, PendingRehome> pending_rehomes_;
+  std::set<int64_t> seen_rehome_seqs_;
+  int64_t next_rehome_seq_ = 1;
+  /// When one global serial chain is used (recovery.parallel == false),
+  /// installs queue behind this simulated-time watermark.
+  double serial_rehome_free_at_ = 0.0;
+  /// Queries deliberately moved off their map targets (explicit
+  /// MigrateQuery / repartitioning). The auditor's replica-placement
+  /// check excuses these; eviction re-homes them back through the map.
+  std::set<common::QueryId> off_map_;
   /// Client modeling (when config_.num_clients > 0).
   std::vector<common::SimNodeId> client_nodes_;
   std::vector<sim::Point> client_positions_;

@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "dissemination/disseminator.h"
 #include "dissemination/tree.h"
+#include "sim/fault_injector.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 
@@ -360,6 +361,47 @@ TEST_F(DisseminatorTest, RemoveEntityStopsDeliveryAndRepairsTree) {
   EXPECT_EQ(got.count(1), 0u);
   EXPECT_EQ(got.size(), 3u);
   for (auto [e, n] : got) EXPECT_EQ(n, 1) << e;
+}
+
+TEST_F(DisseminatorTest, RemoveEntityCancelsItsOwnPendingRetries) {
+  // A removed entity's process is gone: reliable sends *from* its gateway
+  // must be cancelled at removal, not retried to max_retries against a
+  // peer that will never hear from it.
+  sim::FaultInjector faults(sim::FaultInjector::Config{});
+  network_->SetFaultInjector(&faults);
+  Disseminator::Config cfg;
+  cfg.tree.policy = TreePolicy::kClosestParent;
+  cfg.tree.max_fanout = 1;  // chain: source -> e0 -> e1 -> ...
+  cfg.reliable = true;
+  cfg.retry_timeout_s = 0.05;
+  Disseminator dissem(network_.get(), cfg);
+  ASSERT_TRUE(dissem.AddSource(0, source_node_).ok());
+  for (int e = 0; e < 4; ++e) {
+    ASSERT_TRUE(dissem.AddEntity(e, gateways_[e]).ok());
+    ASSERT_TRUE(
+        dissem.SetEntityInterest(e, 0, {Box{Interval{0.0, 100.0}}}).ok());
+  }
+  // Sever the e0 -> e1 hop only: e0's forwards to e1 stay unacked and
+  // keep retrying while everything upstream of e0 is acked normally.
+  faults.Partition(gateways_[0], gateways_[1]);
+  for (int v = 0; v < 5; ++v) {
+    ASSERT_TRUE(dissem.Publish(MakeTuple(static_cast<double>(v))).ok());
+  }
+  sim_.RunUntil(0.2);  // a few retry rounds, well short of max_retries
+  EXPECT_GT(dissem.retries_count(), 0);
+  EXPECT_GT(dissem.pending_reliable_count(), 0u);
+  EXPECT_EQ(dissem.retries_cancelled_count(), 0);
+
+  ASSERT_TRUE(dissem.RemoveEntity(0).ok());
+  EXPECT_GT(dissem.retries_cancelled_count(), 0);
+  int64_t retries_at_removal = dissem.retries_count();
+  int64_t failures_at_removal = dissem.delivery_failures_count();
+  sim_.Run();
+  // The cancelled sends are gone for good: no further retransmissions and
+  // no late delivery-failure verdicts from their orphaned timers.
+  EXPECT_EQ(dissem.retries_count(), retries_at_removal);
+  EXPECT_EQ(dissem.delivery_failures_count(), failures_at_removal);
+  EXPECT_EQ(dissem.pending_reliable_count(), 0u);
 }
 
 TEST_F(DisseminatorTest, UnknownStreamRejected) {

@@ -292,6 +292,223 @@ TEST(FailoverSystemTest, ReliableClientResultsAreExactlyOnceUnderLoss) {
   ExpectCleanAudit(&sys);
 }
 
+// ---------------------------------------------------------------------------
+// Declustered placement map + parallel crash recovery (fault domains).
+
+System::Config MapConfig(int num_entities, int num_domains,
+                         bool inject = false) {
+  System::Config cfg = FaultConfig(num_entities);
+  cfg.inject_faults = inject;
+  cfg.topology.num_fault_domains = num_domains;
+  cfg.allocation = AllocationMode::kPlacementMap;
+  return cfg;
+}
+
+/// Steps the simulation in small increments until every query is placed;
+/// returns the simulated instant recovery completed (or `limit`).
+double RecoveryCompletionTime(System* sys, double limit) {
+  while (sys->now() < limit && sys->unplaced_count() > 0) {
+    sys->RunUntil(sys->now() + 0.005);
+  }
+  return sys->now();
+}
+
+TEST(FailoverSystemTest, PlacementMapFailoverFansOutToStandbysInParallel) {
+  System sys(MapConfig(/*num_entities=*/8, /*num_domains=*/4));
+  sys.AddStreams(SmallStreams(2));
+  const int kQueries = 48;
+  for (int i = 1; i <= kQueries; ++i) {
+    ASSERT_TRUE(sys.SubmitQuery(WideQuery(i, i % 2, /*load=*/0.1)).ok());
+  }
+  ASSERT_NE(sys.placement_map(), nullptr);
+  // Every home is the map's choice for that query (audited too, below).
+  Auditor* auditor = sys.EnableAudit(/*period_s=*/0.01, /*until=*/5.0);
+  std::vector<common::QueryId> orphans;
+  for (int i = 1; i <= kQueries; ++i) {
+    if (sys.EntityOf(i) == 0) orphans.push_back(i);
+  }
+  ASSERT_GT(orphans.size(), 0u);
+
+  // Declustered eviction is asynchronous: nothing lands in the FailEntity
+  // call itself; the orphans are queued (conservation holds throughout)
+  // and fan out to their precomputed standbys over the network.
+  auto rehomed = sys.FailEntity(0);
+  ASSERT_TRUE(rehomed.ok());
+  EXPECT_EQ(rehomed.value(), 0);
+  EXPECT_EQ(sys.unplaced_count(), static_cast<int>(orphans.size()));
+
+  double done = RecoveryCompletionTime(&sys, /*limit=*/5.0);
+  EXPECT_LT(done, 5.0);
+  EXPECT_EQ(sys.unplaced_count(), 0);
+  const System::FailureStats& fs = sys.failure_stats();
+  EXPECT_EQ(fs.queries_rehomed, static_cast<int>(orphans.size()));
+  EXPECT_GT(fs.rehome_batches, 1);  // several survivors, several batches
+  // Declustering: the orphans scattered across multiple survivors instead
+  // of piling onto one neighbor.
+  std::set<common::EntityId> new_homes;
+  for (common::QueryId q : orphans) {
+    common::EntityId home = sys.EntityOf(q);
+    ASSERT_NE(home, common::kInvalidEntity);
+    EXPECT_TRUE(sys.IsAlive(home));
+    new_homes.insert(home);
+  }
+  EXPECT_GE(new_homes.size(), 2u);
+  sys.RunUntil(sys.now() + 0.1);  // at least one more audit sweep
+  EXPECT_GT(auditor->sweeps(), 0);
+  EXPECT_EQ(auditor->violations(), 0);
+}
+
+TEST(FailoverSystemTest, PlacementMapParallelRecoveryBeatsSerialChain) {
+  auto recover = [](bool parallel) {
+    System::Config cfg = MapConfig(/*num_entities=*/8, /*num_domains=*/4);
+    cfg.recovery.parallel = parallel;
+    System sys(cfg);
+    sys.AddStreams(SmallStreams(2));
+    for (int i = 1; i <= 64; ++i) {
+      EXPECT_TRUE(sys.SubmitQuery(WideQuery(i, i % 2, /*load=*/0.1)).ok());
+    }
+    sys.RunUntil(0.5);
+    EXPECT_TRUE(sys.FailEntity(0).ok());
+    double done = RecoveryCompletionTime(&sys, /*limit=*/30.0);
+    EXPECT_EQ(sys.unplaced_count(), 0);
+    return done - 0.5;
+  };
+  double parallel_time = recover(true);
+  double serial_time = recover(false);
+  // Survivors re-install their batches concurrently, so the parallel
+  // fan-out finishes well ahead of the single global re-home chain.
+  EXPECT_LT(parallel_time, serial_time);
+}
+
+TEST(FailoverSystemTest, CorrelatedDomainCrashLosesNoQueries) {
+  System sys(MapConfig(/*num_entities=*/8, /*num_domains=*/4,
+                       /*inject=*/true));
+  sys.AddStreams(SmallStreams(2));
+  const int kQueries = 32;
+  for (int i = 1; i <= kQueries; ++i) {
+    ASSERT_TRUE(sys.SubmitQuery(WideQuery(i, i % 2, /*load=*/0.1)).ok());
+  }
+  sys.EnableFailureDetection(FastDetection(), /*until=*/10.0);
+  sys.EnableAudit(/*period_s=*/0.05, /*until=*/6.0);
+  sys.GenerateTraffic(4.0);
+  // Fault domain 0 — entities 0 and 1 — dies as one correlated event.
+  sys.ScheduleDomainCrash(0, /*crash_at=*/1.0, /*recover_at=*/50.0);
+  sys.RunUntil(6.0);
+
+  EXPECT_EQ(sys.fault_injector()->correlated_crash_events(), 1);
+  EXPECT_FALSE(sys.IsAlive(0));
+  EXPECT_FALSE(sys.IsAlive(1));
+  EXPECT_EQ(sys.num_alive(), 6);
+  EXPECT_GE(sys.failure_stats().detections, 2);
+  // Zero queries lost: everything admitted is placed on a survivor (the
+  // conservation + replica audits swept the whole recovery window).
+  EXPECT_EQ(sys.unplaced_count(), 0);
+  for (int i = 1; i <= kQueries; ++i) {
+    common::EntityId home = sys.EntityOf(i);
+    ASSERT_NE(home, common::kInvalidEntity) << "query " << i << " lost";
+    EXPECT_TRUE(sys.IsAlive(home));
+  }
+  ExpectCleanAudit(&sys);
+}
+
+TEST(FailoverSystemTest, PlacementMapRecoverySurvivesConcurrentChurn) {
+  // Queries are added, withdrawn, and migrated while a crash -> re-home
+  // pipeline is still in flight; the conservation and replica audits
+  // sweep throughout and nothing may be lost or double-placed.
+  System sys(MapConfig(/*num_entities=*/8, /*num_domains=*/4));
+  sys.AddStreams(SmallStreams(2));
+  for (int i = 1; i <= 40; ++i) {
+    ASSERT_TRUE(sys.SubmitQuery(WideQuery(i, i % 2, /*load=*/0.1)).ok());
+  }
+  sys.EnableAudit(/*period_s=*/0.005, /*until=*/5.0);
+  sys.RunUntil(0.1);
+  ASSERT_TRUE(sys.FailEntity(0).ok());
+  ASSERT_GT(sys.unplaced_count(), 0);
+
+  // Mid-recovery churn, batch installs still in flight:
+  std::vector<common::QueryId> queued = sys.UnplacedQueries();
+  ASSERT_TRUE(sys.RemoveQuery(queued[0]).ok());  // withdraw an orphan
+  common::QueryId placed = common::kInvalidQuery;
+  for (int i = 1; i <= 40; ++i) {
+    if (sys.EntityOf(i) != common::kInvalidEntity) {
+      placed = i;
+      break;
+    }
+  }
+  ASSERT_NE(placed, common::kInvalidQuery);
+  ASSERT_TRUE(sys.RemoveQuery(placed).ok());  // withdraw a resident
+  for (int i = 100; i < 106; ++i) {  // admit new queries mid-recovery
+    ASSERT_TRUE(sys.SubmitQuery(WideQuery(i, i % 2, /*load=*/0.1)).ok());
+  }
+  // Move one live query off its map target (the off-map ledger excuses
+  // explicit migrations from the replica-placement audit).
+  common::QueryId mover = common::kInvalidQuery;
+  for (int i = 1; i <= 40; ++i) {
+    if (i != placed && sys.EntityOf(i) != common::kInvalidEntity) {
+      mover = i;
+      break;
+    }
+  }
+  ASSERT_NE(mover, common::kInvalidQuery);
+  common::EntityId away = sys.EntityOf(mover) == 7 ? 6 : 7;
+  ASSERT_TRUE(sys.MigrateQuery(mover, away).ok());
+
+  double done = RecoveryCompletionTime(&sys, /*limit=*/5.0);
+  EXPECT_LT(done, 5.0);
+  EXPECT_EQ(sys.unplaced_count(), 0);
+  // The two withdrawn queries are gone; every other query — original,
+  // re-homed, migrated, or admitted mid-recovery — is placed and alive.
+  EXPECT_EQ(sys.EntityOf(queued[0]), common::kInvalidEntity);
+  EXPECT_EQ(sys.EntityOf(placed), common::kInvalidEntity);
+  for (int i = 1; i <= 40; ++i) {
+    if (i == placed || i == queued[0]) continue;
+    ASSERT_NE(sys.EntityOf(i), common::kInvalidEntity) << "query " << i;
+    EXPECT_TRUE(sys.IsAlive(sys.EntityOf(i)));
+  }
+  for (int i = 100; i < 106; ++i) {
+    ASSERT_NE(sys.EntityOf(i), common::kInvalidEntity) << "query " << i;
+  }
+  EXPECT_EQ(sys.EntityOf(mover), away);
+  ExpectCleanAudit(&sys);
+}
+
+TEST(FailoverSystemTest, EvictionCancelsPendingResultRetries) {
+  // Satellite of the declustered-recovery work: an evicted entity's
+  // reliable-result retry timers must be cancelled at eviction instead of
+  // retransmitting from a dead process until max_retries.
+  System::Config cfg = FaultConfig(/*num_entities=*/3);
+  cfg.num_clients = 1;
+  cfg.reliable_results = true;
+  // Above the worst-case healthy ack RTT (~0.15 s at world size 1000),
+  // so only the partitioned path below ever retries.
+  cfg.result_retry_timeout_s = 0.2;
+  System sys(cfg);
+  sys.AddStreams(SmallStreams(2));
+  for (int i = 1; i <= 3; ++i) {  // round robin: query i -> entity i-1
+    ASSERT_TRUE(sys.SubmitQuery(WideQuery(i, i % 2)).ok());
+  }
+  // Sever entity 0's gateway from the only client: its results go
+  // unacked and retry while the other entities deliver normally.
+  sys.fault_injector()->Partition(sys.entity_at(0)->gateway_node(),
+                                  sys.client_node(0));
+  sys.GenerateTraffic(1.0);
+  sys.RunUntil(1.5);
+  EXPECT_GT(sys.result_retries(), 0);
+  EXPECT_EQ(sys.result_retries_cancelled(), 0);
+
+  ASSERT_TRUE(sys.FailEntity(0).ok());
+  EXPECT_GT(sys.result_retries_cancelled(), 0);
+  int64_t retries_at_eviction = sys.result_retries();
+  int64_t failures_at_eviction = sys.result_delivery_failures();
+  sys.RunUntil(6.0);
+  // The cancelled sends never fire again: no late retransmissions or
+  // delivery-failure verdicts from entity 0's orphaned timers. Traffic
+  // ended before the eviction and healthy acks beat the retry timeout,
+  // so any counter movement here could only come from orphaned timers.
+  EXPECT_EQ(sys.result_retries(), retries_at_eviction);
+  EXPECT_EQ(sys.result_delivery_failures(), failures_at_eviction);
+}
+
 TEST(FailoverSystemTest, FaultFreeRunsIdenticalWithAndWithoutFaultLayer) {
   auto run = [](bool inject) {
     System::Config cfg = FaultConfig(/*num_entities=*/2);

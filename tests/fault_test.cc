@@ -87,6 +87,24 @@ TEST(FaultInjectorTest, CrashedNodeDropsBothDirections) {
   EXPECT_EQ(faults.dropped_node_down(), 2);
 }
 
+TEST(FaultInjectorTest, CrashGroupDownsAllMembersAsOneCorrelatedEvent) {
+  FaultInjector faults(FaultInjector::Config{});
+  faults.CrashGroup({2, 3, 4});
+  EXPECT_FALSE(faults.IsNodeUp(2));
+  EXPECT_FALSE(faults.IsNodeUp(3));
+  EXPECT_FALSE(faults.IsNodeUp(4));
+  EXPECT_TRUE(faults.IsNodeUp(1));
+  // One rack failure, however many nodes it takes down.
+  EXPECT_EQ(faults.correlated_crash_events(), 1);
+  EXPECT_EQ(faults.Judge(1, 3).drop, FaultInjector::DropReason::kNodeDown);
+  faults.RecoverGroup({2, 3, 4});
+  EXPECT_TRUE(faults.IsNodeUp(2));
+  EXPECT_TRUE(faults.IsNodeUp(3));
+  EXPECT_TRUE(faults.IsNodeUp(4));
+  EXPECT_EQ(faults.Judge(1, 3).drop, FaultInjector::DropReason::kNone);
+  EXPECT_EQ(faults.correlated_crash_events(), 1);
+}
+
 TEST(FaultInjectorTest, PartitionBlocksPairUntilHealed) {
   FaultInjector faults(FaultInjector::Config{});
   faults.Partition(1, 2);

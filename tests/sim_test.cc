@@ -262,6 +262,59 @@ TEST(TopologyTest, BuildsRequestedShape) {
   EXPECT_EQ(net.node_count(), 5u * 3u + 2u);
 }
 
+TEST(TopologyTest, FaultDomainsAssignedInContiguousBlocks) {
+  Simulator sim;
+  Network net(&sim);
+  common::Rng rng(1);
+  TopologyConfig cfg;
+  cfg.num_entities = 8;
+  cfg.num_fault_domains = 4;
+  Topology topo = BuildTopology(&net, cfg, &rng);
+  std::vector<int> domains;
+  for (const auto& e : topo.entities) domains.push_back(e.fault_domain);
+  EXPECT_EQ(domains, (std::vector<int>{0, 0, 1, 1, 2, 2, 3, 3}));
+}
+
+TEST(TopologyTest, ZeroFaultDomainsMeansEveryEntityIsItsOwn) {
+  Simulator sim;
+  Network net(&sim);
+  common::Rng rng(1);
+  TopologyConfig cfg;
+  cfg.num_entities = 4;  // num_fault_domains left at the default 0
+  Topology topo = BuildTopology(&net, cfg, &rng);
+  for (int e = 0; e < 4; ++e) {
+    EXPECT_EQ(topo.entities[e].fault_domain, e);
+  }
+  // More domains than entities clamps to one entity per domain.
+  common::Rng rng2(1);
+  cfg.num_fault_domains = 99;
+  Topology topo2 = BuildTopology(&net, cfg, &rng2);
+  for (int e = 0; e < 4; ++e) {
+    EXPECT_EQ(topo2.entities[e].fault_domain, e);
+  }
+}
+
+TEST(TopologyTest, FaultDomainAssignmentConsumesNoRng) {
+  // The domain labels must not shift positions or node ids: a labeled
+  // topology is bit-identical to an unlabeled one apart from the labels.
+  auto build = [](int domains) {
+    Simulator sim;
+    Network net(&sim);
+    common::Rng rng(42);
+    TopologyConfig cfg;
+    cfg.num_entities = 4;
+    cfg.num_fault_domains = domains;
+    Topology topo = BuildTopology(&net, cfg, &rng);
+    std::vector<double> xs;
+    for (const auto& e : topo.entities) {
+      xs.push_back(e.center.x);
+      for (auto p : e.processors) xs.push_back(net.position(p).x);
+    }
+    return xs;
+  };
+  EXPECT_EQ(build(0), build(2));
+}
+
 TEST(TopologyTest, ProcessorsNearTheirCenter) {
   Simulator sim;
   Network net(&sim);

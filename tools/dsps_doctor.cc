@@ -6,11 +6,16 @@
 //   - an audit report is unhealthy when violations > 0 (or it recorded
 //     zero sweeps — an auditor that never ran proves nothing);
 //   - a bench report is unhealthy when its telemetry.nonfinite_values
-//     counter is non-zero (NaN/Inf leaked into the metrics).
+//     counter is non-zero (NaN/Inf leaked into the metrics), or when any
+//     "unplaced" headline is non-zero (queries were orphaned by a failure
+//     and never re-homed — the failover acceptance bar is zero);
+//   - "recovery_time" headlines are summarized as a range so the failover
+//     experiments' repair latency is visible at a glance.
 //
 // Usage: dsps_doctor <report.json>...
 // Exit status: 0 = healthy, 1 = violations found, 2 = usage/parse error.
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -69,6 +74,9 @@ FileHealth SummarizeBench(const std::string& path, const JsonValue& doc) {
   h.kind = "bench " + doc.StringOr("bench", "?");
   double nonfinite = 0.0;
   double audit_violations = 0.0;
+  double unplaced = 0.0;
+  double recovery_min = 0.0, recovery_max = 0.0;
+  int recovery_samples = 0;
   size_t num_metrics = 0;
   const JsonValue* metrics = doc.Find("metrics");
   if (metrics != nullptr && metrics->is_array()) {
@@ -79,6 +87,17 @@ FileHealth SummarizeBench(const std::string& path, const JsonValue& doc) {
         nonfinite += sample.NumberOr("value", 0.0);
       } else if (name == "audit.violations") {
         audit_violations += sample.NumberOr("value", 0.0);
+      } else if (name.rfind("headline.", 0) == 0) {
+        double value = sample.NumberOr("value", 0.0);
+        if (name.find("unplaced") != std::string::npos) {
+          unplaced += value;
+        } else if (name.find("recovery_time") != std::string::npos) {
+          recovery_min =
+              recovery_samples == 0 ? value : std::min(recovery_min, value);
+          recovery_max =
+              recovery_samples == 0 ? value : std::max(recovery_max, value);
+          ++recovery_samples;
+        }
       }
     }
   }
@@ -87,6 +106,11 @@ FileHealth SummarizeBench(const std::string& path, const JsonValue& doc) {
   if (series != nullptr && series->is_array()) num_series = series->items.size();
   std::ostringstream os;
   os << num_metrics << " metrics, " << num_series << " series blocks";
+  if (recovery_samples == 1) {
+    os << ", recovery " << recovery_max << " s";
+  } else if (recovery_samples > 1) {
+    os << ", recovery " << recovery_min << ".." << recovery_max << " s";
+  }
   if (nonfinite > 0) {
     h.healthy = false;
     os << "; " << nonfinite << " non-finite values";
@@ -94,6 +118,10 @@ FileHealth SummarizeBench(const std::string& path, const JsonValue& doc) {
   if (audit_violations > 0) {
     h.healthy = false;
     os << "; " << audit_violations << " audit violations";
+  }
+  if (unplaced > 0) {
+    h.healthy = false;
+    os << "; " << unplaced << " queries unplaced";
   }
   h.summary = os.str();
   return h;
