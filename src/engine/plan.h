@@ -90,6 +90,10 @@ struct Query {
   interest::InterestSet interest;
   /// Processing load this query imposes (query-graph vertex weight).
   double load = 1.0;
+  /// Owning tenant (multi-tenant admission control). 0 is the implicit
+  /// tenant every untagged query belongs to, so single-tenant workloads
+  /// need no configuration.
+  int32_t tenant = 0;
 };
 
 }  // namespace dsps::engine

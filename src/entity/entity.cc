@@ -449,4 +449,62 @@ double Entity::TotalCommittedLoad() const {
   return total;
 }
 
+common::ProcessorId Entity::AddProcessor(common::SimNodeId node) {
+  auto pid = static_cast<common::ProcessorId>(processors_.size());
+  auto proc = std::make_unique<Processor>(pid, network_, node,
+                                          engine_factory_(),
+                                          config_.processor_capacity);
+  proc->SetEmissionHandler([this, pid](const Processor::Emission& em) {
+    OnEmission(pid, em);
+  });
+  if (config_.metrics != nullptr || config_.trace != nullptr) {
+    proc->SetTelemetry(
+        config_.metrics, config_.trace,
+        telemetry::MakeLabels({{"entity", std::to_string(id_)},
+                               {"processor", std::to_string(pid)}}));
+  }
+  proc_by_node_[node] = static_cast<int>(pid);
+  processors_.push_back(std::move(proc));
+  return pid;
+}
+
+common::Result<common::SimNodeId> Entity::RemoveLastProcessor() {
+  if (processors_.size() <= 1) {
+    return common::Status::FailedPrecondition(
+        "cannot remove the gateway processor");
+  }
+  auto victim = static_cast<common::ProcessorId>(processors_.size() - 1);
+  // Drain: move every fragment placed on the victim to the least-loaded
+  // remaining processor (ties break to the lowest id, deterministically).
+  std::vector<common::FragmentId> draining;
+  for (const auto& [qid, state] : queries_) {
+    for (const auto& [fragment, proc] : state.placement) {
+      if (proc == victim) draining.push_back(fragment);
+    }
+  }
+  std::sort(draining.begin(), draining.end());
+  for (common::FragmentId fragment : draining) {
+    common::ProcessorId best = 0;
+    for (common::ProcessorId p = 1; p < victim; ++p) {
+      if (processors_[p]->committed_load() <
+          processors_[best]->committed_load()) {
+        best = p;
+      }
+    }
+    DSPS_RETURN_IF_ERROR(MoveFragment(fragment, best));
+  }
+  // Reassign stream delegations owned by the victim, round-robin over
+  // the survivors.
+  for (auto& [stream, delegate] : delegates_) {
+    if (delegate != victim) continue;
+    delegate = processors_[next_delegate_ % victim]->id();
+    next_delegate_ = (next_delegate_ + 1) % static_cast<int>(victim);
+  }
+  common::SimNodeId node = processors_.back()->node();
+  proc_by_node_.erase(node);
+  retired_.push_back(std::move(processors_.back()));
+  processors_.pop_back();
+  return node;
+}
+
 }  // namespace dsps::entity

@@ -176,6 +176,22 @@ class Entity {
   /// Load (CPU s/s) this entity believes it has committed.
   double TotalCommittedLoad() const;
 
+  /// Elastic capacity: adds one processor hosted on `node` (a member of
+  /// this entity's LAN), wired like the constructor-built ones (engine
+  /// from the factory, emission handler, telemetry labels). New fragments
+  /// may land on it immediately; the caller owns routing the node's
+  /// messages to HandleMessage.
+  common::ProcessorId AddProcessor(common::SimNodeId node);
+
+  /// Elastic capacity: drains and retires the last processor. Its
+  /// fragments migrate to the least-loaded remaining processors via the
+  /// MoveFragment machinery and its stream delegations are reassigned;
+  /// the freed sim node is returned so the caller can retire it. The
+  /// Processor object itself is kept (unrouted) until the entity dies —
+  /// in-flight completion callbacks hold a pointer to it. Fails if only
+  /// the gateway remains.
+  common::Result<common::SimNodeId> RemoveLastProcessor();
+
  private:
   struct RouteTarget {
     common::FragmentId fragment = -1;
@@ -207,6 +223,9 @@ class Entity {
   EngineFactory engine_factory_;
   placement::PlacementPolicy* policy_;
   std::vector<std::unique_ptr<Processor>> processors_;
+  /// Processors removed by RemoveLastProcessor: kept alive (their pending
+  /// simulator callbacks capture the raw pointer) but never routed to.
+  std::vector<std::unique_ptr<Processor>> retired_;
   std::map<common::SimNodeId, int> proc_by_node_;
   std::map<common::StreamId, common::ProcessorId> delegates_;
   int next_delegate_ = 0;

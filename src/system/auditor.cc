@@ -1,9 +1,11 @@
 #include "system/auditor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -25,7 +27,8 @@ common::Status Violation(const std::string& what) {
 Auditor::Auditor(System* system, const Config& config)
     : system_(system), config_(config) {
   for (const char* name : {"coordinator", "dissemination", "query_graph",
-                           "conservation", "replica_placement"}) {
+                           "conservation", "replica_placement",
+                           "tenant_conservation"}) {
     checks_.push_back(CheckStats{name, 0, 0, ""});
   }
   if (config_.metrics != nullptr) {
@@ -41,9 +44,9 @@ Auditor::Auditor(System* system, const Config& config)
 int Auditor::RunOnce() {
   ++sweeps_;
   if (sweeps_counter_ != nullptr) sweeps_counter_->Increment();
-  common::Status results[] = {CheckCoordinator(), CheckDissemination(),
-                              CheckQueryGraph(), CheckConservation(),
-                              CheckReplicaPlacement()};
+  common::Status results[] = {CheckCoordinator(),       CheckDissemination(),
+                              CheckQueryGraph(),        CheckConservation(),
+                              CheckReplicaPlacement(),  CheckTenantConservation()};
   int found = 0;
   for (size_t i = 0; i < checks_.size(); ++i) {
     CheckStats& check = checks_[i];
@@ -225,6 +228,65 @@ common::Status Auditor::CheckReplicaPlacement() const {
     }
   }
   return common::Status::OK();
+}
+
+common::Status Auditor::CheckTenantConservation() const {
+  const System& sys = *system_;
+  // Tenant-free runs have no controller and nothing to drift.
+  if (sys.admission_ == nullptr) return common::Status::OK();
+  const tenant::TenantRegistry& registry = *sys.tenant_registry_;
+  // Recount standing queries and loads per tenant from the System's own
+  // maps — the ground truth the controller's incremental accounting must
+  // match. A mismatch is exactly how a readmission double-count (or a
+  // missed withdrawal) would surface.
+  std::map<tenant::TenantId, int> standing;
+  std::map<tenant::TenantId, double> standing_load;
+  std::map<tenant::TenantId, int> queued;
+  auto attribute = [&](common::QueryId qid, const engine::Query& q,
+                       const char* where) -> common::Status {
+    if (!registry.Contains(q.tenant)) {
+      return Violation("tenant_conservation: " + std::string(where) +
+                       " query " + std::to_string(qid) +
+                       " owned by unregistered tenant " +
+                       std::to_string(q.tenant));
+    }
+    standing[q.tenant] += 1;
+    standing_load[q.tenant] += q.load;
+    return common::Status::OK();
+  };
+  for (const auto& [qid, q] : sys.queries_) {
+    DSPS_RETURN_IF_ERROR(attribute(qid, q, "placed"));
+  }
+  for (const auto& [qid, q] : sys.unplaced_) {
+    DSPS_RETURN_IF_ERROR(attribute(qid, q, "unplaced"));
+  }
+  for (const auto& [qid, entry] : sys.admission_queue_) {
+    DSPS_RETURN_IF_ERROR(attribute(qid, entry.query, "queued"));
+    // Queued submissions stand against the quota but carry no installed
+    // load yet.
+    standing_load[entry.query.tenant] -= entry.query.load;
+    queued[entry.query.tenant] += 1;
+  }
+  for (const auto& [t, c] : sys.admission_->all_counters()) {
+    if (c.standing != standing[t]) {
+      return Violation("tenant_conservation: tenant " + std::to_string(t) +
+                       " controller standing " + std::to_string(c.standing) +
+                       " != recounted " + std::to_string(standing[t]));
+    }
+    if (c.queued_now != queued[t]) {
+      return Violation("tenant_conservation: tenant " + std::to_string(t) +
+                       " controller queued " + std::to_string(c.queued_now) +
+                       " != recounted " + std::to_string(queued[t]));
+    }
+    // Loads accumulate incrementally in a different order than the
+    // recount; allow for float reassociation, nothing more.
+    if (std::abs(c.standing_load - standing_load[t]) > 1e-6) {
+      return Violation("tenant_conservation: tenant " + std::to_string(t) +
+                       " standing load drifted");
+    }
+  }
+  // Counter identity: every submission settled exactly one way.
+  return sys.admission_->CheckConservation();
 }
 
 std::string Auditor::ReportJson() const {

@@ -39,7 +39,16 @@ class System;
 ///                   map targets unless the System explicitly moved it
 ///                   off-map (migration/fallback, tracked in a ledger);
 ///                   and replica target lists straddle fault domains
-///                   whenever enough alive domains exist.
+///                   whenever enough alive domains exist;
+///  - tenant_conservation (tenant-enabled runs only, trivially clean
+///                   otherwise): every standing query (placed, unplaced,
+///                   or queued for admission) is attributed to exactly
+///                   one registered tenant; the admission controller's
+///                   per-tenant standing counts and loads agree with a
+///                   recount from the System's own maps (so readmission
+///                   re-homes can never double-count against quotas);
+///                   and per tenant, submitted == admitted + degraded +
+///                   rejected + evicted + queued.
 ///
 /// Every check is read-only (apart from deterministically pre-building
 /// routing caches the hot path would build anyway), consumes no RNG, and
@@ -98,6 +107,7 @@ class Auditor {
   common::Status CheckQueryGraph() const;
   common::Status CheckConservation() const;
   common::Status CheckReplicaPlacement() const;
+  common::Status CheckTenantConservation() const;
 
   System* system_;
   Config config_;

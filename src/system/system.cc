@@ -77,10 +77,21 @@ System::System(const Config& config) : config_(config), rng_(config.seed) {
           }
           if (config_.trace != nullptr && tuple.trace_id != 0) {
             // End-to-end summary span: the per-stage spans recorded along
-            // the way decompose exactly this interval.
+            // the way decompose exactly this interval. Tenant-enabled
+            // runs tag the span with the query's owner (-1 otherwise, so
+            // tenant-free JSONL stays byte-identical).
+            int64_t span_tenant = -1;
+            if (admission_ != nullptr) {
+              auto it = queries_.find(record.query);
+              if (it != queries_.end()) span_tenant = it->second.tenant;
+            }
             config_.trace->Record(tuple.trace_id, telemetry::Stage::kResult,
                                   tuple.timestamp, simulator_->now(),
-                                  /*from=*/-1, /*to=*/-1, record.query);
+                                  /*from=*/-1, /*to=*/-1, record.query,
+                                  span_tenant);
+          }
+          if (admission_ != nullptr) {
+            RecordTenantResult(record.query, record.latency);
           }
           ShipResultToClient(eid, record.query, tuple);
         });
@@ -182,6 +193,17 @@ System::System(const Config& config) : config_(config), rng_(config.seed) {
       });
     }
     InstallGatewayDispatcher(static_cast<common::EntityId>(e));
+  }
+
+  // Multi-tenant admission control. Allocation-only: no node, no RNG
+  // draw, no message — an empty tenant list leaves the simulation
+  // bit-identical to a tenant-free build.
+  if (!config.tenants.empty()) {
+    tenant_registry_ =
+        std::make_unique<tenant::TenantRegistry>(config.tenants);
+    admission_ = std::make_unique<tenant::AdmissionController>(
+        tenant_registry_.get(), config.admission);
+    if (config.metrics != nullptr) admission_->SetMetrics(config.metrics);
   }
 }
 
@@ -440,14 +462,24 @@ common::Status System::InstallOn(common::EntityId entity,
     if (!catalog_.Contains(s)) continue;
     tps = std::max(tps, catalog_.stats(s).tuples_per_s);
   }
-  if (config_.admission_load_factor > 0.0) {
+  // Tenant-enabled runs take their load factor from the controller's
+  // config; the scalar gate keeps its pre-tenant meaning otherwise.
+  double load_factor = admission_ != nullptr ? config_.admission.load_factor
+                                             : config_.admission_load_factor;
+  if (load_factor > 0.0) {
     double capacity = config_.entity.processor_capacity *
                       entities_[entity]->num_processors();
     double admitted = entities_[entity]->TotalCommittedLoad();
     for (const auto& [qid, home] : query_home_) {
       if (home == entity) admitted += queries_.at(qid).load;
     }
-    if (admitted + query.load > config_.admission_load_factor * capacity) {
+    double limit = load_factor * capacity;
+    // An entity exactly at its limit rejects any further positive load.
+    // The >= test is load-bearing: for a load small enough that
+    // admitted + load rounds back to limit, the sum-comparison alone
+    // would admit or reject depending on rounding mode and optimization
+    // level — the outcome must not differ between debug and release.
+    if (admitted >= limit || admitted + query.load > limit) {
       return common::Status::ResourceExhausted("entity at admission limit");
     }
   }
@@ -488,6 +520,21 @@ common::Status System::SubmitQuery(const engine::Query& query) {
   if (entities_.empty()) {
     return common::Status::FailedPrecondition("no entities");
   }
+  // The admission controller arbitrates NEW submissions only. Internal
+  // re-submissions (eviction re-homes, unplaced retries) carry ids that
+  // are still on the accepted_ ledger — their tenant already paid for
+  // them, so they bypass the controller and cannot double-count against
+  // quotas. A queued id resubmitted by the user is simply still pending.
+  if (admission_ != nullptr && accepted_.count(query.id) == 0) {
+    if (admission_queue_.count(query.id) > 0) {
+      return common::Status::AlreadyExists("query queued for admission");
+    }
+    return SubmitTenantQuery(query);
+  }
+  return SubmitDirect(query);
+}
+
+common::Status System::SubmitDirect(const engine::Query& query) {
   if (!client_nodes_.empty() && client_of_query_.count(query.id) == 0) {
     client_of_query_[query.id] = next_client_;
     next_client_ = (next_client_ + 1) % static_cast<int>(client_nodes_.size());
@@ -507,6 +554,187 @@ common::Status System::SubmitQuery(const engine::Query& query) {
   }
   common::EntityId e = AllocateOne(query);
   return InstallOn(e, query);
+}
+
+common::Status System::SubmitTenantQuery(const engine::Query& query) {
+  tenant::TenantId t = query.tenant;
+  admission_->OnSubmitted(t);
+  if (admission_->QuotaExceeded(t)) {
+    admission_->OnRejected(t);
+    return common::Status::ResourceExhausted(
+        "tenant " + tenant_registry_->NameOf(t) + " over standing-query quota");
+  }
+  common::Status st = SubmitDirect(query);
+  if (st.ok()) {
+    admission_->OnAdmitted(t, query.load);
+    return st;
+  }
+  if (st.code() != common::StatusCode::kResourceExhausted) {
+    // Not a capacity refusal (bad plan, no alive target, ...): queueing
+    // or degrading cannot help, so the submission settles as rejected.
+    admission_->OnRejected(t);
+    return st;
+  }
+  // Capacity refusal: weighted-fair arbitration. A tenant over its fair
+  // share sheds to a coarser interest box (answers over a representative
+  // sub-region at a fraction of the load); anyone else — and over-share
+  // tenants whose degraded form still finds no room — waits in the
+  // bounded admission queue for capacity to free up.
+  if (config_.admission.allow_degrade && admission_->OverFairShare(t, query.load)) {
+    engine::Query coarse = tenant::DegradeForAdmission(query, config_.admission);
+    if (SubmitDirect(coarse).ok()) {
+      admission_->OnDegraded(t, coarse.load);
+      return common::Status::OK();
+    }
+  }
+  if (!admission_->QueueFull(t)) {
+    EnqueueAdmission(query);
+    return common::Status::OK();
+  }
+  admission_->OnRejected(t);
+  return st;
+}
+
+void System::EnqueueAdmission(const engine::Query& query) {
+  admission_->OnQueued(query.tenant);
+  QueuedAdmission entry;
+  entry.query = query;
+  entry.enqueued_at = simulator_->now();
+  entry.seq = next_admission_seq_++;
+  admission_queue_[query.id] = std::move(entry);
+  if (config_.trace != nullptr) {
+    config_.trace->RecordInstant("admission_queue", simulator_->now(),
+                                 query.tenant, query.id);
+  }
+  common::QueryId qid = query.id;
+  simulator_->Schedule(config_.admission.max_queue_wait_s,
+                       [this, qid]() { OnAdmissionDeadline(qid); });
+}
+
+void System::OnAdmissionDeadline(common::QueryId qid) {
+  auto it = admission_queue_.find(qid);
+  if (it == admission_queue_.end()) return;  // drained or withdrawn
+  engine::Query query = std::move(it->second.query);
+  admission_queue_.erase(it);
+  tenant::TenantId t = query.tenant;
+  // Last chance at expiry: capacity may have appeared without passing a
+  // release site (e.g. real load decayed). Full fidelity first, then the
+  // degraded form, then eviction from the queue.
+  if (SubmitDirect(query).ok()) {
+    admission_->OnDequeuedAdmit(t, query.load, /*degraded=*/false);
+    return;
+  }
+  if (config_.admission.allow_degrade) {
+    engine::Query coarse = tenant::DegradeForAdmission(query, config_.admission);
+    if (SubmitDirect(coarse).ok()) {
+      admission_->OnDequeuedAdmit(t, coarse.load, /*degraded=*/true);
+      return;
+    }
+  }
+  admission_->OnQueueEvicted(t);
+  if (config_.trace != nullptr) {
+    config_.trace->RecordInstant("admission_evict", simulator_->now(), t, qid);
+  }
+}
+
+int System::DrainAdmissionQueue() {
+  if (admission_ == nullptr || admission_queue_.empty()) return 0;
+  if (draining_admissions_) return 0;
+  draining_admissions_ = true;
+  // Weighted-fair drain: tenants ascending by normalized standing load at
+  // drain time, FIFO (enqueue order) within a tenant.
+  struct Entry {
+    double share;
+    int64_t seq;
+    common::QueryId qid;
+  };
+  std::vector<Entry> order;
+  order.reserve(admission_queue_.size());
+  for (const auto& [qid, entry] : admission_queue_) {
+    order.push_back(
+        {admission_->NormalizedLoad(entry.query.tenant), entry.seq, qid});
+  }
+  std::sort(order.begin(), order.end(), [](const Entry& a, const Entry& b) {
+    if (a.share != b.share) return a.share < b.share;
+    return a.seq < b.seq;
+  });
+  int landed = 0;
+  for (const Entry& e : order) {
+    auto it = admission_queue_.find(e.qid);
+    if (it == admission_queue_.end()) continue;
+    engine::Query query = it->second.query;
+    if (!SubmitDirect(query).ok()) continue;
+    admission_queue_.erase(e.qid);
+    admission_->OnDequeuedAdmit(query.tenant, query.load, /*degraded=*/false);
+    ++landed;
+  }
+  draining_admissions_ = false;
+  return landed;
+}
+
+std::vector<common::QueryId> System::QueuedAdmissions() const {
+  std::vector<common::QueryId> out;
+  out.reserve(admission_queue_.size());
+  for (const auto& [qid, entry] : admission_queue_) out.push_back(qid);
+  return out;
+}
+
+void System::RecordTenantResult(common::QueryId query, double latency) {
+  auto it = queries_.find(query);
+  if (it == queries_.end()) return;
+  tenant::TenantId t = it->second.tenant;
+  TenantRuntime& rt = tenant_runtime_[t];
+  rt.results += 1;
+  rt.latency.Add(latency);
+  const tenant::TenantSpec& spec = tenant_registry_->SpecOrDefault(t);
+  if (spec.latency_slo_s <= 0.0 || latency <= spec.latency_slo_s) {
+    rt.within_slo += 1;
+  }
+  double now = simulator_->now();
+  rt.recent.emplace_back(now, latency);
+  double window = config_.admission.slo_window_s;
+  while (!rt.recent.empty() && rt.recent.front().first < now - window) {
+    rt.recent.pop_front();
+  }
+  if (config_.metrics != nullptr) {
+    if (rt.results_counter == nullptr) {
+      telemetry::Labels labels =
+          telemetry::MakeLabels({{"tenant", tenant_registry_->NameOf(t)}});
+      rt.results_counter = config_.metrics->counter("tenant.results", labels);
+      rt.latency_hist =
+          config_.metrics->histogram("tenant.latency_s", labels);
+    }
+    rt.results_counter->Increment();
+    rt.latency_hist->Observe(latency);
+  }
+}
+
+int64_t System::TenantResults(tenant::TenantId tenant) const {
+  auto it = tenant_runtime_.find(tenant);
+  return it != tenant_runtime_.end() ? it->second.results : 0;
+}
+
+const common::Histogram* System::TenantLatency(tenant::TenantId tenant) const {
+  auto it = tenant_runtime_.find(tenant);
+  return it != tenant_runtime_.end() ? &it->second.latency : nullptr;
+}
+
+double System::TenantRecentP95(tenant::TenantId tenant) const {
+  auto it = tenant_runtime_.find(tenant);
+  if (it == tenant_runtime_.end() || it->second.recent.empty()) return 0.0;
+  // The deque is trimmed on insert; results older than the window that
+  // were not followed by newer ones still count (better a stale answer
+  // than a vacuous zero during a stall).
+  common::Histogram h;
+  for (const auto& [when, latency] : it->second.recent) h.Add(latency);
+  return h.p95();
+}
+
+double System::TenantSloAttainment(tenant::TenantId tenant) const {
+  auto it = tenant_runtime_.find(tenant);
+  if (it == tenant_runtime_.end() || it->second.results == 0) return 1.0;
+  return static_cast<double>(it->second.within_slo) /
+         static_cast<double>(it->second.results);
 }
 
 common::Status System::SubmitBatch(const std::vector<engine::Query>& queries) {
@@ -563,22 +791,43 @@ void System::RecomputeEntityInterest(common::EntityId entity) {
 common::Status System::RemoveQuery(common::QueryId query) {
   auto home_it = query_home_.find(query);
   if (home_it == query_home_.end()) {
-    // A withdrawn query may be sitting in the unplaced queue.
-    if (unplaced_.erase(query) > 0) {
+    // A withdrawn query may be sitting in the unplaced queue...
+    auto un_it = unplaced_.find(query);
+    if (un_it != unplaced_.end()) {
+      if (admission_ != nullptr) {
+        admission_->OnWithdrawn(un_it->second.tenant, un_it->second.load);
+      }
+      unplaced_.erase(un_it);
       accepted_.erase(query);
       off_map_.erase(query);
       return common::Status::OK();
+    }
+    // ...or still waiting in the admission queue (it never stood up any
+    // capacity, so withdrawal settles it as evicted-from-queue).
+    if (admission_ != nullptr) {
+      auto q_it = admission_queue_.find(query);
+      if (q_it != admission_queue_.end()) {
+        admission_->OnQueueEvicted(q_it->second.query.tenant);
+        admission_queue_.erase(q_it);
+        return common::Status::OK();
+      }
     }
     return common::Status::NotFound("unknown query");
   }
   common::EntityId home = home_it->second;
   DSPS_RETURN_IF_ERROR(entities_[home]->RemoveQuery(query));
+  if (admission_ != nullptr) {
+    const engine::Query& q = queries_.at(query);
+    admission_->OnWithdrawn(q.tenant, q.load);
+  }
   query_home_.erase(home_it);
   queries_.erase(query);
   accepted_.erase(query);
   off_map_.erase(query);
   GraphIndexRemove(query);
   RecomputeEntityInterest(home);
+  // Withdrawal released capacity: queued submissions get their retry.
+  DrainAdmissionQueue();
   return common::Status::OK();
 }
 
@@ -841,8 +1090,10 @@ void System::ReadmitEntity(common::EntityId entity) {
   if (config_.trace != nullptr) {
     config_.trace->RecordInstant("readmit", simulator_->now(), entity);
   }
-  // A fresh empty entity is exactly where queued unplaced queries belong.
+  // A fresh empty entity is exactly where queued unplaced queries belong
+  // — and newly released capacity, where queued admissions do.
   if (!unplaced_.empty()) TryRehomeUnplaced();
+  DrainAdmissionQueue();
 }
 
 void System::OnHeartbeat(common::EntityId entity) {
@@ -1146,6 +1397,7 @@ common::Result<System::RepartitionReport> System::RepartitionQueries(
 void System::MaintenanceRound() {
   maintenance_stats_.rounds += 1;
   if (!unplaced_.empty()) TryRehomeUnplaced();
+  DrainAdmissionQueue();
   maintenance_stats_.coordinator_messages += coordinator_->Maintain();
   if (disseminator_ != nullptr) {
     dissemination::TreeReorganizer reorganizer;
@@ -1219,26 +1471,25 @@ void System::RegisterSeriesProbes(telemetry::TimeSeriesRecorder* recorder) {
     return mean > 0 ? max_load / mean : 1.0;
   });
   // WAN classification mirrors Collect(): a link is LAN iff both
-  // endpoints sit inside one entity's processor set.
-  std::map<common::SimNodeId, int> entity_of_node;
-  for (const sim::EntitySite& site : topology_.entities) {
-    for (common::SimNodeId node : site.processors) {
-      entity_of_node[node] = site.entity;
+  // endpoints sit inside one entity's processor set. Rebuilt per sample
+  // (not captured once) because elastic growth adds processor nodes.
+  recorder->AddRateProbe("series.wan_bytes_per_s", {}, [this] {
+    std::map<common::SimNodeId, int> entity_of_node;
+    for (const sim::EntitySite& site : topology_.entities) {
+      for (common::SimNodeId node : site.processors) {
+        entity_of_node[node] = site.entity;
+      }
     }
-  }
-  recorder->AddRateProbe(
-      "series.wan_bytes_per_s", {},
-      [this, entity_of_node = std::move(entity_of_node)] {
-        double wan = 0.0;
-        for (const sim::Network::LinkRecord& link : network_->AllLinkStats()) {
-          auto a = entity_of_node.find(link.from);
-          auto b = entity_of_node.find(link.to);
-          bool lan = a != entity_of_node.end() && b != entity_of_node.end() &&
-                     a->second == b->second;
-          if (!lan) wan += static_cast<double>(link.stats.bytes);
-        }
-        return wan;
-      });
+    double wan = 0.0;
+    for (const sim::Network::LinkRecord& link : network_->AllLinkStats()) {
+      auto a = entity_of_node.find(link.from);
+      auto b = entity_of_node.find(link.to);
+      bool lan = a != entity_of_node.end() && b != entity_of_node.end() &&
+                 a->second == b->second;
+      if (!lan) wan += static_cast<double>(link.stats.bytes);
+    }
+    return wan;
+  });
   recorder->AddGaugeProbe("series.unplaced_queries", {}, [this] {
     return static_cast<double>(unplaced_.size());
   });
@@ -1258,6 +1509,33 @@ void System::RegisterSeriesProbes(telemetry::TimeSeriesRecorder* recorder) {
   recorder->AddRateProbe("series.rehomed_per_s", {}, [this] {
     return static_cast<double>(failure_stats_.queries_rehomed);
   });
+  // Per-tenant trajectories (admission controller active only, so
+  // tenant-free recorders serialize byte-identically to before).
+  if (admission_ != nullptr) {
+    for (tenant::TenantId t : tenant_registry_->ids()) {
+      telemetry::Labels labels =
+          telemetry::MakeLabels({{"tenant", tenant_registry_->NameOf(t)}});
+      recorder->AddRateProbe("series.tenant_results_per_s", labels,
+                             [this, t] {
+                               return static_cast<double>(TenantResults(t));
+                             });
+      recorder->AddGaugeProbe(
+          "series.tenant_recent_p95_ms", labels,
+          [this, t] { return TenantRecentP95(t) * 1e3; });
+      recorder->AddGaugeProbe("series.tenant_queued", labels, [this, t] {
+        return static_cast<double>(admission_->counters(t).queued_now);
+      });
+      recorder->AddGaugeProbe("series.tenant_standing_load", labels,
+                              [this, t] {
+                                return admission_->counters(t).standing_load;
+                              });
+    }
+    recorder->AddGaugeProbe("series.total_processors", {}, [this] {
+      int procs = 0;
+      for (const auto& ent : entities_) procs += ent->num_processors();
+      return static_cast<double>(procs);
+    });
+  }
 }
 
 void System::EnableTimeSeries(telemetry::TimeSeriesRecorder* recorder,
@@ -1277,6 +1555,111 @@ void System::SampleTick(telemetry::TimeSeriesRecorder* recorder,
     recorder->Sample(simulator_->now());
     SampleTick(recorder, period_s, until);
   });
+}
+
+void System::EnableElasticity(const tenant::ElasticityManager::Config& config,
+                              double period_s, double until) {
+  DSPS_CHECK(period_s > 0);
+  elasticity_ = std::make_unique<tenant::ElasticityManager>(config);
+  ElasticityTick(period_s, until);
+}
+
+void System::ElasticityTick(double period_s, double until) {
+  double next = simulator_->now() + period_s;
+  if (next > until) return;
+  simulator_->ScheduleAt(next, [this, period_s, until]() {
+    ElasticityRound();
+    ElasticityTick(period_s, until);
+  });
+}
+
+int System::ElasticityRound() {
+  if (elasticity_ == nullptr) return 0;
+  int actions = 0;
+  for (int e = 0; e < num_entities(); ++e) {
+    if (!alive_[e]) {
+      elasticity_->Forget(e);
+      continue;
+    }
+    entity::Entity* ent = entities_[e].get();
+    tenant::ElasticityManager::Observation obs;
+    obs.entity = e;
+    obs.committed_load = ent->TotalCommittedLoad();
+    obs.capacity = config_.entity.processor_capacity * ent->num_processors();
+    const common::Histogram& pr = ent->pr_histogram();
+    obs.pr_p95 = pr.count() > 0 ? pr.p95() : 0.0;
+    obs.processors = ent->num_processors();
+    switch (elasticity_->Evaluate(obs)) {
+      case tenant::ElasticityManager::Action::kGrow:
+        if (GrowEntity(e)) ++actions;
+        break;
+      case tenant::ElasticityManager::Action::kShrink:
+        if (ShrinkEntity(e)) ++actions;
+        break;
+      case tenant::ElasticityManager::Action::kNone:
+        break;
+    }
+  }
+  return actions;
+}
+
+bool System::GrowEntity(common::EntityId entity) {
+  if (entity < 0 || entity >= num_entities() || !alive_[entity]) return false;
+  entity::Entity* ent = entities_[entity].get();
+  sim::EntitySite& site = topology_.entities[entity];
+  // Deterministic LAN position: elastic processors land on fixed rational
+  // offsets around the entity center — no RNG, so growing capacity never
+  // perturbs the seeded draws of the rest of the simulation.
+  static constexpr double kOffsets[8][2] = {
+      {1.0, 0.0},    {0.0, 1.0},     {-1.0, 0.0},    {0.0, -1.0},
+      {0.75, 0.75},  {-0.75, 0.75},  {-0.75, -0.75}, {0.75, -0.75}};
+  int k = static_cast<int>(site.processors.size());
+  const double* off = kOffsets[k % 8];
+  double r = config_.topology.lan_radius * 0.5;
+  sim::Point pos{site.center.x + off[0] * r, site.center.y + off[1] * r};
+  common::SimNodeId node = network_->AddNode(pos);
+  ent->AddProcessor(node);
+  // The topology is the ground truth Collect()'s LAN/WAN split and crash
+  // scheduling read; the new node must be part of the entity there too.
+  site.processors.push_back(node);
+  network_->SetHandler(node, [this, ent](const sim::Message& msg) {
+    if (ent->HandleMessage(msg)) return;
+    disseminator_->HandleMessage(msg);
+  });
+  elasticity_stats_.grow_events += 1;
+  elasticity_stats_.processors_added += 1;
+  if (config_.trace != nullptr) {
+    config_.trace->RecordInstant("scale_up", simulator_->now(), entity,
+                                 ent->num_processors());
+  }
+  // Fresh capacity: queued submissions get their retry immediately.
+  DrainAdmissionQueue();
+  return true;
+}
+
+bool System::ShrinkEntity(common::EntityId entity) {
+  if (entity < 0 || entity >= num_entities() || !alive_[entity]) return false;
+  entity::Entity* ent = entities_[entity].get();
+  int floor = 1;
+  if (elasticity_ != nullptr) {
+    floor = std::max(1, elasticity_->config().min_processors);
+  }
+  if (ent->num_processors() <= floor) return false;
+  auto removed = ent->RemoveLastProcessor();
+  if (!removed.ok()) return false;
+  sim::EntitySite& site = topology_.entities[entity];
+  DSPS_CHECK(!site.processors.empty() &&
+             site.processors.back() == removed.value());
+  site.processors.pop_back();
+  // The freed node keeps its handler installed and simply goes quiet;
+  // stray in-flight messages to it are dispatched and ignored.
+  elasticity_stats_.shrink_events += 1;
+  elasticity_stats_.processors_removed += 1;
+  if (config_.trace != nullptr) {
+    config_.trace->RecordInstant("scale_down", simulator_->now(), entity,
+                                 ent->num_processors());
+  }
+  return true;
 }
 
 void System::ScheduleEmission(size_t stream_index, double end_time) {

@@ -1,9 +1,11 @@
 #ifndef DSPS_SYSTEM_SYSTEM_H_
 #define DSPS_SYSTEM_SYSTEM_H_
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "common/ids.h"
@@ -28,6 +30,9 @@
 #include "telemetry/registry.h"
 #include "telemetry/timeseries.h"
 #include "telemetry/trace.h"
+#include "tenant/admission.h"
+#include "tenant/elasticity.h"
+#include "tenant/tenant.h"
 #include "workload/stream_gen.h"
 
 namespace dsps::system {
@@ -193,6 +198,17 @@ class System {
       int max_retries = 4;
     };
     RecoveryConfig recovery;
+    /// Multi-tenant admission control (src/tenant/). Registering one or
+    /// more tenant specs activates the AdmissionController: submissions
+    /// are arbitrated per tenant (admit / queue with bounded wait /
+    /// degrade to a coarser interest box / reject) under `admission`'s
+    /// knobs, with `admission.load_factor` taking over the scalar
+    /// admission_load_factor's role. Left empty (the default), everything
+    /// runs as the single implicit tenant: no controller is allocated, no
+    /// RNG is drawn, no node is created — simulations are bit-identical
+    /// to a tenant-free build.
+    std::vector<tenant::TenantSpec> tenants;
+    tenant::AdmissionController::Config admission;
   };
 
   explicit System(const Config& config);
@@ -425,9 +441,77 @@ class System {
   void EnableTimeSeries(telemetry::TimeSeriesRecorder* recorder,
                         double period_s, double until);
 
+  /// The admission controller (null unless Config::tenants is non-empty).
+  const tenant::AdmissionController* admission() const {
+    return admission_.get();
+  }
+  /// The tenant registry (null unless Config::tenants is non-empty).
+  const tenant::TenantRegistry* tenant_registry() const {
+    return tenant_registry_.get();
+  }
+  /// Pending (queued) submissions awaiting capacity, ascending query id.
+  std::vector<common::QueryId> QueuedAdmissions() const;
+  /// Retries queued submissions in weighted-fair order (lightest
+  /// normalized standing load first, FIFO within a tenant); runs
+  /// automatically whenever capacity is released (query withdrawal,
+  /// entity re-admission, elastic growth, maintenance rounds). Returns
+  /// how many landed.
+  int DrainAdmissionQueue();
+
+  /// Per-tenant result-latency accounting (only populated while the
+  /// admission controller is active).
+  int64_t TenantResults(tenant::TenantId tenant) const;
+  /// Latency histogram over all of the tenant's results so far (null if
+  /// none yet).
+  const common::Histogram* TenantLatency(tenant::TenantId tenant) const;
+  /// p95 latency over the trailing admission.slo_window_s window (0 when
+  /// no recent results).
+  double TenantRecentP95(tenant::TenantId tenant) const;
+  /// Fraction of the tenant's results within its latency SLO (1 when the
+  /// tenant has no SLO or no results yet).
+  double TenantSloAttainment(tenant::TenantId tenant) const;
+
+  /// Elastic per-entity capacity: every `period_s` the ElasticityManager
+  /// observes each alive entity (committed load vs capacity, result-PR
+  /// p95 — the Section 4.1 PR_k accounting) and the System executes its
+  /// grow/shrink decisions by adding/retiring intra-entity processors.
+  /// Entity-level structures (placement-map standbys included) key on
+  /// entity ids, so they stay valid across capacity changes. Runs until
+  /// `until` (simulated).
+  void EnableElasticity(const tenant::ElasticityManager::Config& config,
+                        double period_s, double until);
+  struct ElasticityStats {
+    int grow_events = 0;
+    int shrink_events = 0;
+    int processors_added = 0;
+    int processors_removed = 0;
+  };
+  const ElasticityStats& elasticity_stats() const {
+    return elasticity_stats_;
+  }
+  /// One immediate elasticity evaluation round (also used internally by
+  /// the periodic tick). Returns grow+shrink actions taken.
+  int ElasticityRound();
+
  private:
   friend class Auditor;
   common::Status InstallOn(common::EntityId entity, const engine::Query& query);
+  /// The pre-tenant submission path: client assignment, allocation, and
+  /// InstallOn (with placement-map standby walk). Tenant admission wraps
+  /// this for new submissions; internal re-homes call it directly.
+  common::Status SubmitDirect(const engine::Query& query);
+  /// Weighted-fair arbitration of a brand-new submission (controller
+  /// active, query not yet on the ledger).
+  common::Status SubmitTenantQuery(const engine::Query& query);
+  void EnqueueAdmission(const engine::Query& query);
+  /// Bounded-wait expiry of a queued submission: one last install try
+  /// (full fidelity, then degraded), else eviction from the queue.
+  void OnAdmissionDeadline(common::QueryId query);
+  /// Per-tenant result-latency accounting (admission controller active).
+  void RecordTenantResult(common::QueryId query, double latency);
+  void ElasticityTick(double period_s, double until);
+  bool GrowEntity(common::EntityId entity);
+  bool ShrinkEntity(common::EntityId entity);
   common::EntityId AllocateOne(const engine::Query& query);
   void ScheduleEmission(size_t stream_index, double end_time);
   entity::Entity::EngineFactory MakeEngineFactory(int entity_index) const;
@@ -558,6 +642,34 @@ class System {
   std::map<common::QueryId, int> client_of_query_;
   int next_client_ = 0;
   int round_robin_next_ = 0;
+  /// Multi-tenant state (all null/empty unless Config::tenants is set).
+  std::unique_ptr<tenant::TenantRegistry> tenant_registry_;
+  std::unique_ptr<tenant::AdmissionController> admission_;
+  struct QueuedAdmission {
+    engine::Query query;
+    double enqueued_at = 0.0;
+    /// FIFO order within a tenant during weighted-fair drains.
+    int64_t seq = 0;
+  };
+  std::map<common::QueryId, QueuedAdmission> admission_queue_;
+  int64_t next_admission_seq_ = 1;
+  /// Re-entrancy guard: DrainAdmissionQueue runs from capacity-release
+  /// sites that its own installs can reach again.
+  bool draining_admissions_ = false;
+  struct TenantRuntime {
+    common::Histogram latency;
+    int64_t results = 0;
+    int64_t within_slo = 0;
+    /// (completion time, latency) of recent results, trimmed to the
+    /// admission.slo_window_s window — the recent-p95 probe's input.
+    std::deque<std::pair<double, double>> recent;
+    telemetry::Counter* results_counter = nullptr;
+    telemetry::HistogramMetric* latency_hist = nullptr;
+  };
+  std::map<tenant::TenantId, TenantRuntime> tenant_runtime_;
+  /// Elasticity (null unless EnableElasticity ran).
+  std::unique_ptr<tenant::ElasticityManager> elasticity_;
+  ElasticityStats elasticity_stats_;
   SystemMetrics metrics_;
   MaintenanceStats maintenance_stats_;
   /// Cached telemetry series (null when config_.metrics is null).

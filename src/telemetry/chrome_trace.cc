@@ -61,6 +61,7 @@ common::Result<TraceRecords> ReadTraceJsonLines(std::istream& is) {
     span.from = static_cast<int32_t>(v.NumberOr("from", -1.0));
     span.to = static_cast<int32_t>(v.NumberOr("to", -1.0));
     span.query = static_cast<int64_t>(v.NumberOr("query", -1.0));
+    span.tenant = static_cast<int64_t>(v.NumberOr("tenant", -1.0));
     out.spans.push_back(span);
   }
   // A truncated last line (no trailing newline, killed mid-write) still
@@ -109,6 +110,7 @@ std::string ToChromeTraceJson(const TraceRecords& records) {
     if (span.from >= 0) w.Key("from").Int(span.from);
     if (span.to >= 0) w.Key("to").Int(span.to);
     if (span.query >= 0) w.Key("query").Int(span.query);
+    if (span.tenant >= 0) w.Key("tenant").Int(span.tenant);
     w.EndObject();
     w.EndObject();
   }

@@ -21,6 +21,7 @@ std::string SpanToJson(const Span& span) {
   if (span.from >= 0) w.Key("from").Int(span.from);
   if (span.to >= 0) w.Key("to").Int(span.to);
   if (span.query >= 0) w.Key("query").Int(span.query);
+  if (span.tenant >= 0) w.Key("tenant").Int(span.tenant);
   w.EndObject();
   return w.TakeString();
 }

@@ -44,13 +44,14 @@ int64_t TraceLog::MaybeStartTrace() {
 }
 
 void TraceLog::Record(int64_t trace, Stage stage, double start, double end,
-                      int32_t from, int32_t to, int64_t query) {
+                      int32_t from, int32_t to, int64_t query,
+                      int64_t tenant) {
   if (trace == 0 || !enabled()) return;
   if (spans_.size() >= config_.max_spans) {
     ++dropped_;
     return;
   }
-  spans_.push_back(Span{trace, stage, start, end, from, to, query});
+  spans_.push_back(Span{trace, stage, start, end, from, to, query, tenant});
 }
 
 void TraceLog::MapMessageType(int type, Stage stage) {

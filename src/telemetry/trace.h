@@ -55,6 +55,10 @@ struct Span {
   int32_t to = -1;
   /// The query that produced the result (kResult spans only).
   int64_t query = -1;
+  /// Owning tenant of that query (kResult spans of tenant-enabled runs
+  /// only; -1 = untagged, omitted from JSON so tenant-free output is
+  /// byte-identical).
+  int64_t tenant = -1;
 
   double duration() const { return end - start; }
 };
@@ -103,7 +107,8 @@ class TraceLog {
 
   /// Records one span (no-op when `trace` is 0 or the log is disabled).
   void Record(int64_t trace, Stage stage, double start, double end,
-              int32_t from = -1, int32_t to = -1, int64_t query = -1);
+              int32_t from = -1, int32_t to = -1, int64_t query = -1,
+              int64_t tenant = -1);
 
   /// Registers which Stage a simulated-network message type maps to, so
   /// the network layer can attribute in-flight time without knowing the

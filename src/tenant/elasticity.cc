@@ -1,0 +1,40 @@
+#include "tenant/elasticity.h"
+
+#include <algorithm>
+
+namespace dsps::tenant {
+
+ElasticityManager::Action ElasticityManager::Evaluate(const Observation& obs) {
+  double utilization =
+      obs.capacity > 0.0 ? obs.committed_load / obs.capacity : 0.0;
+  bool hot = utilization > config_.high_watermark ||
+             (config_.pr_p95_limit > 0.0 && obs.pr_p95 > config_.pr_p95_limit);
+  bool cold = utilization < config_.low_watermark;
+
+  int& high = high_streak_[obs.entity];
+  int& low = low_streak_[obs.entity];
+  high = hot ? high + 1 : 0;
+  low = cold ? low + 1 : 0;
+
+  int sustain = std::max(1, config_.sustain_rounds);
+  if (high >= sustain && obs.processors < config_.max_processors) {
+    high = 0;
+    low = 0;
+    stats_.grow_decisions += 1;
+    return Action::kGrow;
+  }
+  if (low >= sustain && obs.processors > std::max(1, config_.min_processors)) {
+    high = 0;
+    low = 0;
+    stats_.shrink_decisions += 1;
+    return Action::kShrink;
+  }
+  return Action::kNone;
+}
+
+void ElasticityManager::Forget(int entity) {
+  high_streak_.erase(entity);
+  low_streak_.erase(entity);
+}
+
+}  // namespace dsps::tenant

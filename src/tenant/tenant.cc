@@ -1,0 +1,55 @@
+#include "tenant/tenant.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace dsps::tenant {
+
+namespace {
+
+TenantSpec MakeDefaultSpec() {
+  TenantSpec spec;
+  spec.id = kImplicitTenant;
+  spec.name = "t0";
+  return spec;
+}
+
+}  // namespace
+
+TenantRegistry::TenantRegistry() : default_spec_(MakeDefaultSpec()) {
+  Register(default_spec_);
+}
+
+TenantRegistry::TenantRegistry(const std::vector<TenantSpec>& specs)
+    : default_spec_(MakeDefaultSpec()) {
+  // The implicit tenant exists up front; an explicit spec for id 0 in
+  // `specs` overrides its defaults.
+  Register(default_spec_);
+  for (const TenantSpec& spec : specs) Register(spec);
+}
+
+void TenantRegistry::Register(TenantSpec spec) {
+  if (spec.name.empty()) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "t%d", spec.id);
+    spec.name = buf;
+  }
+  auto it = specs_.find(spec.id);
+  if (it != specs_.end()) total_weight_ -= it->second.weight;
+  total_weight_ += spec.weight;
+  specs_[spec.id] = std::move(spec);
+}
+
+const TenantSpec& TenantRegistry::SpecOrDefault(TenantId id) const {
+  auto it = specs_.find(id);
+  return it != specs_.end() ? it->second : default_spec_;
+}
+
+std::vector<TenantId> TenantRegistry::ids() const {
+  std::vector<TenantId> out;
+  out.reserve(specs_.size());
+  for (const auto& [id, spec] : specs_) out.push_back(id);
+  return out;
+}
+
+}  // namespace dsps::tenant

@@ -1,0 +1,63 @@
+#ifndef DSPS_TENANT_TENANT_H_
+#define DSPS_TENANT_TENANT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dsps::tenant {
+
+/// Tenants are small non-negative integers. 0 is the implicit tenant that
+/// every untagged query belongs to, so single-tenant workloads run with no
+/// tenant configuration at all.
+using TenantId = int32_t;
+inline constexpr TenantId kImplicitTenant = 0;
+
+/// One tenant's service contract: its weight in weighted-fair admission
+/// arbitration, its result-latency SLO, and its standing-query quota.
+struct TenantSpec {
+  TenantId id = kImplicitTenant;
+  /// Label value used in per-tenant telemetry; defaults to "t<id>".
+  std::string name;
+  /// Relative share of cluster capacity (weighted-fair admission).
+  double weight = 1.0;
+  /// Result-latency SLO in seconds; 0 = no SLO (always attained).
+  double latency_slo_s = 0.0;
+  /// Max standing queries (placed + unplaced + queued); 0 = unlimited.
+  int max_standing_queries = 0;
+};
+
+/// The set of registered tenants. The implicit tenant is always present
+/// (with default weight/SLO/quota) unless a spec overrides it, so lookups
+/// never fail and untagged queries always have an owner.
+class TenantRegistry {
+ public:
+  TenantRegistry();
+  explicit TenantRegistry(const std::vector<TenantSpec>& specs);
+
+  /// Adds or replaces a tenant spec. Names default to "t<id>".
+  void Register(TenantSpec spec);
+
+  bool Contains(TenantId id) const { return specs_.count(id) > 0; }
+  /// The registered spec, or the implicit-tenant defaults for unknown ids.
+  const TenantSpec& SpecOrDefault(TenantId id) const;
+  const std::string& NameOf(TenantId id) const {
+    return SpecOrDefault(id).name;
+  }
+
+  /// Registered tenant ids, ascending.
+  std::vector<TenantId> ids() const;
+  /// Sum of registered weights (the weighted-fair denominator).
+  double total_weight() const { return total_weight_; }
+  size_t size() const { return specs_.size(); }
+
+ private:
+  std::map<TenantId, TenantSpec> specs_;
+  TenantSpec default_spec_;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace dsps::tenant
+
+#endif  // DSPS_TENANT_TENANT_H_

@@ -76,6 +76,7 @@ Box QueryGen::DrawInterestBox(common::StreamId stream) {
 Query QueryGen::Next() {
   Query q;
   q.id = next_id_++;
+  q.tenant = config_.tenant;
   auto plan = std::make_unique<QueryPlan>();
   double roll = rng_.NextDouble();
   bool is_join = roll < config_.join_prob && catalog_->size() >= 1;

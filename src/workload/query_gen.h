@@ -51,6 +51,9 @@ class QueryGen {
     int filter_dims = 2;
     /// Window length for joins/aggregates.
     double window_s = 10.0;
+    /// Tenant stamped on every generated query (multi-tenant workloads
+    /// run one tagged generator per tenant; 0 = the implicit tenant).
+    int32_t tenant = 0;
   };
 
   QueryGen(const Config& config, const interest::StreamCatalog* catalog,

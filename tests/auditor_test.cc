@@ -66,7 +66,7 @@ TEST(AuditorTest, HealthyFaultRunSweepsWithZeroViolations) {
 
   EXPECT_GE(auditor->sweeps(), 10);
   EXPECT_EQ(auditor->violations(), 0);
-  ASSERT_EQ(auditor->checks().size(), 5u);
+  ASSERT_EQ(auditor->checks().size(), 6u);
   for (const Auditor::CheckStats& check : auditor->checks()) {
     EXPECT_EQ(check.runs, auditor->sweeps()) << check.name;
     EXPECT_EQ(check.violations, 0) << check.name;
@@ -140,7 +140,7 @@ TEST(AuditorTest, ReportJsonCarriesSweepsViolationsAndChecks) {
   const telemetry::JsonValue* checks = doc.Find("checks");
   ASSERT_NE(checks, nullptr);
   ASSERT_TRUE(checks->is_array());
-  ASSERT_EQ(checks->items.size(), 5u);
+  ASSERT_EQ(checks->items.size(), 6u);
   for (const telemetry::JsonValue& check : checks->items) {
     EXPECT_FALSE(check.StringOr("name", "").empty());
     EXPECT_EQ(check.NumberOr("runs", -1), 2.0);

@@ -10,7 +10,12 @@
 //     "unplaced" headline is non-zero (queries were orphaned by a failure
 //     and never re-homed — the failover acceptance bar is zero);
 //   - "recovery_time" headlines are summarized as a range so the failover
-//     experiments' repair latency is visible at a glance.
+//     experiments' repair latency is visible at a glance;
+//   - bench reports carrying per-tenant headline gauges (the multi-tenant
+//     benches label headline.tenant_* with {tenant=<name>}) get a
+//     per-tenant admission table, and a tenant whose reject count exceeds
+//     its declared quota headroom (headline.tenant_quota_headroom) marks
+//     the file unhealthy.
 //
 // Usage: dsps_doctor <report.json>...
 // Exit status: 0 = healthy, 1 = violations found, 2 = usage/parse error.
@@ -18,6 +23,7 @@
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -31,11 +37,23 @@ using dsps::common::Table;
 using dsps::telemetry::JsonValue;
 using dsps::telemetry::ParseJson;
 
+struct TenantHealth {
+  double submitted = 0.0;
+  double admitted = 0.0;
+  double queued = 0.0;
+  double degraded = 0.0;
+  double rejected = 0.0;
+  double slo_attainment = -1.0;  // worst across scenarios; -1 = none seen
+  double quota_headroom = -1.0;  // reject budget; -1 = not declared
+};
+
 struct FileHealth {
   std::string path;
   std::string kind;
   std::string summary;
   bool healthy = true;
+  /// Per-tenant admission rollup (empty for non-tenant reports).
+  std::map<std::string, TenantHealth> tenants;
 };
 
 /// {"report":"audit","sweeps":..,"violations":..,"checks":[...]}
@@ -87,6 +105,34 @@ FileHealth SummarizeBench(const std::string& path, const JsonValue& doc) {
         nonfinite += sample.NumberOr("value", 0.0);
       } else if (name == "audit.violations") {
         audit_violations += sample.NumberOr("value", 0.0);
+      } else if (name.rfind("headline.tenant_", 0) == 0) {
+        const JsonValue* labels = sample.Find("labels");
+        std::string who =
+            labels != nullptr ? labels->StringOr("tenant", "") : "";
+        if (who.empty()) continue;
+        TenantHealth& t = h.tenants[who];
+        double value = sample.NumberOr("value", 0.0);
+        std::string field = name.substr(std::string("headline.").size());
+        if (field == "tenant_submitted") {
+          t.submitted += value;
+        } else if (field == "tenant_admitted") {
+          t.admitted += value;
+        } else if (field == "tenant_queued") {
+          t.queued += value;
+        } else if (field == "tenant_degraded") {
+          t.degraded += value;
+        } else if (field == "tenant_rejected") {
+          t.rejected += value;
+        } else if (field == "tenant_slo_attainment") {
+          // Several scenarios may report; the doctor keeps the worst.
+          t.slo_attainment = t.slo_attainment < 0
+                                 ? value
+                                 : std::min(t.slo_attainment, value);
+        } else if (field == "tenant_quota_headroom") {
+          t.quota_headroom = t.quota_headroom < 0
+                                 ? value
+                                 : std::min(t.quota_headroom, value);
+        }
       } else if (name.rfind("headline.", 0) == 0) {
         double value = sample.NumberOr("value", 0.0);
         if (name.find("unplaced") != std::string::npos) {
@@ -123,8 +169,29 @@ FileHealth SummarizeBench(const std::string& path, const JsonValue& doc) {
     h.healthy = false;
     os << "; " << unplaced << " queries unplaced";
   }
+  for (const auto& [who, t] : h.tenants) {
+    if (t.quota_headroom >= 0 && t.rejected > t.quota_headroom) {
+      h.healthy = false;
+      os << "; tenant " << who << " rejected " << t.rejected
+         << " > headroom " << t.quota_headroom;
+    }
+  }
   h.summary = os.str();
   return h;
+}
+
+void PrintTenantTable(const FileHealth& h) {
+  Table table({"tenant", "submitted", "admitted", "queued", "degraded",
+               "rejected", "headroom", "worst SLO attain"});
+  for (const auto& [who, t] : h.tenants) {
+    table.AddRow(
+        {who, Table::Num(t.submitted, 0), Table::Num(t.admitted, 0),
+         Table::Num(t.queued, 0), Table::Num(t.degraded, 0),
+         Table::Num(t.rejected, 0),
+         t.quota_headroom < 0 ? "-" : Table::Num(t.quota_headroom, 0),
+         t.slo_attainment < 0 ? "-" : Table::Num(t.slo_attainment, 3)});
+  }
+  table.Print("Tenants in " + h.path);
 }
 
 int RunMain(int argc, char** argv) {
@@ -167,6 +234,9 @@ int RunMain(int argc, char** argv) {
     table.AddRow({h.path, h.kind, h.healthy ? "OK" : "UNHEALTHY", h.summary});
   }
   table.Print("dsps_doctor");
+  for (const FileHealth& h : results) {
+    if (!h.tenants.empty()) PrintTenantTable(h);
+  }
   return all_healthy ? 0 : 1;
 }
 

@@ -9,8 +9,14 @@
 // partial final line of a killed run) fails the whole invocation with
 // its line number — silently skipping lines would bias every statistic.
 //
-// Usage: trace_stats <spans.jsonl>   ("-" reads stdin)
+// Usage: trace_stats [--filter-label tenant=<id>] <spans.jsonl>
+//        ("-" reads stdin)
+//
+// --filter-label tenant=<id> keeps only the traces whose `result` span is
+// tagged with that tenant (and the instants), so per-tenant latency can
+// be decomposed from a shared span log without re-running the sim.
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -112,18 +118,67 @@ void PrintBreakdown(const std::vector<Span>& spans) {
   table.Print(title.str());
 }
 
+/// Keeps only the traces whose `result` span carries `tenant`. Non-result
+/// spans are not tenant-tagged (the tag is applied where the result is
+/// recorded), so membership is decided per trace, not per span.
+std::vector<Span> FilterByTenant(const std::vector<Span>& spans,
+                                 int64_t tenant) {
+  std::map<int64_t, bool> keep;
+  for (const Span& s : spans) {
+    if (s.stage == Stage::kResult && s.tenant == tenant) keep[s.trace] = true;
+  }
+  std::vector<Span> out;
+  for (const Span& s : spans) {
+    auto it = keep.find(s.trace);
+    if (it != keep.end() && it->second) out.push_back(s);
+  }
+  return out;
+}
+
 int RunMain(int argc, char** argv) {
-  if (argc != 2) {
-    std::cerr << "usage: trace_stats <spans.jsonl>  (\"-\" for stdin)"
+  bool have_tenant = false;
+  int64_t tenant = -1;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--filter-label") {
+      if (i + 1 >= argc) {
+        std::cerr << "trace_stats: --filter-label needs tenant=<id>"
+                  << std::endl;
+        return 2;
+      }
+      arg = argv[++i];
+      const std::string prefix = "tenant=";
+      if (arg.rfind(prefix, 0) != 0) {
+        std::cerr << "trace_stats: unsupported filter label \"" << arg
+                  << "\" (only tenant=<id>)" << std::endl;
+        return 2;
+      }
+      char* end = nullptr;
+      tenant = std::strtol(arg.c_str() + prefix.size(), &end, 10);
+      if (end == nullptr || *end != '\0' ||
+          arg.size() == prefix.size()) {
+        std::cerr << "trace_stats: bad tenant id in \"" << arg << "\""
+                  << std::endl;
+        return 2;
+      }
+      have_tenant = true;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 1) {
+    std::cerr << "usage: trace_stats [--filter-label tenant=<id>] "
+                 "<spans.jsonl>  (\"-\" for stdin)"
               << std::endl;
     return 2;
   }
   std::ifstream file;
   std::istream* in = &std::cin;
-  if (std::string(argv[1]) != "-") {
-    file.open(argv[1]);
+  if (positional[0] != "-") {
+    file.open(positional[0]);
     if (!file) {
-      std::cerr << "trace_stats: cannot open " << argv[1] << std::endl;
+      std::cerr << "trace_stats: cannot open " << positional[0] << std::endl;
       return 1;
     }
     in = &file;
@@ -134,9 +189,16 @@ int RunMain(int argc, char** argv) {
               << " — refusing to report on partial input" << std::endl;
     return 1;
   }
-  const std::vector<Span>& spans = records.value().spans;
+  std::vector<Span> spans = records.value().spans;
+  if (have_tenant) {
+    size_t before = spans.size();
+    spans = FilterByTenant(spans, tenant);
+    std::cout << "filter tenant=" << tenant << ": kept " << spans.size()
+              << " of " << before << " spans" << std::endl;
+  }
   if (spans.empty()) {
-    std::cerr << "trace_stats: no spans in input" << std::endl;
+    std::cerr << "trace_stats: no spans "
+              << (have_tenant ? "match the filter" : "in input") << std::endl;
     return 1;
   }
   std::cout << "spans: " << spans.size()
