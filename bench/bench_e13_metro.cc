@@ -1,0 +1,318 @@
+// Experiment E13 (metro-scale core): one System sized like a metropolitan
+// deployment — a 10k-entity WAN hosting 1M standing queries routed through
+// the coordinator tree with multi-tenant admission enabled — exercised end
+// to end to prove the simulator event core scales: the indexed 4-ary event
+// heap (move-only dispatch, cancellable timers), the arena-allocated
+// network messages, and the SoA per-query runtime state in system::System.
+//
+// Two sizes share one code path, selected by DSPS_E13_SCALE:
+//  * smoke (default) — 200 entities / 5k queries. Fast enough for CI;
+//    this is the size pinned against bench/baselines/BENCH_e13_metro.json.
+//  * full  (=full)   — 10000 entities / 1,000,000 queries, the paper's
+//    metro tier. Run locally to prove the core completes at scale.
+//
+// Headlines and how CI gates them (tools/bench_diff treats larger as
+// worse, so the throughput pin is expressed as its inverse):
+//  - headline.sim_events        exact event count of the traffic phase —
+//                               deterministic, pinned at 1%: any drift
+//                               means the simulation itself changed;
+//  - headline.sim_us_per_event  wall-clock cost per executed event
+//                               (inverse of sim.events_per_sec), gated
+//                               with a wide CI-noise allowance;
+//  - headline.sim_events_per_sec(+_floor) the human-facing throughput
+//                               and the absolute floor tools/dsps_doctor
+//                               flags regressions against;
+//  - headline.peak_rss_mb       VmHWM of the whole run;
+//  - partition.graph_build_us   indexed QueryGraph::Build over a QueryGen
+//                               slice with *random* interests (the metro
+//                               standing queries deliberately share one
+//                               interest box per stream, which would make
+//                               the overlap graph quadratic and measure
+//                               the wrong thing).
+//
+// Acceptance bars (abort on violation): every submission admitted (zero
+// rejections — the tier must fit, not shed), traffic produced results,
+// and the event count is nonzero.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "engine/query_builder.h"
+#include "partition/query_graph.h"
+#include "sim/simulator.h"
+#include "system/system.h"
+#include "telemetry/bench_report.h"
+#include "workload/query_gen.h"
+#include "workload/stream_gen.h"
+
+namespace {
+
+using dsps::common::Table;
+
+constexpr int kTenants = 4;
+constexpr double kQueryLoad = 1e-3;
+/// Absolute events/sec floor tools/dsps_doctor alarms on. Deliberately
+/// far below any healthy machine (CI containers included): it catches
+/// order-of-magnitude collapses, while relative drift is bench_diff's
+/// job via headline.sim_us_per_event.
+constexpr double kEventsPerSecFloor = 20000.0;
+
+struct Scale {
+  const char* name;
+  int entities;
+  int queries;
+  int streams;
+  /// Simulated seconds of stream traffic after the install phase.
+  double duration_s;
+  double tuples_per_s;
+  /// QueryGen slice size for the partition.graph_build_us pin.
+  int graph_queries;
+};
+
+Scale PickScale() {
+  const char* s = std::getenv("DSPS_E13_SCALE");
+  if (s != nullptr && std::string(s) == "full") {
+    return Scale{"full", 10000, 1000000, 16, 0.5, 20.0, 20000};
+  }
+  return Scale{"smoke", 200, 5000, 8, 2.0, 50.0, 4000};
+}
+
+struct E13Run {
+  int64_t standing = 0;
+  int64_t rejected = 0;
+  int64_t results = 0;
+  uint64_t sim_events = 0;
+  double install_wall_s = 0.0;
+  double run_wall_s = 0.0;
+};
+
+double WallSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+E13Run Run(const Scale& sc) {
+  dsps::system::System::Config cfg;
+  cfg.topology.num_entities = sc.entities;
+  cfg.topology.processors_per_entity = 1;
+  cfg.topology.num_sources = sc.streams;
+  cfg.allocation = dsps::system::AllocationMode::kCoordinatorTree;
+  cfg.seed = 13;
+  // Four equal tenants, admission ON: every submission crosses the
+  // admission gate (the tier streams *through* it, per the experiment),
+  // but capacity is sized so the whole tier fits — E12 owns the
+  // contention scenarios, E13 owns scale.
+  for (int t = 1; t <= kTenants; ++t) {
+    dsps::tenant::TenantSpec spec;
+    spec.id = t;
+    spec.name = "metro-" + std::to_string(t);
+    spec.weight = 1.0;
+    cfg.tenants.push_back(spec);
+  }
+  cfg.admission.load_factor = 4.0;
+  dsps::system::System sys(cfg);
+
+  dsps::workload::StockTickerGen::Config tcfg;
+  tcfg.tuples_per_s = sc.tuples_per_s;
+  dsps::interest::StreamCatalog scratch;
+  dsps::common::Rng srng(4);
+  sys.AddStreams(dsps::workload::MakeTickerStreams(sc.streams, tcfg, &scratch,
+                                                   &srng));
+
+  // One template query per stream; the tier shares the template's plan
+  // (shared_ptr) and interest box, so 1M installs cost 1M slots — not 1M
+  // plan builds — and per-(entity,stream) dissemination updates hit the
+  // no-change cutoff after the first resident query.
+  std::vector<dsps::engine::Query> templates;
+  templates.reserve(sc.streams);
+  for (int s = 0; s < sc.streams; ++s) {
+    auto q = dsps::engine::QueryBuilder(1000000000 + s)
+                 .From(s, sys.catalog())
+                 .Build();
+    if (!q.ok()) {
+      std::fprintf(stderr, "E13: template build failed: %s\n",
+                   q.status().ToString().c_str());
+      std::abort();
+    }
+    templates.push_back(q.value());
+  }
+
+  E13Run run;
+  auto install_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < sc.queries; ++i) {
+    dsps::engine::Query query = templates[i % sc.streams];
+    query.id = i + 1;
+    query.tenant = 1 + i % kTenants;
+    query.load = kQueryLoad;
+    dsps::common::Status st = sys.SubmitQuery(query);
+    if (st.ok()) {
+      ++run.standing;
+    } else if (st.code() == dsps::common::StatusCode::kResourceExhausted) {
+      ++run.rejected;
+    } else {
+      std::fprintf(stderr, "E13: unexpected submit error at %d: %s\n", i,
+                   st.ToString().c_str());
+      std::abort();
+    }
+  }
+  run.install_wall_s = WallSince(install_start);
+
+  const uint64_t events_before = sys.network()->simulator()->events_executed();
+  auto run_start = std::chrono::steady_clock::now();
+  sys.GenerateTraffic(sc.duration_s);
+  sys.RunUntil(sc.duration_s + 0.5);
+  run.run_wall_s = WallSince(run_start);
+  run.sim_events =
+      sys.network()->simulator()->events_executed() - events_before;
+
+  for (int t = 1; t <= kTenants; ++t) run.results += sys.TenantResults(t);
+  if (!sys.admission()->CheckConservation().ok()) {
+    std::fprintf(stderr, "E13: tenant conservation violated\n");
+    std::abort();
+  }
+  return run;
+}
+
+void CheckBars(const Scale& sc, const E13Run& run) {
+  if (run.standing != sc.queries || run.rejected != 0) {
+    std::fprintf(stderr,
+                 "E13: tier did not fit — %lld standing / %lld rejected of "
+                 "%d submitted\n",
+                 static_cast<long long>(run.standing),
+                 static_cast<long long>(run.rejected), sc.queries);
+    std::abort();
+  }
+  if (run.sim_events == 0) {
+    std::fprintf(stderr, "E13: traffic phase executed zero events\n");
+    std::abort();
+  }
+  if (run.results <= 0) {
+    std::fprintf(stderr, "E13: standing queries produced no results\n");
+    std::abort();
+  }
+}
+
+double PeakRssMb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0.0;
+  char line[256];
+  double mb = 0.0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    long kb = 0;
+    if (std::sscanf(line, "VmHWM: %ld kB", &kb) == 1) {
+      mb = static_cast<double>(kb) / 1024.0;
+      break;
+    }
+  }
+  std::fclose(f);
+  return mb;
+}
+
+/// Raw event-core microbenchmark: schedule-heavy FIFO churn through the
+/// indexed 4-ary heap, including a cancelled-timer slice (the reliable-
+/// delivery retry pattern that used to leak queue slots).
+void BM_EventHeapChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    dsps::sim::Simulator sim;
+    std::vector<dsps::sim::TimerId> cancelled;
+    cancelled.reserve(1000);
+    for (int i = 0; i < 10000; ++i) {
+      sim.ScheduleAt(i * 1e-6, []() {});
+      if (i % 10 == 0) {
+        cancelled.push_back(
+            sim.ScheduleCancellableAt(i * 1e-6 + 5e-7, []() { std::abort(); }));
+      }
+    }
+    for (dsps::sim::TimerId t : cancelled) sim.Cancel(t);
+    sim.RunUntil(1.0);
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+}
+BENCHMARK(BM_EventHeapChurn)->Unit(benchmark::kMillisecond);
+
+void PrintE13() {
+  const Scale sc = PickScale();
+  dsps::telemetry::BenchReport report("e13_metro");
+  E13Run run = Run(sc);
+
+  // Graph-construction pin over random-interest queries (see header
+  // comment for why the metro tier's shared boxes are unusable here) —
+  // same metric name as E3 so bench_diff's --metric aggregation applies.
+  dsps::telemetry::MetricsRegistry metrics;
+  {
+    auto* build_us = metrics.histogram("partition.graph_build_us");
+    dsps::interest::StreamCatalog catalog;
+    dsps::common::Rng grng(5);
+    auto streams = dsps::workload::MakeTickerStreams(
+        4, dsps::workload::StockTickerGen::Config{}, &catalog, &grng);
+    dsps::workload::QueryGen qgen(dsps::workload::QueryGen::Config{}, &catalog,
+                                  dsps::common::Rng(6));
+    std::vector<dsps::engine::Query> slice = qgen.Batch(sc.graph_queries);
+    for (int rep = 0; rep < 3; ++rep) {
+      auto start = std::chrono::steady_clock::now();
+      dsps::partition::QueryGraph g =
+          dsps::partition::QueryGraph::Build(slice, catalog);
+      build_us->Observe(WallSince(start) * 1e6);
+      benchmark::DoNotOptimize(g.total_edge_weight());
+    }
+  }
+
+  const double events_per_sec =
+      run.run_wall_s > 0 ? static_cast<double>(run.sim_events) / run.run_wall_s
+                         : 0.0;
+  const double us_per_event =
+      run.sim_events > 0 ? run.run_wall_s * 1e6 /
+                               static_cast<double>(run.sim_events)
+                         : 0.0;
+  const double install_us_per_query =
+      sc.queries > 0 ? run.install_wall_s * 1e6 / sc.queries : 0.0;
+  const double peak_rss_mb = PeakRssMb();
+
+  Table table({"scale", "entities", "queries", "sim events", "events/s",
+               "us/event", "install us/q", "results", "peak RSS MB"});
+  table.AddRow({sc.name, Table::Int(sc.entities), Table::Int(sc.queries),
+                Table::Int(static_cast<int64_t>(run.sim_events)),
+                Table::Num(events_per_sec, 0), Table::Num(us_per_event, 3),
+                Table::Num(install_us_per_query, 2), Table::Int(run.results),
+                Table::Num(peak_rss_mb, 1)});
+  table.Print(
+      "E13: metro-tier core — " + std::string(sc.name) + " scale, " +
+      std::to_string(sc.queries) + " standing queries over " +
+      std::to_string(sc.entities) +
+      " entities via the coordinator tree, admission on");
+
+  report.SetHeadline("scale_entities", sc.entities);
+  report.SetHeadline("scale_queries", sc.queries);
+  report.SetHeadline("standing_queries", static_cast<double>(run.standing));
+  report.SetHeadline("results_delivered", static_cast<double>(run.results));
+  report.SetHeadline("sim_events", static_cast<double>(run.sim_events));
+  report.SetHeadline("sim_events_per_sec", events_per_sec);
+  report.SetHeadline("sim_events_per_sec_floor", kEventsPerSecFloor);
+  report.SetHeadline("sim_us_per_event", us_per_event);
+  report.SetHeadline("install_us_per_query", install_us_per_query);
+  report.SetHeadline("peak_rss_mb", peak_rss_mb);
+  report.MergeSnapshot(metrics.Snapshot());
+  report.WriteFileOrDie();
+
+  // Bars last: a violated bar still leaves the table and the report on
+  // disk for diagnosis before the abort fails the CI leg.
+  CheckBars(sc, run);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  PrintE13();
+  return 0;
+}

@@ -23,6 +23,12 @@ struct CoordinatorTree::Node {
   /// Cached coarse interest summary of the subtree (see SummaryOf).
   interest::InterestSet summary;
   uint64_t summary_version = 0;
+  /// Cached routing aggregates (see RefreshRouteCache): the subtree's
+  /// leaf count and total routed load. Valid iff route_version matches
+  /// the tree's route_epoch_; a version of 0 is always stale.
+  size_t cached_leaves = 0;
+  double cached_load = 0.0;
+  uint64_t route_version = 0;
 };
 
 namespace {
@@ -104,6 +110,7 @@ common::Result<int> CoordinatorTree::Join(common::EntityId id,
   }
   positions_[id] = position;
   ++interest_version_;
+  ++route_epoch_;
   int messages = 1;  // request to the root
   // Rule 1: descend toward the closest child coordinator until reaching a
   // node whose children are leaves (or the empty root).
@@ -240,6 +247,7 @@ common::Result<int> CoordinatorTree::Leave(common::EntityId id) {
   Node* leaf = FindLeaf(id);
   if (leaf == nullptr) return common::Status::NotFound("entity not in tree");
   ++interest_version_;
+  ++route_epoch_;
   entity_interest_.erase(id);
   int messages = 1;  // notify parent
   Node* parent = leaf->parent;
@@ -349,6 +357,7 @@ void CoordinatorTree::Recenter(Node* node, int* messages) {
 
 int CoordinatorTree::Maintain() {
   ++interest_version_;
+  ++route_epoch_;
   int messages = 0;
   if (!root_->children.empty()) {
     Recenter(root_.get(), &messages);
@@ -411,28 +420,55 @@ double CoordinatorTree::SubtreeLoad(const Node& node) const {
   return total;
 }
 
+void CoordinatorTree::RefreshRouteCache(Node* node) {
+  if (node->route_version == route_epoch_) return;
+  if (node->is_leaf) {
+    node->cached_leaves = 1;
+    auto it = load_.find(node->entity);
+    node->cached_load = it == load_.end() ? 0.0 : it->second;
+  } else {
+    size_t leaves = 0;
+    double total = 0.0;
+    // Child-order sum == SubtreeLoad's recursion association, so the
+    // cached double equals a fresh recursive recomputation exactly.
+    for (auto& c : node->children) {
+      RefreshRouteCache(c.get());
+      leaves += c->cached_leaves;
+      total += c->cached_load;
+    }
+    node->cached_leaves = leaves;
+    node->cached_load = total;
+  }
+  node->route_version = route_epoch_;
+}
+
+void CoordinatorTree::InvalidateRoutePath(Node* leaf) {
+  for (Node* n = leaf; n != nullptr; n = n->parent) n->route_version = 0;
+}
+
 common::Result<CoordinatorTree::RouteResult> CoordinatorTree::RouteQuery(
     const Point& position, double load) {
   if (positions_.empty()) {
     return common::Status::FailedPrecondition("no entities in the tree");
   }
   RouteResult result;
-  const Node* node = root_.get();
+  Node* node = root_.get();
   while (!node->is_leaf) {
     DSPS_CHECK(!node->children.empty());
     // Score children on coarse information: subtree load per leaf
     // (normalized by the mean across children) plus geographic proximity
-    // (normalized by the mean distance across children).
+    // (normalized by the mean distance across children). The per-child
+    // aggregates come from the memoized route cache — O(fanout) per
+    // level instead of O(subtree) — with values identical to the old
+    // full recursion (see RefreshRouteCache).
     size_t nc = node->children.size();
     std::vector<double> load_per_leaf(nc), dist(nc);
-    std::vector<size_t> leaves(nc);
     double mean_load = 0.0, mean_dist = 0.0;
     for (size_t i = 0; i < nc; ++i) {
-      const Node* c = node->children[i].get();
-      std::vector<common::EntityId> ls;
-      CollectLeaves(c, &ls);
-      leaves[i] = ls.size();
-      load_per_leaf[i] = SubtreeLoad(*c) / std::max<size_t>(1, ls.size());
+      Node* c = node->children[i].get();
+      RefreshRouteCache(c);
+      load_per_leaf[i] =
+          c->cached_load / std::max<size_t>(1, c->cached_leaves);
       dist[i] = Distance(positions_.at(c->entity), position);
       mean_load += load_per_leaf[i];
       mean_dist += dist[i];
@@ -454,12 +490,22 @@ common::Result<CoordinatorTree::RouteResult> CoordinatorTree::RouteQuery(
   }
   result.entity = node->entity;
   load_[node->entity] += load;
+  InvalidateRoutePath(node);
   return result;
 }
 
 void CoordinatorTree::SetEntityInterest(common::EntityId id,
                                         interest::InterestSet set) {
-  entity_interest_[id] = std::move(set);
+  interest::InterestSet& slot = entity_interest_[id];
+  // Change cutoff: republishing an identical set must not invalidate the
+  // cached subtree summaries. The system re-ships an entity's aggregated
+  // interest on every install, and at metro scale nearly all of those
+  // are no-ops — without the cutoff each one forces an O(tree) summary
+  // recompute on the next interest-aware route. Summaries are a pure
+  // function of the stored sets, so skipping the bump when the bytes are
+  // unchanged yields bit-identical routing.
+  if (slot == set) return;
+  slot = std::move(set);
   ++interest_version_;
 }
 
@@ -506,9 +552,9 @@ CoordinatorTree::RouteQueryByInterest(const interest::InterestSet& query_interes
     double mean_load = 0.0, mean_dist = 0.0, mean_overlap = 0.0;
     for (size_t i = 0; i < nc; ++i) {
       Node* c = node->children[i].get();
-      std::vector<common::EntityId> ls;
-      CollectLeaves(c, &ls);
-      load_per_leaf[i] = SubtreeLoad(*c) / std::max<size_t>(1, ls.size());
+      RefreshRouteCache(c);
+      load_per_leaf[i] =
+          c->cached_load / std::max<size_t>(1, c->cached_leaves);
       dist[i] = Distance(positions_.at(c->entity), position);
       overlap[i] =
           interest::SharedRateBytesPerSec(query_interest, SummaryOf(c),
@@ -536,10 +582,14 @@ CoordinatorTree::RouteQueryByInterest(const interest::InterestSet& query_interes
   }
   result.entity = node->entity;
   load_[node->entity] += load;
+  InvalidateRoutePath(node);
   return result;
 }
 
-void CoordinatorTree::ResetLoad() { load_.clear(); }
+void CoordinatorTree::ResetLoad() {
+  load_.clear();
+  ++route_epoch_;
+}
 
 double CoordinatorTree::LoadOf(common::EntityId id) const {
   auto it = load_.find(id);

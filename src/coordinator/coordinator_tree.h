@@ -144,6 +144,17 @@ class CoordinatorTree {
   /// Lazily recomputes (and caches) `node`'s coarse interest summary.
   const interest::InterestSet& SummaryOf(Node* node);
 
+  /// Lazily recomputes (and caches) `node`'s routing aggregates: subtree
+  /// leaf count and subtree load. The memoized sum associates exactly
+  /// like the plain recursion it replaced (node = Σ children, in child
+  /// order), so the cached doubles are bit-identical to a fresh
+  /// recomputation — routing decisions cannot drift. Invalidation:
+  /// structural changes bump route_epoch_ (whole tree); each routed
+  /// query invalidates only its root-to-leaf path.
+  void RefreshRouteCache(Node* node);
+  /// Marks the path from `leaf` to the root stale (its loads changed).
+  static void InvalidateRoutePath(Node* leaf);
+
   Config config_;
   std::unique_ptr<Node> root_;
   std::map<common::EntityId, sim::Point> positions_;
@@ -151,6 +162,10 @@ class CoordinatorTree {
   std::map<common::EntityId, interest::InterestSet> entity_interest_;
   /// Bumped on any structural or interest change; invalidates summaries.
   uint64_t interest_version_ = 1;
+  /// Bumped on structural changes and ResetLoad; invalidates the routing
+  /// caches everywhere at once. (Interest changes leave it alone: they
+  /// cannot move load or leaves.)
+  uint64_t route_epoch_ = 1;
   int64_t total_messages_ = 0;
 
   /// Cached counters; all null unless SetMetrics attached a registry.

@@ -75,8 +75,8 @@ common::Status Disseminator::RemoveEntity(common::EntityId id) {
   // ack — counted as delivery failures) and cancel sends *from* its
   // gateway (the sender process is gone; its retransmissions would only
   // burn simulated bandwidth on a peer known dead, running to max_retries
-  // for nothing — counted as cancelled). The retry timers themselves are
-  // inert once the pending entry is erased.
+  // for nothing — counted as cancelled). Each settled send's retry timer
+  // is cancelled too, reclaiming its event-heap slot immediately.
   if (config_.reliable) {
     common::SimNodeId gone = it->second;
     for (auto p = pending_.begin(); p != pending_.end();) {
@@ -85,12 +85,14 @@ common::Status Disseminator::RemoveEntity(common::EntityId id) {
         if (delivery_failed_counter_ != nullptr) {
           delivery_failed_counter_->Increment();
         }
+        network_->simulator()->Cancel(p->second.timer);
         p = pending_.erase(p);
       } else if (p->second.msg.from == gone) {
         retries_cancelled_ += 1;
         if (retries_cancelled_counter_ != nullptr) {
           retries_cancelled_counter_->Increment();
         }
+        network_->simulator()->Cancel(p->second.timer);
         p = pending_.erase(p);
       } else {
         ++p;
@@ -196,9 +198,10 @@ void Disseminator::SendReliable(sim::Message msg) {
 }
 
 void Disseminator::ScheduleRetry(int64_t seq, double timeout_s) {
-  network_->simulator()->Schedule(timeout_s, [this, seq]() {
+  sim::TimerId timer =
+      network_->simulator()->ScheduleCancellable(timeout_s, [this, seq]() {
     auto it = pending_.find(seq);
-    if (it == pending_.end()) return;  // acked in the meantime
+    if (it == pending_.end()) return;  // settled in the meantime
     PendingSend& p = it->second;
     if (p.retries_left <= 0) {
       // Bounded retries exhausted: the hop failed for good. Counted so
@@ -218,6 +221,8 @@ void Disseminator::ScheduleRetry(int64_t seq, double timeout_s) {
     DSPS_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
     ScheduleRetry(seq, p.timeout_s);
   });
+  auto it = pending_.find(seq);
+  if (it != pending_.end()) it->second.timer = timer;
 }
 
 void Disseminator::SendAck(common::SimNodeId from_node,
@@ -265,7 +270,11 @@ bool Disseminator::HandleMessage(const sim::Message& msg) {
   if (msg.type == kMsgTupleAck) {
     const auto* ack = std::any_cast<TupleAckEnvelope>(&msg.payload);
     DSPS_CHECK(ack != nullptr);
-    pending_.erase(ack->seq);
+    auto it = pending_.find(ack->seq);
+    if (it != pending_.end()) {
+      network_->simulator()->Cancel(it->second.timer);
+      pending_.erase(it);
+    }
     return true;
   }
   if (msg.type != kMsgTupleForward) return false;

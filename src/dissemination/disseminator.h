@@ -175,6 +175,9 @@ class Disseminator {
     sim::Message msg;
     int retries_left = 0;
     double timeout_s = 0.0;
+    /// The armed retry timer. Acks and RemoveEntity cancel it, so a
+    /// settled send frees its heap slot instead of leaving a dud event.
+    sim::TimerId timer = sim::kInvalidTimer;
   };
   std::map<int64_t, PendingSend> pending_;
   std::set<int64_t> seen_seqs_;

@@ -57,6 +57,16 @@ class InterestSet {
   bool empty() const { return boxes_.empty(); }
   void Clear() { boxes_.clear(); }
 
+  /// Exact representation equality: same streams, same boxes in the same
+  /// order, bitwise-equal bounds. Callers that republish interest sets
+  /// use this as a change-detection cutoff.
+  friend bool operator==(const InterestSet& a, const InterestSet& b) {
+    return a.boxes_ == b.boxes_;
+  }
+  friend bool operator!=(const InterestSet& a, const InterestSet& b) {
+    return !(a == b);
+  }
+
  private:
   std::map<common::StreamId, std::vector<Box>> boxes_;
 };

@@ -26,6 +26,17 @@ struct Interval {
   bool Covers(const Interval& o) const {
     return o.empty() || (!empty() && lo <= o.lo && o.hi <= hi);
   }
+
+  /// Exact representation equality (bitwise-equal bounds) — the basis of
+  /// the change-detection cutoffs that skip republishing unchanged
+  /// interest. Distinct empty representations compare unequal on purpose:
+  /// "no change" must mean the stored bytes are the same.
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+  friend bool operator!=(const Interval& a, const Interval& b) {
+    return !(a == b);
+  }
 };
 
 /// An axis-aligned box: one interval per attribute dimension. All boxes of

@@ -72,36 +72,63 @@ void Network::CountFaultDrop() {
   }
 }
 
-void Network::ScheduleDelivery(double deliver_at, const Message& msg) {
-  common::SimNodeId to = msg.to;
-  sim_->ScheduleAt(deliver_at, [this, to, m = msg]() {
-    // In-flight messages to a node that crashed before delivery are lost
-    // (the injector's delivery-time crash check).
-    if (faults_ != nullptr && !faults_->IsNodeUp(to)) {
-      faults_->CountDrop(FaultInjector::DropReason::kNodeDown);
-      CountFaultDrop();
-      return;
-    }
-    const Handler& h = nodes_[to].handler;
-    if (!h) {
-      // A message addressed to a node nobody listens on is data loss;
-      // count it so it can never be silent, and abort in debug mode.
-      DSPS_CHECK_MSG(!fail_on_unhandled_,
-                     "message type %d delivered to node %d with no handler",
-                     m.type, to);
-      dropped_no_handler_ += 1;
-      if (metrics_ != nullptr) {
-        if (dropped_no_handler_counter_ == nullptr) {
-          dropped_no_handler_counter_ = metrics_->counter(
-              "net.dropped_messages",
-              telemetry::MakeLabels({{"reason", "no_handler"}}));
-        }
-        dropped_no_handler_counter_->Increment();
+void Network::ScheduleDelivery(double deliver_at, Message msg) {
+  // Park the message in an arena slot; the delivery lambda captures only
+  // {this, slot} — small enough for std::function's inline storage, so
+  // scheduling a delivery performs no heap allocation.
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    arena_[slot] = std::move(msg);
+  } else {
+    slot = static_cast<uint32_t>(arena_.size());
+    arena_.push_back(std::move(msg));
+  }
+  sim_->ScheduleAt(deliver_at, [this, slot]() { DeliverSlot(slot); });
+}
+
+void Network::DeliverSlot(uint32_t slot) {
+  // The reference stays valid while the handler sends more messages: the
+  // arena is a deque, so growth never relocates existing slots.
+  const Message& m = arena_[slot];
+  common::SimNodeId to = m.to;
+  // In-flight messages to a node that crashed before delivery are lost
+  // (the injector's delivery-time crash check).
+  if (faults_ != nullptr && !faults_->IsNodeUp(to)) {
+    faults_->CountDrop(FaultInjector::DropReason::kNodeDown);
+    CountFaultDrop();
+    ReleaseSlot(slot);
+    return;
+  }
+  const Handler& h = nodes_[to].handler;
+  if (!h) {
+    // A message addressed to a node nobody listens on is data loss;
+    // count it so it can never be silent, and abort in debug mode.
+    DSPS_CHECK_MSG(!fail_on_unhandled_,
+                   "message type %d delivered to node %d with no handler",
+                   m.type, to);
+    dropped_no_handler_ += 1;
+    if (metrics_ != nullptr) {
+      if (dropped_no_handler_counter_ == nullptr) {
+        dropped_no_handler_counter_ = metrics_->counter(
+            "net.dropped_messages",
+            telemetry::MakeLabels({{"reason", "no_handler"}}));
       }
-      return;
+      dropped_no_handler_counter_->Increment();
     }
-    h(m);
-  });
+    ReleaseSlot(slot);
+    return;
+  }
+  h(m);
+  ReleaseSlot(slot);
+}
+
+void Network::ReleaseSlot(uint32_t slot) {
+  // Drop the payload now (it may own arbitrary application state); the
+  // slot shell is recycled for the next Send.
+  arena_[slot] = Message{};
+  free_slots_.push_back(slot);
 }
 
 common::Status Network::Send(Message msg) {
@@ -160,9 +187,10 @@ common::Status Network::Send(Message msg) {
                           msg.from, msg.to);
   }
   if (verdict.duplicate && msg.from != msg.to) {
+    // The duplicate gets its own arena slot (a copy); the original moves.
     ScheduleDelivery(deliver_at + verdict.duplicate_extra_latency_s, msg);
   }
-  ScheduleDelivery(deliver_at, msg);
+  ScheduleDelivery(deliver_at, std::move(msg));
   return common::Status::OK();
 }
 

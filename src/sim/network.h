@@ -3,6 +3,7 @@
 
 #include <any>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <string>
@@ -177,12 +178,21 @@ class Network {
   };
 
   LinkState& GetOrCreateLink(common::SimNodeId from, common::SimNodeId to);
-  void ScheduleDelivery(double deliver_at, const Message& msg);
+  void ScheduleDelivery(double deliver_at, Message msg);
+  void DeliverSlot(uint32_t slot);
+  void ReleaseSlot(uint32_t slot);
   void CountFaultDrop();
 
   Simulator* sim_;
   std::vector<NodeState> nodes_;
   std::map<std::pair<common::SimNodeId, common::SimNodeId>, LinkState> links_;
+  /// In-flight message arena. Each scheduled delivery parks its Message in
+  /// a slot here instead of capturing it by value in the delivery lambda:
+  /// the `[this, slot]` capture fits std::function's small-buffer storage,
+  /// so a Send costs zero heap allocations on the hot path. A deque keeps
+  /// slots pointer-stable across growth; drained slots are recycled LIFO.
+  std::deque<Message> arena_;
+  std::vector<uint32_t> free_slots_;
   LinkModel default_model_;
   FaultInjector* faults_ = nullptr;
   int64_t total_bytes_ = 0;

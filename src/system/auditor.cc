@@ -93,8 +93,10 @@ common::Status Auditor::CheckQueryGraph() const {
   // there is no cached structure to drift.
   if (system_->graph_index_ == nullptr) return common::Status::OK();
   std::vector<engine::Query> live;
-  live.reserve(system_->queries_.size());
-  for (const auto& [qid, q] : system_->queries_) live.push_back(q);
+  live.reserve(system_->query_state_.size());
+  for (common::QueryId qid : system_->query_state_.SortedIds()) {
+    live.push_back(system_->query_state_.At(qid));
+  }
   partition::QueryGraph fresh =
       partition::QueryGraph::Build(live, system_->catalog_);
   partition::QueryGraph cached = system_->graph_index_->Graph();
@@ -130,16 +132,11 @@ common::Status Auditor::CheckQueryGraph() const {
 
 common::Status Auditor::CheckConservation() const {
   const System& sys = *system_;
-  // queries_ and query_home_ are two views of "placed".
-  if (sys.queries_.size() != sys.query_home_.size()) {
-    return Violation("conservation: queries_/query_home_ size mismatch");
-  }
-  for (const auto& [qid, q] : sys.queries_) {
-    auto home = sys.query_home_.find(qid);
-    if (home == sys.query_home_.end()) {
-      return Violation("conservation: placed query has no home");
-    }
-    if (!sys.IsAlive(home->second)) {
+  // The SoA table's slot map, parallel arrays, and per-entity member
+  // lists are redundant views of "placed" — they must all agree.
+  DSPS_RETURN_IF_ERROR(sys.query_state_.CheckConsistent());
+  for (common::QueryId qid : sys.query_state_.SortedIds()) {
+    if (!sys.IsAlive(sys.query_state_.HomeOf(qid))) {
       return Violation("conservation: query homed on a dead entity");
     }
     if (sys.unplaced_.count(qid) > 0) {
@@ -147,26 +144,23 @@ common::Status Auditor::CheckConservation() const {
     }
   }
   // Admitted == placed + unplaced, nothing lost, nothing invented.
-  if (sys.accepted_.size() != sys.queries_.size() + sys.unplaced_.size()) {
+  if (sys.accepted_.size() != sys.query_state_.size() + sys.unplaced_.size()) {
     return Violation("conservation: admitted != placed + unplaced");
   }
   for (common::QueryId qid : sys.accepted_) {
-    if (sys.queries_.count(qid) == 0 && sys.unplaced_.count(qid) == 0) {
+    if (!sys.query_state_.Contains(qid) && sys.unplaced_.count(qid) == 0) {
       return Violation("conservation: admitted query lost");
     }
   }
-  // The entities' own install maps must agree with the home map.
+  // The entities' own install maps must agree with the home table.
   for (int e = 0; e < sys.num_entities(); ++e) {
-    std::set<common::QueryId> expect;
-    for (const auto& [qid, home] : sys.query_home_) {
-      if (home == e) expect.insert(qid);
-    }
+    const std::vector<common::QueryId>& expect = sys.query_state_.QueriesOn(e);
     std::vector<common::QueryId> installed =
         sys.entities_[e]->InstalledQueries();
     if (installed.size() != expect.size() ||
         !std::equal(installed.begin(), installed.end(), expect.begin())) {
       return Violation("conservation: entity " + std::to_string(e) +
-                       " installs disagree with home map");
+                       " installs disagree with home table");
     }
   }
   return common::Status::OK();
@@ -196,7 +190,8 @@ common::Status Auditor::CheckReplicaPlacement() const {
       alive_domains.insert(sys.topology_.entities[e].fault_domain);
     }
   }
-  for (const auto& [qid, home] : sys.query_home_) {
+  for (common::QueryId qid : sys.query_state_.SortedIds()) {
+    common::EntityId home = sys.query_state_.HomeOf(qid);
     std::vector<common::EntityId> targets = map.Targets(qid);
     std::set<common::EntityId> distinct;
     std::set<int> domains;
@@ -254,8 +249,8 @@ common::Status Auditor::CheckTenantConservation() const {
     standing_load[q.tenant] += q.load;
     return common::Status::OK();
   };
-  for (const auto& [qid, q] : sys.queries_) {
-    DSPS_RETURN_IF_ERROR(attribute(qid, q, "placed"));
+  for (common::QueryId qid : sys.query_state_.SortedIds()) {
+    DSPS_RETURN_IF_ERROR(attribute(qid, sys.query_state_.At(qid), "placed"));
   }
   for (const auto& [qid, q] : sys.unplaced_) {
     DSPS_RETURN_IF_ERROR(attribute(qid, q, "unplaced"));

@@ -1,0 +1,126 @@
+#include "system/query_state.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/check.h"
+
+namespace dsps::system {
+
+uint32_t QueryStateTable::SlotOf(common::QueryId id) const {
+  auto it = slot_.find(id);
+  DSPS_CHECK_MSG(it != slot_.end(), "query %lld not placed",
+                 static_cast<long long>(id));
+  return it->second;
+}
+
+void QueryStateTable::Insert(const engine::Query& query,
+                             common::EntityId entity) {
+  DSPS_CHECK(entity >= 0 && static_cast<size_t>(entity) < members_.size());
+  auto it = slot_.find(query.id);
+  if (it != slot_.end()) {
+    // Re-home in place: move between member lists, refresh the record.
+    uint32_t slot = it->second;
+    common::EntityId old_home = home_[slot];
+    if (old_home != entity) {
+      std::vector<common::QueryId>& old_members = members_[old_home];
+      old_members.erase(std::lower_bound(old_members.begin(),
+                                         old_members.end(), query.id));
+      std::vector<common::QueryId>& new_members = members_[entity];
+      new_members.insert(std::lower_bound(new_members.begin(),
+                                          new_members.end(), query.id),
+                         query.id);
+      home_[slot] = entity;
+    }
+    load_[slot] = query.load;
+    tenant_[slot] = query.tenant;
+    queries_[slot] = query;
+    return;
+  }
+  uint32_t slot = static_cast<uint32_t>(ids_.size());
+  slot_.emplace(query.id, slot);
+  ids_.push_back(query.id);
+  home_.push_back(entity);
+  load_.push_back(query.load);
+  tenant_.push_back(query.tenant);
+  queries_.push_back(query);
+  std::vector<common::QueryId>& members = members_[entity];
+  members.insert(std::lower_bound(members.begin(), members.end(), query.id),
+                 query.id);
+}
+
+bool QueryStateTable::Erase(common::QueryId id) {
+  auto it = slot_.find(id);
+  if (it == slot_.end()) return false;
+  uint32_t slot = it->second;
+  std::vector<common::QueryId>& members = members_[home_[slot]];
+  members.erase(std::lower_bound(members.begin(), members.end(), id));
+  slot_.erase(it);
+  uint32_t last = static_cast<uint32_t>(ids_.size()) - 1;
+  if (slot != last) {
+    ids_[slot] = ids_[last];
+    home_[slot] = home_[last];
+    load_[slot] = load_[last];
+    tenant_[slot] = tenant_[last];
+    queries_[slot] = std::move(queries_[last]);
+    slot_[ids_[slot]] = slot;
+  }
+  ids_.pop_back();
+  home_.pop_back();
+  load_.pop_back();
+  tenant_.pop_back();
+  queries_.pop_back();
+  return true;
+}
+
+std::vector<common::QueryId> QueryStateTable::SortedIds() const {
+  std::vector<common::QueryId> out = ids_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+common::Status QueryStateTable::CheckConsistent() const {
+  auto violation = [](const std::string& what) {
+    return common::Status::Internal("query_state: " + what);
+  };
+  if (slot_.size() != ids_.size() || home_.size() != ids_.size() ||
+      load_.size() != ids_.size() || tenant_.size() != ids_.size() ||
+      queries_.size() != ids_.size()) {
+    return violation("parallel array sizes disagree");
+  }
+  for (const auto& [id, slot] : slot_) {
+    if (slot >= ids_.size() || ids_[slot] != id) {
+      return violation("slot map points at the wrong record");
+    }
+    if (queries_[slot].id != id) {
+      return violation("query record id disagrees with its slot");
+    }
+    if (load_[slot] != queries_[slot].load ||
+        tenant_[slot] != queries_[slot].tenant) {
+      return violation("SoA hot fields drifted from the query record");
+    }
+  }
+  size_t member_total = 0;
+  for (size_t e = 0; e < members_.size(); ++e) {
+    const std::vector<common::QueryId>& members = members_[e];
+    member_total += members.size();
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (i > 0 && members[i - 1] >= members[i]) {
+        return violation("member list unsorted at entity " +
+                         std::to_string(e));
+      }
+      auto it = slot_.find(members[i]);
+      if (it == slot_.end() ||
+          home_[it->second] != static_cast<common::EntityId>(e)) {
+        return violation("member list disagrees with home array at entity " +
+                         std::to_string(e));
+      }
+    }
+  }
+  if (member_total != ids_.size()) {
+    return violation("member lists cover the wrong number of queries");
+  }
+  return common::Status::OK();
+}
+
+}  // namespace dsps::system

@@ -1,0 +1,103 @@
+#ifndef DSPS_SYSTEM_QUERY_STATE_H_
+#define DSPS_SYSTEM_QUERY_STATE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "engine/plan.h"
+
+namespace dsps::system {
+
+/// SoA table of the hot per-query runtime state: home entity, declared
+/// load, and owning tenant live in parallel flat arrays keyed by a dense
+/// slot index, with the full engine::Query record kept alongside for the
+/// cold paths (re-homes, migrations, audits).
+///
+/// This replaces the System's old pair of std::maps (query -> home,
+/// query -> Query): at metro scale (1M standing queries) the admission
+/// sweep and the per-result tenant lookup were O(Q) / O(log Q) walks
+/// through scattered heap nodes; here they are an O(k) scan of one
+/// entity's member list and an O(1) hash probe.
+///
+/// Determinism contract: the per-entity member lists are kept sorted by
+/// ascending query id, which replays the old std::map iteration order
+/// exactly — floating-point load sums and interest merge orders (and so
+/// admission decisions near the limit) are bit-identical to the map-based
+/// code. SortedIds() provides the same ascending order across all queries
+/// for the whole-table walks (repartitioning, audits).
+class QueryStateTable {
+ public:
+  QueryStateTable() = default;
+
+  /// Declares the entity-id universe [0, num_entities). Must be called
+  /// before the first Insert; member lists are indexed by entity id.
+  void SetNumEntities(int num_entities) { members_.resize(num_entities); }
+
+  bool Contains(common::QueryId id) const { return slot_.count(id) > 0; }
+  size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+
+  /// Home entity of `id`, or kInvalidEntity if not placed.
+  common::EntityId HomeOf(common::QueryId id) const {
+    auto it = slot_.find(id);
+    return it == slot_.end() ? common::kInvalidEntity : home_[it->second];
+  }
+
+  /// Declared load of `id` (must be placed).
+  double LoadOf(common::QueryId id) const { return load_[SlotOf(id)]; }
+
+  /// Owning tenant of `id` (must be placed).
+  int32_t TenantOf(common::QueryId id) const { return tenant_[SlotOf(id)]; }
+
+  /// Full query record, or nullptr if not placed.
+  const engine::Query* Find(common::QueryId id) const {
+    auto it = slot_.find(id);
+    return it == slot_.end() ? nullptr : &queries_[it->second];
+  }
+
+  /// Full query record (must be placed).
+  const engine::Query& At(common::QueryId id) const {
+    return queries_[SlotOf(id)];
+  }
+
+  /// Places (or re-homes) `query` on `entity`.
+  void Insert(const engine::Query& query, common::EntityId entity);
+
+  /// Removes `id`; returns false if it was not placed.
+  bool Erase(common::QueryId id);
+
+  /// Ids homed on `entity`, ascending — the exact iteration order the old
+  /// per-entity std::map filter produced. Invalidated by Insert/Erase;
+  /// copy before mutating the table mid-walk.
+  const std::vector<common::QueryId>& QueriesOn(common::EntityId entity) const {
+    return members_[entity];
+  }
+
+  /// Every placed id, ascending (cold paths: repartition, audit sweeps).
+  std::vector<common::QueryId> SortedIds() const;
+
+  /// Internal-consistency audit: slot map, SoA arrays, and member lists
+  /// must all describe the same placement. Replaces the old auditor check
+  /// that the two maps agreed with each other.
+  common::Status CheckConsistent() const;
+
+ private:
+  uint32_t SlotOf(common::QueryId id) const;
+
+  std::unordered_map<common::QueryId, uint32_t> slot_;
+  /// Parallel SoA arrays over dense slots (swap-with-last on erase).
+  std::vector<common::QueryId> ids_;
+  std::vector<common::EntityId> home_;
+  std::vector<double> load_;
+  std::vector<int32_t> tenant_;
+  std::vector<engine::Query> queries_;
+  /// members_[entity] = resident query ids, sorted ascending.
+  std::vector<std::vector<common::QueryId>> members_;
+};
+
+}  // namespace dsps::system
+
+#endif  // DSPS_SYSTEM_QUERY_STATE_H_

@@ -82,8 +82,8 @@ System::System(const Config& config) : config_(config), rng_(config.seed) {
             // tenant-free JSONL stays byte-identical).
             int64_t span_tenant = -1;
             if (admission_ != nullptr) {
-              auto it = queries_.find(record.query);
-              if (it != queries_.end()) span_tenant = it->second.tenant;
+              const engine::Query* q = query_state_.Find(record.query);
+              if (q != nullptr) span_tenant = q->tenant;
             }
             config_.trace->Record(tuple.trace_id, telemetry::Stage::kResult,
                                   tuple.timestamp, simulator_->now(),
@@ -98,6 +98,7 @@ System::System(const Config& config) : config_(config), rng_(config.seed) {
     entities_.push_back(std::move(entity));
   }
   entity_interest_.resize(entities_.size());
+  query_state_.SetNumEntities(static_cast<int>(entities_.size()));
   alive_.assign(entities_.size(), true);
   departed_.assign(entities_.size(), false);
   crash_time_.assign(entities_.size(),
@@ -156,7 +157,11 @@ System::System(const Config& config) : config_(config), rng_(config.seed) {
       if (msg.type != kMsgRehomeAck) return;
       const auto* ack = std::any_cast<RehomeAckEnvelope>(&msg.payload);
       DSPS_CHECK(ack != nullptr);
-      pending_rehomes_.erase(ack->seq);
+      auto it = pending_rehomes_.find(ack->seq);
+      if (it != pending_rehomes_.end()) {
+        simulator_->Cancel(it->second.timer);
+        pending_rehomes_.erase(it);
+      }
     });
   }
 
@@ -221,7 +226,11 @@ bool System::HandleSystemMessage(const sim::Message& msg) {
   if (msg.type == kMsgClientResultAck) {
     const auto* ack = std::any_cast<ClientResultAckEnvelope>(&msg.payload);
     DSPS_CHECK(ack != nullptr);
-    pending_results_.erase(ack->seq);
+    auto it = pending_results_.find(ack->seq);
+    if (it != pending_results_.end()) {
+      simulator_->Cancel(it->second.timer);
+      pending_results_.erase(it);
+    }
     return true;
   }
   if (msg.type == kMsgRehomeBatch) {
@@ -290,7 +299,12 @@ void System::ShipResultToClient(common::EntityId entity,
 }
 
 void System::ScheduleResultRetry(int64_t seq, double timeout_s) {
-  simulator_->Schedule(timeout_s, [this, seq]() {
+  // Cancellable: the ack path reclaims the timer's heap slot instead of
+  // letting a dead retry fire (at metro scale those dead timers dominated
+  // the event heap). The find() is kept as a backstop for entries erased
+  // without cancellation.
+  sim::TimerId timer = simulator_->ScheduleCancellable(timeout_s, [this,
+                                                                   seq]() {
     auto it = pending_results_.find(seq);
     if (it == pending_results_.end()) return;  // acked in the meantime
     PendingResult& p = it->second;
@@ -306,6 +320,8 @@ void System::ScheduleResultRetry(int64_t seq, double timeout_s) {
     DSPS_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
     ScheduleResultRetry(seq, p.timeout_s);
   });
+  auto it = pending_results_.find(seq);
+  if (it != pending_results_.end()) it->second.timer = timer;
 }
 
 entity::Entity::EngineFactory System::MakeEngineFactory(
@@ -470,8 +486,11 @@ common::Status System::InstallOn(common::EntityId entity,
     double capacity = config_.entity.processor_capacity *
                       entities_[entity]->num_processors();
     double admitted = entities_[entity]->TotalCommittedLoad();
-    for (const auto& [qid, home] : query_home_) {
-      if (home == entity) admitted += queries_.at(qid).load;
+    // Ascending-qid member walk: same summation order as the old
+    // whole-map filter, so near-limit admission decisions are
+    // bit-identical — but O(queries on this entity), not O(all queries).
+    for (common::QueryId qid : query_state_.QueriesOn(entity)) {
+      admitted += query_state_.LoadOf(qid);
     }
     double limit = load_factor * capacity;
     // An entity exactly at its limit rejects any further positive load.
@@ -484,15 +503,17 @@ common::Status System::InstallOn(common::EntityId entity,
     }
   }
   DSPS_RETURN_IF_ERROR(entities_[entity]->InstallQuery(query, tps));
-  query_home_[query.id] = entity;
-  queries_[query.id] = query;
+  query_state_.Insert(query, entity);
   GraphIndexAdd(query);
   // Update the entity's aggregated interest and its dissemination-tree
-  // registrations for every stream the query reads.
+  // registrations. Only the streams this query reads can have changed;
+  // re-registering any other stream is a no-op by the tree's
+  // change-detection cutoff, so skipping them is observably identical
+  // (and keeps installs O(streams of this query) at metro scale).
   entity_interest_[entity].MergeFrom(query.interest);
   entity_interest_[entity].Simplify();
   coordinator_->SetEntityInterest(entity, entity_interest_[entity]);
-  for (common::StreamId s : entity_interest_[entity].streams()) {
+  for (common::StreamId s : query.interest.streams()) {
     const std::vector<interest::Box>* boxes =
         entity_interest_[entity].boxes_for(s);
     if (boxes == nullptr) continue;
@@ -680,9 +701,9 @@ std::vector<common::QueryId> System::QueuedAdmissions() const {
 }
 
 void System::RecordTenantResult(common::QueryId query, double latency) {
-  auto it = queries_.find(query);
-  if (it == queries_.end()) return;
-  tenant::TenantId t = it->second.tenant;
+  const engine::Query* q = query_state_.Find(query);
+  if (q == nullptr) return;
+  tenant::TenantId t = q->tenant;
   TenantRuntime& rt = tenant_runtime_[t];
   rt.results += 1;
   rt.latency.Add(latency);
@@ -766,11 +787,9 @@ common::Status System::SubmitBatch(const std::vector<engine::Query>& queries) {
 
 void System::RecomputeEntityInterest(common::EntityId entity) {
   interest::InterestSet fresh;
-  for (const auto& [qid, query] : queries_) {
-    auto home_it = query_home_.find(qid);
-    if (home_it != query_home_.end() && home_it->second == entity) {
-      fresh.MergeFrom(query.interest);
-    }
+  // Ascending-qid member walk == the old whole-map filter's merge order.
+  for (common::QueryId qid : query_state_.QueriesOn(entity)) {
+    fresh.MergeFrom(query_state_.At(qid).interest);
   }
   fresh.Simplify();
   entity_interest_[entity] = std::move(fresh);
@@ -789,8 +808,8 @@ void System::RecomputeEntityInterest(common::EntityId entity) {
 }
 
 common::Status System::RemoveQuery(common::QueryId query) {
-  auto home_it = query_home_.find(query);
-  if (home_it == query_home_.end()) {
+  common::EntityId home = query_state_.HomeOf(query);
+  if (home == common::kInvalidEntity) {
     // A withdrawn query may be sitting in the unplaced queue...
     auto un_it = unplaced_.find(query);
     if (un_it != unplaced_.end()) {
@@ -814,14 +833,12 @@ common::Status System::RemoveQuery(common::QueryId query) {
     }
     return common::Status::NotFound("unknown query");
   }
-  common::EntityId home = home_it->second;
   DSPS_RETURN_IF_ERROR(entities_[home]->RemoveQuery(query));
   if (admission_ != nullptr) {
-    const engine::Query& q = queries_.at(query);
-    admission_->OnWithdrawn(q.tenant, q.load);
+    admission_->OnWithdrawn(query_state_.TenantOf(query),
+                            query_state_.LoadOf(query));
   }
-  query_home_.erase(home_it);
-  queries_.erase(query);
+  query_state_.Erase(query);
   accepted_.erase(query);
   off_map_.erase(query);
   GraphIndexRemove(query);
@@ -865,13 +882,15 @@ int System::EvictEntity(common::EntityId entity) {
   // the unplaced queue and counted — a failed SubmitQuery used to drop
   // the query with no error and no metric.
   std::vector<engine::Query> orphans;
-  for (const auto& [qid, home] : query_home_) {
-    if (home == entity) orphans.push_back(queries_.at(qid));
+  // Copy the member list first: Erase below mutates it mid-walk.
+  const std::vector<common::QueryId> resident = query_state_.QueriesOn(entity);
+  orphans.reserve(resident.size());
+  for (common::QueryId qid : resident) {
+    orphans.push_back(query_state_.At(qid));
   }
   for (const engine::Query& q : orphans) {
     (void)entities_[entity]->RemoveQuery(q.id);
-    query_home_.erase(q.id);
-    queries_.erase(q.id);
+    query_state_.Erase(q.id);
     GraphIndexRemove(q.id);
   }
   entity_interest_[entity].Clear();
@@ -912,6 +931,7 @@ void System::CancelPendingFor(common::EntityId entity) {
   for (auto it = pending_results_.begin(); it != pending_results_.end();) {
     if (it->second.msg.from == gw) {
       result_retries_cancelled_ += 1;
+      simulator_->Cancel(it->second.timer);
       it = pending_results_.erase(it);
     } else {
       ++it;
@@ -929,6 +949,7 @@ void System::CancelPendingFor(common::EntityId entity) {
         if (unplaced_.count(qid) > 0) stranded.push_back(qid);
       }
       failure_stats_.rehome_batches_cancelled += 1;
+      simulator_->Cancel(it->second.timer);
       it = pending_rehomes_.erase(it);
     } else {
       ++it;
@@ -999,7 +1020,9 @@ void System::SendRehomeBatch(common::EntityId target,
 }
 
 void System::ScheduleRehomeRetry(int64_t seq, double timeout_s) {
-  simulator_->Schedule(timeout_s, [this, seq]() {
+  // Cancellable so acks and CancelPendingFor reclaim the heap slot.
+  sim::TimerId timer = simulator_->ScheduleCancellable(timeout_s, [this,
+                                                                   seq]() {
     auto it = pending_rehomes_.find(seq);
     if (it == pending_rehomes_.end()) return;  // acked or cancelled
     PendingRehome& p = it->second;
@@ -1019,6 +1042,8 @@ void System::ScheduleRehomeRetry(int64_t seq, double timeout_s) {
     DSPS_CHECK_MSG(s.ok(), "%s", s.ToString().c_str());
     ScheduleRehomeRetry(seq, p.timeout_s);
   });
+  auto it = pending_rehomes_.find(seq);
+  if (it != pending_rehomes_.end()) it->second.timer = timer;
 }
 
 bool System::InstallFromUnplaced(common::EntityId target,
@@ -1068,9 +1093,10 @@ void System::ReadmitEntity(common::EntityId entity) {
     // that fell off their list are still correct placements — park them
     // on the off-map ledger so the auditor's replica check stays exact;
     // later migrations or re-homes bring them back on-map.
-    for (const auto& [qid, home] : query_home_) {
+    for (common::QueryId qid : query_state_.SortedIds()) {
       if (off_map_.count(qid) > 0) continue;
       std::vector<common::EntityId> targets = placement_map_->Targets(qid);
+      common::EntityId home = query_state_.HomeOf(qid);
       if (std::find(targets.begin(), targets.end(), home) == targets.end()) {
         off_map_.insert(qid);
       }
@@ -1282,19 +1308,17 @@ int System::num_alive() const {
 
 common::Status System::MigrateQuery(common::QueryId query,
                                     common::EntityId to) {
-  auto home_it = query_home_.find(query);
-  if (home_it == query_home_.end()) {
+  common::EntityId from = query_state_.HomeOf(query);
+  if (from == common::kInvalidEntity) {
     return common::Status::NotFound("unknown query");
   }
   if (!IsAlive(to)) {
     return common::Status::InvalidArgument("target entity not alive");
   }
-  common::EntityId from = home_it->second;
   if (from == to) return common::Status::OK();
-  engine::Query q = queries_.at(query);
+  engine::Query q = query_state_.At(query);
   DSPS_RETURN_IF_ERROR(entities_[from]->RemoveQuery(query));
-  query_home_.erase(query);
-  queries_.erase(query);
+  query_state_.Erase(query);
   GraphIndexRemove(query);
   RecomputeEntityInterest(from);
   common::Status st = InstallOn(to, q);
@@ -1342,19 +1366,22 @@ common::Result<System::RepartitionReport> System::RepartitionQueries(
   for (int e = 0; e < num_entities(); ++e) {
     if (alive_[e]) alive_ids.push_back(e);
   }
-  if (alive_ids.empty() || queries_.empty()) {
+  if (alive_ids.empty() || query_state_.empty()) {
     return common::Status::FailedPrecondition("nothing to repartition");
   }
   std::map<common::EntityId, int> part_of_entity;
   for (size_t i = 0; i < alive_ids.size(); ++i) {
     part_of_entity[alive_ids[i]] = static_cast<int>(i);
   }
-  // Live query graph in stable query-id order.
+  // Live query graph in stable (ascending) query-id order.
+  const std::vector<common::QueryId> sorted_ids = query_state_.SortedIds();
   std::vector<engine::Query> live;
   std::vector<int> old_assignment;
-  for (const auto& [qid, q] : queries_) {
-    live.push_back(q);
-    auto it = part_of_entity.find(query_home_.at(qid));
+  live.reserve(sorted_ids.size());
+  old_assignment.reserve(sorted_ids.size());
+  for (common::QueryId qid : sorted_ids) {
+    live.push_back(query_state_.At(qid));
+    auto it = part_of_entity.find(query_state_.HomeOf(qid));
     old_assignment.push_back(it == part_of_entity.end() ? -1 : it->second);
   }
   // First round bulk-loads the incremental index; later rounds only
@@ -1363,7 +1390,7 @@ common::Result<System::RepartitionReport> System::RepartitionQueries(
   auto build_start = std::chrono::steady_clock::now();
   if (graph_index_ == nullptr) {
     graph_index_ = std::make_unique<partition::QueryGraphIndex>(&catalog_);
-    for (const auto& [qid, q] : queries_) graph_index_->AddQuery(q);
+    for (const engine::Query& q : live) graph_index_->AddQuery(q);
   }
   partition::QueryGraph graph = graph_index_->Graph();
   if (graph_build_us_ != nullptr) {
@@ -1689,8 +1716,7 @@ void System::RunUntil(double t) { simulator_->RunUntil(t); }
 double System::now() const { return simulator_->now(); }
 
 common::EntityId System::EntityOf(common::QueryId query) const {
-  auto it = query_home_.find(query);
-  return it == query_home_.end() ? common::kInvalidEntity : it->second;
+  return query_state_.HomeOf(query);
 }
 
 SystemMetrics System::Collect() const {

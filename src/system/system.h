@@ -5,6 +5,8 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -27,6 +29,7 @@
 #include "sim/topology.h"
 #include "system/auditor.h"
 #include "system/metrics.h"
+#include "system/query_state.h"
 #include "telemetry/registry.h"
 #include "telemetry/timeseries.h"
 #include "telemetry/trace.h"
@@ -567,10 +570,9 @@ class System {
   std::unique_ptr<coordinator::CoordinatorTree> coordinator_;
   /// Per-entity aggregated interest (union over its queries).
   std::vector<interest::InterestSet> entity_interest_;
-  std::map<common::QueryId, common::EntityId> query_home_;
-  /// Installed queries (needed to re-home them on entity failure and to
-  /// recompute interests on removal).
-  std::map<common::QueryId, engine::Query> queries_;
+  /// Installed queries and their hot runtime state (home, load, tenant)
+  /// in one SoA table — replaces the old query_home_ / queries_ map pair.
+  QueryStateTable query_state_;
   /// Incrementally maintained query graph. Null until the first
   /// RepartitionQueries call (non-repartitioning runs never pay for it);
   /// afterwards kept in sync by install/remove deltas, so later rounds
@@ -585,10 +587,11 @@ class System {
   /// Queries whose (re-)placement failed; kept queued for retry.
   std::map<common::QueryId, engine::Query> unplaced_;
   /// Every query id ever admitted and not yet withdrawn — the auditor's
-  /// conservation ground truth: accepted_ == keys(queries_) ⊎
+  /// conservation ground truth: accepted_ == keys(query_state_) ⊎
   /// keys(unplaced_) at all times (eviction and migration move queries
-  /// between the two sides, never off the ledger).
-  std::set<common::QueryId> accepted_;
+  /// between the two sides, never off the ledger). Hashed: only counted,
+  /// probed, and scanned order-insensitively by the auditor.
+  std::unordered_set<common::QueryId> accepted_;
   /// Invariant auditor (null until EnableAudit).
   std::unique_ptr<Auditor> auditor_;
   /// Fault layer (null unless config_.inject_faults).
@@ -607,9 +610,12 @@ class System {
     sim::Message msg;
     int retries_left = 0;
     double timeout_s = 0.0;
+    /// Outstanding retry timer, cancelled on ack so the heap slot is
+    /// reclaimed instead of firing into a dead entry.
+    sim::TimerId timer = sim::kInvalidTimer;
   };
   std::map<int64_t, PendingResult> pending_results_;
-  std::set<int64_t> seen_result_seqs_;
+  std::unordered_set<int64_t> seen_result_seqs_;
   int64_t next_result_seq_ = 1;
   int64_t result_retries_ = 0;
   int64_t result_delivery_failures_ = 0;
@@ -625,9 +631,11 @@ class System {
     std::vector<common::QueryId> queries;
     int retries_left = 0;
     double timeout_s = 0.0;
+    /// Outstanding retry timer, cancelled on ack / CancelPendingFor.
+    sim::TimerId timer = sim::kInvalidTimer;
   };
   std::map<int64_t, PendingRehome> pending_rehomes_;
-  std::set<int64_t> seen_rehome_seqs_;
+  std::unordered_set<int64_t> seen_rehome_seqs_;
   int64_t next_rehome_seq_ = 1;
   /// When one global serial chain is used (recovery.parallel == false),
   /// installs queue behind this simulated-time watermark.
@@ -635,11 +643,11 @@ class System {
   /// Queries deliberately moved off their map targets (explicit
   /// MigrateQuery / repartitioning). The auditor's replica-placement
   /// check excuses these; eviction re-homes them back through the map.
-  std::set<common::QueryId> off_map_;
+  std::unordered_set<common::QueryId> off_map_;
   /// Client modeling (when config_.num_clients > 0).
   std::vector<common::SimNodeId> client_nodes_;
   std::vector<sim::Point> client_positions_;
-  std::map<common::QueryId, int> client_of_query_;
+  std::unordered_map<common::QueryId, int> client_of_query_;
   int next_client_ = 0;
   int round_robin_next_ = 0;
   /// Multi-tenant state (all null/empty unless Config::tenants is set).

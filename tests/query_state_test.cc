@@ -1,0 +1,110 @@
+#include "system/query_state.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/ids.h"
+#include "engine/plan.h"
+
+namespace dsps::system {
+namespace {
+
+engine::Query MakeQuery(common::QueryId id, double load, int32_t tenant) {
+  engine::Query q;
+  q.id = id;
+  q.load = load;
+  q.tenant = tenant;
+  return q;
+}
+
+TEST(QueryStateTableTest, InsertLookupErase) {
+  QueryStateTable table;
+  table.SetNumEntities(4);
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.HomeOf(7), common::kInvalidEntity);
+  EXPECT_EQ(table.Find(7), nullptr);
+
+  table.Insert(MakeQuery(7, 0.25, 3), /*entity=*/2);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_TRUE(table.Contains(7));
+  EXPECT_EQ(table.HomeOf(7), 2);
+  EXPECT_DOUBLE_EQ(table.LoadOf(7), 0.25);
+  EXPECT_EQ(table.TenantOf(7), 3);
+  ASSERT_NE(table.Find(7), nullptr);
+  EXPECT_EQ(table.At(7).id, 7);
+
+  EXPECT_TRUE(table.Erase(7));
+  EXPECT_FALSE(table.Erase(7));
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.HomeOf(7), common::kInvalidEntity);
+  EXPECT_TRUE(table.CheckConsistent().ok());
+}
+
+TEST(QueryStateTableTest, InsertRehomesInPlace) {
+  QueryStateTable table;
+  table.SetNumEntities(3);
+  table.Insert(MakeQuery(5, 1.0, 0), 0);
+  table.Insert(MakeQuery(5, 2.0, 1), 2);  // same id, new home + fields
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.HomeOf(5), 2);
+  EXPECT_DOUBLE_EQ(table.LoadOf(5), 2.0);
+  EXPECT_EQ(table.TenantOf(5), 1);
+  EXPECT_TRUE(table.QueriesOn(0).empty());
+  EXPECT_EQ(table.QueriesOn(2), (std::vector<common::QueryId>{5}));
+  EXPECT_TRUE(table.CheckConsistent().ok());
+}
+
+TEST(QueryStateTableTest, MemberListsStayAscendingUnderChurn) {
+  QueryStateTable table;
+  table.SetNumEntities(2);
+  // Insert out of order, spread across both entities.
+  for (common::QueryId id : {9, 3, 7, 1, 5, 8, 2, 6, 4}) {
+    table.Insert(MakeQuery(id, 1.0, 0), id % 2);
+  }
+  EXPECT_EQ(table.QueriesOn(0), (std::vector<common::QueryId>{2, 4, 6, 8}));
+  EXPECT_EQ(table.QueriesOn(1), (std::vector<common::QueryId>{1, 3, 5, 7, 9}));
+  EXPECT_EQ(table.SortedIds(),
+            (std::vector<common::QueryId>{1, 2, 3, 4, 5, 6, 7, 8, 9}));
+
+  // Erase from the middle and the ends; order must survive the
+  // swap-with-last slot recycling.
+  EXPECT_TRUE(table.Erase(5));
+  EXPECT_TRUE(table.Erase(2));
+  EXPECT_TRUE(table.Erase(9));
+  EXPECT_EQ(table.QueriesOn(0), (std::vector<common::QueryId>{4, 6, 8}));
+  EXPECT_EQ(table.QueriesOn(1), (std::vector<common::QueryId>{1, 3, 7}));
+  EXPECT_EQ(table.SortedIds(),
+            (std::vector<common::QueryId>{1, 3, 4, 6, 7, 8}));
+  // Slots were recycled: lookups still hit the right records.
+  EXPECT_DOUBLE_EQ(table.LoadOf(8), 1.0);
+  EXPECT_EQ(table.HomeOf(7), 1);
+  EXPECT_TRUE(table.CheckConsistent().ok());
+}
+
+TEST(QueryStateTableTest, ConsistencyAuditSurvivesHeavyChurn) {
+  QueryStateTable table;
+  table.SetNumEntities(8);
+  // Deterministic mixed workload: insert, re-home every third, erase
+  // every fifth — then audit.
+  for (int i = 1; i <= 500; ++i) {
+    table.Insert(MakeQuery(i, 0.01 * i, i % 4), i % 8);
+  }
+  for (int i = 3; i <= 500; i += 3) {
+    table.Insert(MakeQuery(i, 0.02 * i, i % 4), (i + 1) % 8);
+  }
+  for (int i = 5; i <= 500; i += 5) EXPECT_TRUE(table.Erase(i));
+  EXPECT_TRUE(table.CheckConsistent().ok());
+  EXPECT_EQ(table.size(), 400u);
+  size_t members = 0;
+  for (int e = 0; e < 8; ++e) {
+    const std::vector<common::QueryId>& on = table.QueriesOn(e);
+    members += on.size();
+    for (size_t i = 1; i < on.size(); ++i) EXPECT_LT(on[i - 1], on[i]);
+    for (common::QueryId id : on) EXPECT_EQ(table.HomeOf(id), e);
+  }
+  EXPECT_EQ(members, table.size());
+}
+
+}  // namespace
+}  // namespace dsps::system

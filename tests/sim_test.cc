@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/rng.h"
@@ -90,6 +92,125 @@ TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
   sim.Schedule(1.0, [] {});
   EXPECT_TRUE(sim.Step());
   EXPECT_FALSE(sim.Step());
+}
+
+// Regression: Schedule/ScheduleAt used to accept NaN/Inf silently, which
+// poisons the heap's strict-weak order (every comparison with NaN is
+// false) and can starve or misorder the queue forever after.
+TEST(SimulatorTest, NonFiniteTimesAreRejected) {
+#ifdef NDEBUG
+  // Release builds clamp: NaN/-Inf mean "now", +Inf means "after every
+  // finite event" — the heap invariant survives either way.
+  Simulator sim;
+  double nan_ran_at = -1.0;
+  bool inf_ran = false;
+  sim.Schedule(std::numeric_limits<double>::quiet_NaN(),
+               [&] { nan_ran_at = sim.now(); });
+  sim.ScheduleAt(std::numeric_limits<double>::infinity(),
+                 [&] { inf_ran = true; });
+  sim.Schedule(1.0, [] {});
+  sim.RunUntil(2.0);
+  EXPECT_DOUBLE_EQ(nan_ran_at, 0.0);
+  EXPECT_FALSE(inf_ran);
+  EXPECT_EQ(sim.pending_events(), 1u);  // the +Inf event, parked at max
+  Simulator sim2;
+  double neg_inf_ran_at = -1.0;
+  sim2.Schedule(3.0, [&] {
+    sim2.ScheduleAt(-std::numeric_limits<double>::infinity(),
+                    [&] { neg_inf_ran_at = sim2.now(); });
+  });
+  sim2.Run();
+  EXPECT_DOUBLE_EQ(neg_inf_ran_at, 3.0);
+#else
+  EXPECT_DEATH(
+      {
+        Simulator sim;
+        sim.Schedule(std::numeric_limits<double>::quiet_NaN(), [] {});
+      },
+      "isfinite");
+  EXPECT_DEATH(
+      {
+        Simulator sim;
+        sim.ScheduleAt(std::numeric_limits<double>::infinity(), [] {});
+      },
+      "isfinite");
+#endif
+}
+
+// Regression: RunUntil(t) used to leave now() at the last event's time
+// when Stop() fired during the final event at-or-before t, so a caller's
+// "time is now t" assumption broke. The clock must advance to t whenever
+// every event <= t has executed — Stop() only freezes the clock when it
+// leaves such events pending.
+TEST(SimulatorTest, RunUntilAdvancesClockWhenStopFiresDuringFinalEvent) {
+  Simulator sim;
+  sim.Schedule(1.0, [&] { sim.Stop(); });
+  sim.Schedule(7.0, [] {});  // beyond the horizon; must not gate the clock
+  sim.RunUntil(5.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilKeepsStopTimeWhenEventsBeforeHorizonPend) {
+  Simulator sim;
+  sim.Schedule(1.0, [&] { sim.Stop(); });
+  sim.Schedule(2.0, [] {});  // within the horizon and still pending
+  sim.RunUntil(5.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+// Property test for the indexed 4-ary heap: one million events at the
+// same timestamp must run in exact insertion order — the (time, seq)
+// total order is what makes every simulation bit-reproducible.
+TEST(SimulatorTest, MillionSameTimestampEventsRunInInsertionOrder) {
+  Simulator sim;
+  constexpr int kEvents = 1000000;
+  int expected = 0;
+  bool in_order = true;
+  for (int i = 0; i < kEvents; ++i) {
+    sim.Schedule(1.0, [&, i] {
+      if (i != expected) in_order = false;
+      ++expected;
+    });
+  }
+  sim.Run();
+  EXPECT_TRUE(in_order);
+  EXPECT_EQ(expected, kEvents);
+  EXPECT_EQ(sim.events_executed(), static_cast<uint64_t>(kEvents));
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+}
+
+TEST(SimulatorTest, CancelledTimersNeverFire) {
+  Simulator sim;
+  int fired = 0;
+  std::vector<TimerId> timers;
+  // Interleave cancellable timers with plain events so cancellation has
+  // to repair the heap around untracked entries.
+  for (int i = 0; i < 1000; ++i) {
+    timers.push_back(
+        sim.ScheduleCancellable(i * 0.001, [&] { ++fired; }));
+    sim.Schedule(i * 0.001, [] {});
+  }
+  for (size_t i = 0; i < timers.size(); i += 2) {
+    EXPECT_TRUE(sim.Cancel(timers[i]));
+  }
+  EXPECT_FALSE(sim.Cancel(timers[0]));  // double-cancel reports false
+  EXPECT_FALSE(sim.Cancel(kInvalidTimer));
+  sim.Run();
+  EXPECT_EQ(fired, 500);
+  EXPECT_FALSE(sim.Cancel(timers[1]));  // already fired
+}
+
+TEST(SimulatorTest, CancelFromEventDisarmsSameTimeLaterTimer) {
+  Simulator sim;
+  bool fired = false;
+  TimerId timer = kInvalidTimer;
+  sim.Schedule(1.0, [&] { EXPECT_TRUE(sim.Cancel(timer)); });
+  timer = sim.ScheduleCancellable(1.0, [&] { fired = true; });
+  sim.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_executed(), 1u);
 }
 
 // ----------------------------------------------------------------- Network

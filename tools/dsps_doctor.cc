@@ -15,7 +15,12 @@
 //     benches label headline.tenant_* with {tenant=<name>}) get a
 //     per-tenant admission table, and a tenant whose reject count exceeds
 //     its declared quota headroom (headline.tenant_quota_headroom) marks
-//     the file unhealthy.
+//     the file unhealthy;
+//   - reports that publish simulator throughput (headline.sim_events_per_sec
+//     plus its self-declared headline.sim_events_per_sec_floor) show the
+//     rate in the headline table and go unhealthy when it falls below the
+//     floor — the order-of-magnitude-collapse alarm backing the E13
+//     bench_diff gate.
 //
 // Usage: dsps_doctor <report.json>...
 // Exit status: 0 = healthy, 1 = violations found, 2 = usage/parse error.
@@ -95,6 +100,8 @@ FileHealth SummarizeBench(const std::string& path, const JsonValue& doc) {
   double unplaced = 0.0;
   double recovery_min = 0.0, recovery_max = 0.0;
   int recovery_samples = 0;
+  double events_per_sec = -1.0;
+  double events_per_sec_floor = -1.0;
   size_t num_metrics = 0;
   const JsonValue* metrics = doc.Find("metrics");
   if (metrics != nullptr && metrics->is_array()) {
@@ -133,6 +140,10 @@ FileHealth SummarizeBench(const std::string& path, const JsonValue& doc) {
                                  ? value
                                  : std::min(t.quota_headroom, value);
         }
+      } else if (name == "headline.sim_events_per_sec") {
+        events_per_sec = sample.NumberOr("value", -1.0);
+      } else if (name == "headline.sim_events_per_sec_floor") {
+        events_per_sec_floor = sample.NumberOr("value", -1.0);
       } else if (name.rfind("headline.", 0) == 0) {
         double value = sample.NumberOr("value", 0.0);
         if (name.find("unplaced") != std::string::npos) {
@@ -156,6 +167,13 @@ FileHealth SummarizeBench(const std::string& path, const JsonValue& doc) {
     os << ", recovery " << recovery_max << " s";
   } else if (recovery_samples > 1) {
     os << ", recovery " << recovery_min << ".." << recovery_max << " s";
+  }
+  if (events_per_sec >= 0) {
+    os << ", " << static_cast<int64_t>(events_per_sec) << " events/s";
+    if (events_per_sec_floor >= 0 && events_per_sec < events_per_sec_floor) {
+      h.healthy = false;
+      os << " < floor " << static_cast<int64_t>(events_per_sec_floor);
+    }
   }
   if (nonfinite > 0) {
     h.healthy = false;
