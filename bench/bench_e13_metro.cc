@@ -4,6 +4,9 @@
 // to end to prove the simulator event core scales: the indexed 4-ary event
 // heap (move-only dispatch, cancellable timers), the arena-allocated
 // network messages, and the SoA per-query runtime state in system::System.
+// Standing queries are installed through the batched System::SubmitQueries
+// path (grouped routing + one deferred bulk graph delta per chunk), and
+// the per-phase install costs land in the install.* gauges.
 //
 // Two sizes share one code path, selected by DSPS_E13_SCALE:
 //  * smoke (default) — 200 entities / 5k queries. Fast enough for CI;
@@ -28,7 +31,16 @@
 //                               standing queries deliberately share one
 //                               interest box per stream, which would make
 //                               the overlap graph quadratic and measure
-//                               the wrong thing).
+//                               the wrong thing);
+//  - install.*_us_per_query     the batched-install phase breakdown
+//                               (route / install / interest / graph);
+//                               install.installs is deterministic and
+//                               pinned at 1%, the wall-clock per-query
+//                               cost gets a wide allowance;
+//  - index.*                    interest-index health (DESIGN.md "Learned
+//                               interest index") for the graph-build
+//                               indexes, the live system indexes, and a
+//                               deterministic lookup probe.
 //
 // Acceptance bars (abort on violation): every submission admitted (zero
 // rejections — the tier must fit, not shed), traffic produced results,
@@ -46,6 +58,8 @@
 #include "common/rng.h"
 #include "common/table.h"
 #include "engine/query_builder.h"
+#include "index_series.h"
+#include "interest/box_index.h"
 #include "partition/query_graph.h"
 #include "sim/simulator.h"
 #include "system/system.h"
@@ -92,6 +106,8 @@ struct E13Run {
   uint64_t sim_events = 0;
   double install_wall_s = 0.0;
   double run_wall_s = 0.0;
+  dsps::system::System::InstallProfile install_profile;
+  dsps::interest::IndexStats index_stats;
 };
 
 double WallSince(std::chrono::steady_clock::time_point start) {
@@ -146,25 +162,37 @@ E13Run Run(const Scale& sc) {
     templates.push_back(q.value());
   }
 
+  // The install storm goes through the batched path: chunks of standing
+  // queries submitted via SubmitQueries, which defers the query-graph
+  // deltas into one bulk pass per chunk (outcome-identical to the serial
+  // per-query loop — E13's system_test twin asserts exactly that).
   E13Run run;
+  constexpr int kInstallChunk = 8192;
   auto install_start = std::chrono::steady_clock::now();
-  for (int i = 0; i < sc.queries; ++i) {
-    dsps::engine::Query query = templates[i % sc.streams];
-    query.id = i + 1;
-    query.tenant = 1 + i % kTenants;
-    query.load = kQueryLoad;
-    dsps::common::Status st = sys.SubmitQuery(query);
-    if (st.ok()) {
-      ++run.standing;
-    } else if (st.code() == dsps::common::StatusCode::kResourceExhausted) {
-      ++run.rejected;
-    } else {
-      std::fprintf(stderr, "E13: unexpected submit error at %d: %s\n", i,
-                   st.ToString().c_str());
+  std::vector<dsps::engine::Query> chunk;
+  chunk.reserve(std::min(sc.queries, kInstallChunk));
+  for (int i = 0; i < sc.queries;) {
+    chunk.clear();
+    const int end = std::min(sc.queries, i + kInstallChunk);
+    for (; i < end; ++i) {
+      dsps::engine::Query query = templates[i % sc.streams];
+      query.id = i + 1;
+      query.tenant = 1 + i % kTenants;
+      query.load = kQueryLoad;
+      chunk.push_back(std::move(query));
+    }
+    dsps::system::System::BatchSubmitResult r = sys.SubmitQueries(chunk);
+    run.standing += r.admitted;
+    run.rejected += r.rejected;
+    if (r.failed > 0) {
+      std::fprintf(stderr, "E13: unexpected submit error: %s\n",
+                   r.first_error.ToString().c_str());
       std::abort();
     }
   }
   run.install_wall_s = WallSince(install_start);
+  run.install_profile = sys.install_profile();
+  run.index_stats = sys.IndexStatsSnapshot();
 
   const uint64_t events_before = sys.network()->simulator()->events_executed();
   auto run_start = std::chrono::steady_clock::now();
@@ -257,14 +285,41 @@ void PrintE13() {
     dsps::workload::QueryGen qgen(dsps::workload::QueryGen::Config{}, &catalog,
                                   dsps::common::Rng(6));
     std::vector<dsps::engine::Query> slice = qgen.Batch(sc.graph_queries);
+    dsps::interest::IndexStats build_stats;
     for (int rep = 0; rep < 3; ++rep) {
+      dsps::interest::IndexStats rep_stats;
       auto start = std::chrono::steady_clock::now();
       dsps::partition::QueryGraph g =
-          dsps::partition::QueryGraph::Build(slice, catalog);
+          dsps::partition::QueryGraph::Build(slice, catalog, 1e-9, &rep_stats);
       build_us->Observe(WallSince(start) * 1e6);
       benchmark::DoNotOptimize(g.total_edge_weight());
+      if (rep == 2) build_stats = rep_stats;
+    }
+    dsps::bench::ExportIndexStats(
+        build_stats, &metrics,
+        dsps::telemetry::MakeLabels({{"scope", "graph_build"}}));
+    // Lookup probe over the slice's own stream-0 interest boxes: at
+    // smoke size this population crosses the auto spline threshold, so
+    // the E13 report carries real spline lookup latency + fallback rate.
+    {
+      std::vector<dsps::interest::Box> probe_boxes;
+      for (const dsps::engine::Query& q : slice) {
+        const std::vector<dsps::interest::Box>* boxes =
+            q.interest.boxes_for(0);
+        if (boxes == nullptr) continue;
+        probe_boxes.insert(probe_boxes.end(), boxes->begin(), boxes->end());
+      }
+      dsps::bench::RunIndexLookupProbe(
+          probe_boxes, catalog.stats(0).domain,
+          dsps::bench::IndexProbeConfig{}, &metrics,
+          dsps::telemetry::MakeLabels({{"scope", "probe"}}));
     }
   }
+  // Live-system index health (dissemination route caches + per-entity
+  // stream indexes) after the full install + traffic phases.
+  dsps::bench::ExportIndexStats(
+      run.index_stats, &metrics,
+      dsps::telemetry::MakeLabels({{"scope", "system"}}));
 
   const double events_per_sec =
       run.run_wall_s > 0 ? static_cast<double>(run.sim_events) / run.run_wall_s
@@ -289,6 +344,33 @@ void PrintE13() {
       std::to_string(sc.queries) + " standing queries over " +
       std::to_string(sc.entities) +
       " entities via the coordinator tree, admission on");
+
+  // Install-phase breakdown: where each submitted query's wall time went
+  // inside the batched install path (gauges in µs per query, so the full
+  // and smoke tiers are comparable and bench_diff can gate drift).
+  {
+    const dsps::system::System::InstallProfile& p = run.install_profile;
+    const double per_q = sc.queries > 0 ? 1.0 / sc.queries : 0.0;
+    metrics.gauge("install.route_us_per_query")->Set(p.route_us * per_q);
+    metrics.gauge("install.install_us_per_query")->Set(p.install_us * per_q);
+    metrics.gauge("install.interest_us_per_query")->Set(p.interest_us * per_q);
+    metrics.gauge("install.graph_us_per_query")->Set(p.graph_us * per_q);
+    metrics.gauge("install.installs")->Set(static_cast<double>(p.installs));
+    Table breakdown({"phase", "total ms", "us/query"});
+    struct Row {
+      const char* name;
+      double us;
+    };
+    for (const Row& r : {Row{"route (coordinator descent)", p.route_us},
+                         Row{"admission + entity install", p.install_us},
+                         Row{"interest merge + publication", p.interest_us},
+                         Row{"query-graph deltas (bulk)", p.graph_us}}) {
+      breakdown.AddRow({r.name, Table::Num(r.us / 1e3, 1),
+                        Table::Num(r.us * per_q, 2)});
+    }
+    breakdown.Print("E13 install-phase breakdown (batched SubmitQueries, " +
+                    std::to_string(sc.queries) + " queries)");
+  }
 
   report.SetHeadline("scale_entities", sc.entities);
   report.SetHeadline("scale_queries", sc.queries);

@@ -11,6 +11,8 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "dissemination/disseminator.h"
+#include "index_series.h"
+#include "interest/box_index.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "telemetry/bench_report.h"
@@ -33,7 +35,8 @@ struct DissemResult {
 
 DissemResult Run(int entities, double coverage, TreePolicy policy,
                  bool early_filter, int tuples, uint64_t seed,
-                 dsps::telemetry::MetricsRegistry* metrics = nullptr) {
+                 dsps::telemetry::MetricsRegistry* metrics = nullptr,
+                 dsps::interest::IndexStats* route_stats = nullptr) {
   dsps::sim::Simulator sim;
   dsps::sim::Network net(&sim);
   if (metrics != nullptr) net.SetMetrics(metrics);
@@ -77,6 +80,7 @@ DissemResult Run(int entities, double coverage, TreePolicy policy,
     sim.RunUntil(sim.now() + 0.01);
   }
   sim.Run();
+  if (route_stats != nullptr) *route_stats = dissem.RouteIndexStats();
   DissemResult r;
   r.total_bytes = net.total_bytes();
   r.source_bytes = net.egress_bytes(src);
@@ -114,8 +118,19 @@ void PrintE1() {
             Scheme{"tree", TreePolicy::kClosestParent, false},
             Scheme{"tree+filter", TreePolicy::kClosestParent, true}}) {
         dsps::telemetry::MetricsRegistry row_metrics;
+        dsps::interest::IndexStats route_stats;
         DissemResult r = Run(entities, coverage, s.policy, s.filter, tuples,
-                             77 + entities, &row_metrics);
+                             77 + entities, &row_metrics, &route_stats);
+        // Routing-cache index health for the tree rows (the direct rows
+        // never build a route index).
+        if (s.policy == TreePolicy::kClosestParent && s.filter &&
+            entities == 128 && route_stats.indexes > 0) {
+          // The row labels (entities/coverage/scheme) are appended when the
+          // registry snapshot is merged into the report below.
+          dsps::bench::ExportIndexStats(
+              route_stats, &row_metrics,
+              dsps::telemetry::MakeLabels({{"scope", "route"}}));
+        }
         table.AddRow({Table::Int(entities), Table::Num(coverage, 2), s.name,
                       Table::Num(r.total_bytes / 1e6, 3),
                       Table::Num(r.source_bytes / 1e6, 3),
@@ -132,6 +147,25 @@ void PrintE1() {
         report.MergeSnapshot(row_metrics.Snapshot(), row);
       }
     }
+  }
+  // Lookup probe over an E1-shaped box population (128 gateways, 25%
+  // coverage): publishes index.lookup_us / index.build_us / index.mem_bytes
+  // so this report carries per-stab latency dsps_doctor can p95.
+  {
+    dsps::common::Rng prng(31);
+    std::vector<dsps::interest::Box> boxes;
+    boxes.reserve(128);
+    for (int e = 0; e < 128; ++e) {
+      double lo = prng.Uniform(0, 75.0);
+      boxes.push_back(dsps::interest::Box{
+          {lo, lo + 25.0}, {-1e9, 1e9}, {-1e9, 1e9}});
+    }
+    const dsps::interest::Box domain{{0, 100}, {-1e9, 1e9}, {-1e9, 1e9}};
+    dsps::telemetry::MetricsRegistry probe_metrics;
+    dsps::bench::RunIndexLookupProbe(
+        boxes, domain, dsps::bench::IndexProbeConfig{}, &probe_metrics,
+        dsps::telemetry::MakeLabels({{"scope", "probe"}}));
+    report.MergeSnapshot(probe_metrics.Snapshot());
   }
   report.WriteFileOrDie();
   table.Print(

@@ -11,6 +11,8 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "index_series.h"
+#include "interest/box_index.h"
 #include "partition/graph_index.h"
 #include "partition/repartitioner.h"
 #include "telemetry/bench_report.h"
@@ -146,12 +148,19 @@ void PrintE3() {
                                   dsps::common::Rng(6));
     std::vector<dsps::engine::Query> queries = qgen.Batch(512);
     const int reps = 5;
+    dsps::interest::IndexStats build_stats;
     for (int rep = 0; rep < reps; ++rep) {
+      dsps::interest::IndexStats rep_stats;
       auto start = std::chrono::steady_clock::now();
-      QueryGraph g = QueryGraph::Build(queries, catalog);
+      QueryGraph g = QueryGraph::Build(queries, catalog, 1e-9, &rep_stats);
       build_us->Observe(us_since(start));
       benchmark::DoNotOptimize(g.total_edge_weight());
+      if (rep == reps - 1) build_stats = rep_stats;
     }
+    // Index health of the inverted per-stream indexes the build ran on.
+    dsps::bench::ExportIndexStats(
+        build_stats, &metrics,
+        dsps::telemetry::MakeLabels({{"scope", "graph_build"}}));
     // Churn: remove + re-add one query per delta against the live index,
     // the pattern a repartition round sees between rebuild-free rounds.
     dsps::partition::QueryGraphIndex index(&catalog);
@@ -166,6 +175,25 @@ void PrintE3() {
     }
     QueryGraph materialized = index.Graph();
     benchmark::DoNotOptimize(materialized.total_edge_weight());
+    // The live incremental indexes after the churn phase, plus a lookup
+    // probe over the workload's own stream-0 interest boxes so this
+    // report carries index.lookup_us / index.build_us / index.mem_bytes.
+    dsps::bench::ExportIndexStats(
+        index.StreamIndexStats(), &metrics,
+        dsps::telemetry::MakeLabels({{"scope", "incremental"}}));
+    {
+      std::vector<dsps::interest::Box> probe_boxes;
+      for (const dsps::engine::Query& q : queries) {
+        const std::vector<dsps::interest::Box>* boxes =
+            q.interest.boxes_for(0);
+        if (boxes == nullptr) continue;
+        probe_boxes.insert(probe_boxes.end(), boxes->begin(), boxes->end());
+      }
+      dsps::bench::RunIndexLookupProbe(
+          probe_boxes, catalog.stats(0).domain,
+          dsps::bench::IndexProbeConfig{}, &metrics,
+          dsps::telemetry::MakeLabels({{"scope", "probe"}}));
+    }
     report.SetHeadline("graph_build_queries", queries.size());
     report.SetHeadline("graph_build_edges", materialized.total_edge_weight());
     report.MergeSnapshot(metrics.Snapshot());

@@ -27,3 +27,4 @@ dsps_bench(bench_e9_clients dsps_system)
 dsps_bench(bench_e10_live_repartition dsps_system)
 dsps_bench(bench_e12_tenants dsps_system dsps_workload)
 dsps_bench(bench_e13_metro dsps_system dsps_workload dsps_partition)
+dsps_bench(bench_e14_index dsps_interest)

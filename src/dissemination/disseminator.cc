@@ -116,6 +116,14 @@ common::Status Disseminator::SetEntityInterest(common::EntityId id,
   return common::Status::OK();
 }
 
+interest::IndexStats Disseminator::RouteIndexStats() const {
+  interest::IndexStats stats;
+  for (const auto& [stream, tree] : trees_) {
+    tree->CollectIndexStats(&stats);
+  }
+  return stats;
+}
+
 void Disseminator::SetDeliveryHandler(DeliveryHandler handler) {
   delivery_ = std::move(handler);
 }

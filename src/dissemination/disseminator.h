@@ -134,6 +134,11 @@ class Disseminator {
   /// Sends awaiting an ack right now.
   size_t pending_reliable_count() const { return pending_.size(); }
 
+  /// Aggregated routing-cache index statistics across every stream tree
+  /// (strategy mix, memory, spline health); feeds bench JSON and
+  /// dsps_doctor.
+  interest::IndexStats RouteIndexStats() const;
+
  private:
   void Forward(const DisseminationTree& tree, common::EntityId from,
                common::SimNodeId from_node, const TupleEnvelope& env);

@@ -351,6 +351,15 @@ void DisseminationTree::ForwardTargets(common::EntityId from,
   }
 }
 
+void DisseminationTree::CollectIndexStats(interest::IndexStats* stats) const {
+  if (source_route_index_ != nullptr) {
+    source_route_index_->AddStatsTo(stats);
+  }
+  for (const auto& [id, node] : nodes_) {
+    if (node.route_index != nullptr) node.route_index->AddStatsTo(stats);
+  }
+}
+
 const sim::Point& DisseminationTree::position(common::EntityId id) const {
   auto it = nodes_.find(id);
   DSPS_CHECK_MSG(it != nodes_.end(), "unknown entity %d", id);

@@ -135,6 +135,10 @@ class DisseminationTree {
   /// read-only apart from deterministically pre-building route caches.
   common::Status CheckInvariants() const;
 
+  /// Accumulates the statistics of every live routing cache (per-node and
+  /// source) into `stats`.
+  void CollectIndexStats(interest::IndexStats* stats) const;
+
  private:
   struct Node {
     common::EntityId parent = common::kInvalidEntity;  // invalid = source

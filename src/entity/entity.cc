@@ -449,6 +449,12 @@ double Entity::TotalCommittedLoad() const {
   return total;
 }
 
+void Entity::CollectIndexStats(interest::IndexStats* stats) const {
+  for (const auto& [stream, index] : stream_index_) {
+    if (index != nullptr) index->AddStatsTo(stats);
+  }
+}
+
 common::ProcessorId Entity::AddProcessor(common::SimNodeId node) {
   auto pid = static_cast<common::ProcessorId>(processors_.size());
   auto proc = std::make_unique<Processor>(pid, network_, node,

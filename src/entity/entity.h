@@ -176,6 +176,10 @@ class Entity {
   /// Load (CPU s/s) this entity believes it has committed.
   double TotalCommittedLoad() const;
 
+  /// Accumulates the per-stream tuple-matching indexes' statistics into
+  /// `stats` (strategy mix, memory, spline health).
+  void CollectIndexStats(interest::IndexStats* stats) const;
+
   /// Elastic capacity: adds one processor hosted on `node` (a member of
   /// this entity's LAN), wired like the constructor-built ones (engine
   /// from the factory, emission handler, telemetry labels). New fragments

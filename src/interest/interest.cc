@@ -16,6 +16,41 @@ void InterestSet::MergeFrom(const InterestSet& other) {
   }
 }
 
+namespace {
+
+/// One stream's Simplify step (see InterestSet::Simplify). Factored out
+/// so the incremental merge applies the exact same reduction per stream.
+void SimplifyBoxes(std::vector<Box>* boxes) {
+  std::vector<Box> kept;
+  kept.reserve(boxes->size());
+  for (size_t i = 0; i < boxes->size(); ++i) {
+    bool covered = false;
+    for (size_t j = 0; j < boxes->size() && !covered; ++j) {
+      if (i == j) continue;
+      // Tie-break identical boxes by index so exactly one copy survives.
+      if (BoxCovers((*boxes)[j], (*boxes)[i]) &&
+          (!BoxCovers((*boxes)[i], (*boxes)[j]) || j < i)) {
+        covered = true;
+      }
+    }
+    if (!covered) kept.push_back((*boxes)[i]);
+  }
+  *boxes = std::move(kept);
+}
+
+}  // namespace
+
+void InterestSet::MergeSimplifyFrom(const InterestSet& other,
+                                    std::vector<common::StreamId>* changed) {
+  for (const auto& [stream, boxes] : other.boxes_) {
+    auto& mine = boxes_[stream];
+    const std::vector<Box> before = mine;
+    mine.insert(mine.end(), boxes.begin(), boxes.end());
+    SimplifyBoxes(&mine);
+    if (mine != before) changed->push_back(stream);
+  }
+}
+
 bool InterestSet::InterestedIn(common::StreamId stream) const {
   auto it = boxes_.find(stream);
   return it != boxes_.end() && !it->second.empty();
@@ -45,23 +80,16 @@ std::vector<common::StreamId> InterestSet::streams() const {
   return out;
 }
 
+common::StreamId InterestSet::leading_stream() const {
+  for (const auto& [stream, boxes] : boxes_) {
+    if (!boxes.empty()) return stream;
+  }
+  return common::kInvalidStream;
+}
+
 void InterestSet::Simplify() {
   for (auto& [stream, boxes] : boxes_) {
-    std::vector<Box> kept;
-    kept.reserve(boxes.size());
-    for (size_t i = 0; i < boxes.size(); ++i) {
-      bool covered = false;
-      for (size_t j = 0; j < boxes.size() && !covered; ++j) {
-        if (i == j) continue;
-        // Tie-break identical boxes by index so exactly one copy survives.
-        if (BoxCovers(boxes[j], boxes[i]) &&
-            (!BoxCovers(boxes[i], boxes[j]) || j < i)) {
-          covered = true;
-        }
-      }
-      if (!covered) kept.push_back(boxes[i]);
-    }
-    boxes = std::move(kept);
+    SimplifyBoxes(&boxes);
   }
 }
 

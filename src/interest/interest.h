@@ -32,6 +32,18 @@ class InterestSet {
   /// Merges all of `other`'s boxes into this set (set union).
   void MergeFrom(const InterestSet& other);
 
+  /// Merges `other` and re-simplifies exactly the streams it touches,
+  /// appending to `changed` the ids of streams whose stored boxes are not
+  /// bitwise-identical afterwards. Because Simplify() treats streams
+  /// independently and is idempotent, this is bit-identical to
+  /// MergeFrom(other) followed by Simplify() whenever this set is already
+  /// simplified — but costs O(other's streams), not O(all streams). The
+  /// changed list is what lets install paths skip republishing unchanged
+  /// streams (itself a no-op by the subscribers' change-detection
+  /// cutoffs).
+  void MergeSimplifyFrom(const InterestSet& other,
+                         std::vector<common::StreamId>* changed);
+
   /// True if this set has any interest in `stream`.
   bool InterestedIn(common::StreamId stream) const;
 
@@ -45,6 +57,17 @@ class InterestSet {
 
   /// Streams this set is interested in, ascending.
   std::vector<common::StreamId> streams() const;
+
+  /// The smallest stream id with interest (streams()[0] without the
+  /// allocation); kInvalidStream when the set is empty. Hot on the
+  /// query-install path, where routing anchors on the primary stream.
+  common::StreamId leading_stream() const;
+
+  /// Read-only per-stream view (ascending stream order). May contain
+  /// streams whose box list is empty; streams() filters those.
+  const std::map<common::StreamId, std::vector<Box>>& boxes_by_stream() const {
+    return boxes_;
+  }
 
   /// Drops boxes fully covered by another box of the same stream. Keeps
   /// Matches() semantics; shrinks the representation shipped to ancestors.

@@ -1,0 +1,119 @@
+#ifndef DSPS_INTEREST_SPLINE_INDEX_H_
+#define DSPS_INTEREST_SPLINE_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "interest/interval.h"
+
+namespace dsps::interest {
+
+/// Learned-spline interval index over the leading dimension of subscriber
+/// boxes (TrieSpline/RadixSpline style, adapted from point keys to
+/// intervals).
+///
+/// The structure is an equal-depth bucket array whose boundaries are
+/// quantiles of the empirical CDF of the leading-dimension interval
+/// endpoints. Each box registers with the contiguous bucket range its
+/// leading interval spans; a point lookup locates the single bucket whose
+/// boundary rank equals the point's rank in the endpoint CDF and tests
+/// only the boxes registered there. Locating the bucket is the learned
+/// part: a greedy bounded-error spline is fit over the boundary values, a
+/// radix table narrows the spline segment, and the prediction is corrected
+/// within a +/-(max_error + 1) window. A correction that cannot be
+/// certified inside the window falls back to a full binary search and is
+/// counted — the fallback rate is the index's self-reported health signal.
+///
+/// The index is immutable once built; `BoxIndex` layers churn on top
+/// (pending inserts, tombstones, periodic rebuild). Unlike the uniform
+/// grid it replaces, bucket boundaries adapt to the data: a skewed
+/// subscriber population gets fine buckets where boxes crowd and coarse
+/// buckets where they don't, and the bucket count itself is capped by a
+/// registration budget so fat boxes cannot blow up memory.
+class SplineIndex {
+ public:
+  struct Config {
+    /// Spline corridor half-width, in boundary-rank units. Larger values
+    /// mean fewer knots (less memory) but a wider correction window.
+    int max_error = 16;
+    /// Aim for about this many boxes per bucket.
+    int target_bucket_boxes = 8;
+    /// Radix table resolution (2^bits slots); the table is skipped for
+    /// small splines or degenerate key spans.
+    int radix_bits = 10;
+    /// The spline's promised fallback rate: lookups that escape the
+    /// bounded correction window, as a fraction of all spline-path
+    /// lookups. dsps_doctor flags the index unhealthy above this.
+    double declared_fallback_bound = 0.01;
+  };
+
+  struct Entry {
+    int64_t subscriber;
+    Box box;
+  };
+
+  /// Builds the index over `entries` (all boxes non-empty, all with the
+  /// same dimensionality >= 1). `entries` order is preserved verbatim;
+  /// callers that need deterministic iteration must pre-sort.
+  SplineIndex(std::vector<Entry> entries, const Config& config);
+
+  /// Appends the subscriber of every box containing `point`. Raw
+  /// candidates: no deduplication or ordering — the caller owns the final
+  /// sort+unique (`BoxIndex` already does this for every strategy).
+  void Match(const double* point, std::vector<int64_t>* out) const;
+
+  /// Appends the subscriber of every box overlapping `query` in all
+  /// dimensions. Raw candidates, possibly duplicated across the scanned
+  /// bucket range; caller dedupes.
+  void MatchOverlap(const Box& query, std::vector<int64_t>* out) const;
+
+  size_t size() const { return entries_.size(); }
+  size_t bucket_count() const { return bucket_offsets_.size() - 1; }
+  size_t knot_count() const { return spline_.size(); }
+  int max_error() const { return config_.max_error; }
+  double declared_fallback_bound() const {
+    return config_.declared_fallback_bound;
+  }
+  /// Spline-path bucket locations performed so far / how many escaped the
+  /// bounded correction window into a full binary search.
+  uint64_t lookups() const { return lookups_; }
+  uint64_t fallback_lookups() const { return fallbacks_; }
+  /// Deterministic structure size (computed from element counts, not
+  /// container capacities, so it is stable across allocators and runs).
+  size_t mem_bytes() const;
+
+ private:
+  struct Knot {
+    double x;
+    double y;
+  };
+
+  /// Number of separators <= x, i.e. the bucket index of x. Exact.
+  size_t Rank(double x) const;
+  uint64_t PrefixOf(double x) const;
+  void BuildSeparators();
+  void BuildSpline();
+  void BuildRadix();
+  void BuildBuckets();
+
+  Config config_;
+  std::vector<Entry> entries_;
+  /// Sorted distinct bucket boundaries; bucket b holds keys x with
+  /// rank(x) == b, where rank counts separators <= x. Buckets number
+  /// seps_.size() + 1.
+  std::vector<double> seps_;
+  std::vector<Knot> spline_;
+  std::vector<uint32_t> radix_;
+  double radix_min_ = 0.0;
+  double radix_scale_ = 0.0;
+  /// CSR bucket storage: bucket b's entry indices are
+  /// bucket_entries_[bucket_offsets_[b] .. bucket_offsets_[b + 1]).
+  std::vector<uint32_t> bucket_offsets_;
+  std::vector<uint32_t> bucket_entries_;
+  mutable uint64_t lookups_ = 0;
+  mutable uint64_t fallbacks_ = 0;
+};
+
+}  // namespace dsps::interest
+
+#endif  // DSPS_INTEREST_SPLINE_INDEX_H_

@@ -60,6 +60,18 @@ void QueryGraphIndex::AddQuery(const engine::Query& query) {
   vertices_[query.id] = std::move(info);
 }
 
+void QueryGraphIndex::AddQueries(const std::vector<engine::Query>& queries) {
+  for (const engine::Query& query : queries) AddQuery(query);
+}
+
+interest::IndexStats QueryGraphIndex::StreamIndexStats() const {
+  interest::IndexStats stats;
+  for (const auto& [stream, index] : stream_index_) {
+    index.AddStatsTo(&stats);
+  }
+  return stats;
+}
+
 void QueryGraphIndex::RemoveQuery(common::QueryId id) {
   auto it = vertices_.find(id);
   if (it == vertices_.end()) return;

@@ -86,7 +86,8 @@ common::StreamId FirstSharedStream(const std::vector<common::StreamId>& a,
 
 QueryGraph QueryGraph::Build(const std::vector<engine::Query>& queries,
                              const interest::StreamCatalog& catalog,
-                             double min_edge_weight) {
+                             double min_edge_weight,
+                             interest::IndexStats* index_stats) {
   QueryGraph g;
   const int n = static_cast<int>(queries.size());
   for (const engine::Query& q : queries) g.AddVertex(q.id, q.load);
@@ -159,6 +160,11 @@ QueryGraph QueryGraph::Build(const std::vector<engine::Query>& queries,
               return x.b < y.b;
             });
   for (const PendingEdge& e : edges) g.AddEdge(e.a, e.b, e.w);
+  if (index_stats != nullptr) {
+    for (const auto& [stream, index] : index_of) {
+      index.AddStatsTo(index_stats);
+    }
+  }
   return g;
 }
 

@@ -5,6 +5,7 @@
 
 #include "common/ids.h"
 #include "engine/plan.h"
+#include "interest/box_index.h"
 #include "interest/measure.h"
 
 namespace dsps::partition {
@@ -58,10 +59,14 @@ class QueryGraph {
   /// overlap anywhere carry zero shared rate and are skipped. Edges are
   /// emitted ordered by (first shared stream, a, b) — the order the
   /// historical all-pairs scan produced — so adjacency lists and every
-  /// downstream partition are bit-identical to it.
+  /// downstream partition are bit-identical to it. When `index_stats` is
+  /// non-null, the per-stream box indexes' statistics (strategy mix,
+  /// memory, spline health) are accumulated into it before they are torn
+  /// down.
   static QueryGraph Build(const std::vector<engine::Query>& queries,
                           const interest::StreamCatalog& catalog,
-                          double min_edge_weight = 1e-9);
+                          double min_edge_weight = 1e-9,
+                          interest::IndexStats* index_stats = nullptr);
 
  private:
   std::vector<common::QueryId> queries_;

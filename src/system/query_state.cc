@@ -17,6 +17,21 @@ uint32_t QueryStateTable::SlotOf(common::QueryId id) const {
 void QueryStateTable::Insert(const engine::Query& query,
                              common::EntityId entity) {
   DSPS_CHECK(entity >= 0 && static_cast<size_t>(entity) < members_.size());
+  // Extends the cached member load sum only when the new id lands at the
+  // END of the (ascending) member list: appending the fold's final term
+  // is the one mutation that keeps the cached value bit-identical to a
+  // fresh walk. Everything else invalidates.
+  auto add_member = [this](common::EntityId e, common::QueryId id,
+                           double load) {
+    std::vector<common::QueryId>& members = members_[e];
+    auto pos = std::lower_bound(members.begin(), members.end(), id);
+    if (pos == members.end()) {
+      if (member_sum_[e].valid) member_sum_[e].sum += load;
+    } else {
+      member_sum_[e].valid = false;
+    }
+    members.insert(pos, id);
+  };
   auto it = slot_.find(query.id);
   if (it != slot_.end()) {
     // Re-home in place: move between member lists, refresh the record.
@@ -26,11 +41,11 @@ void QueryStateTable::Insert(const engine::Query& query,
       std::vector<common::QueryId>& old_members = members_[old_home];
       old_members.erase(std::lower_bound(old_members.begin(),
                                          old_members.end(), query.id));
-      std::vector<common::QueryId>& new_members = members_[entity];
-      new_members.insert(std::lower_bound(new_members.begin(),
-                                          new_members.end(), query.id),
-                         query.id);
+      member_sum_[old_home].valid = false;
+      add_member(entity, query.id, query.load);
       home_[slot] = entity;
+    } else if (load_[slot] != query.load) {
+      member_sum_[entity].valid = false;
     }
     load_[slot] = query.load;
     tenant_[slot] = query.tenant;
@@ -44,9 +59,7 @@ void QueryStateTable::Insert(const engine::Query& query,
   load_.push_back(query.load);
   tenant_.push_back(query.tenant);
   queries_.push_back(query);
-  std::vector<common::QueryId>& members = members_[entity];
-  members.insert(std::lower_bound(members.begin(), members.end(), query.id),
-                 query.id);
+  add_member(entity, query.id, query.load);
 }
 
 bool QueryStateTable::Erase(common::QueryId id) {
@@ -55,6 +68,8 @@ bool QueryStateTable::Erase(common::QueryId id) {
   uint32_t slot = it->second;
   std::vector<common::QueryId>& members = members_[home_[slot]];
   members.erase(std::lower_bound(members.begin(), members.end(), id));
+  // Un-summing a term is not FP-associative; recompute on next demand.
+  member_sum_[home_[slot]].valid = false;
   slot_.erase(it);
   uint32_t last = static_cast<uint32_t>(ids_.size()) - 1;
   if (slot != last) {
@@ -71,6 +86,19 @@ bool QueryStateTable::Erase(common::QueryId id) {
   tenant_.pop_back();
   queries_.pop_back();
   return true;
+}
+
+double QueryStateTable::MemberLoadSum(common::EntityId entity) const {
+  MemberSum& cache = member_sum_[entity];
+  if (!cache.valid) {
+    double sum = 0.0;
+    for (common::QueryId id : members_[entity]) {
+      sum += load_[SlotOf(id)];
+    }
+    cache.sum = sum;
+    cache.valid = true;
+  }
+  return cache.sum;
 }
 
 std::vector<common::QueryId> QueryStateTable::SortedIds() const {

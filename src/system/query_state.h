@@ -34,7 +34,10 @@ class QueryStateTable {
 
   /// Declares the entity-id universe [0, num_entities). Must be called
   /// before the first Insert; member lists are indexed by entity id.
-  void SetNumEntities(int num_entities) { members_.resize(num_entities); }
+  void SetNumEntities(int num_entities) {
+    members_.resize(num_entities);
+    member_sum_.resize(num_entities);
+  }
 
   bool Contains(common::QueryId id) const { return slot_.count(id) > 0; }
   size_t size() const { return ids_.size(); }
@@ -76,6 +79,16 @@ class QueryStateTable {
     return members_[entity];
   }
 
+  /// Sum of LoadOf over QueriesOn(entity) in ascending-id order, cached
+  /// per entity. The cache extends in place only when the mutation
+  /// provably preserves the walk's floating-point association — a new
+  /// maximum id appended to the member list adds its load as the fold's
+  /// final term — and is invalidated by any other mutation, so the value
+  /// always equals the plain ascending walk bit for bit. This turns the
+  /// admission gate's O(members) sweep per install into O(1) for the
+  /// append-heavy install storms (ascending-id batch submission).
+  double MemberLoadSum(common::EntityId entity) const;
+
   /// Every placed id, ascending (cold paths: repartition, audit sweeps).
   std::vector<common::QueryId> SortedIds() const;
 
@@ -96,6 +109,12 @@ class QueryStateTable {
   std::vector<engine::Query> queries_;
   /// members_[entity] = resident query ids, sorted ascending.
   std::vector<std::vector<common::QueryId>> members_;
+  /// Cached ascending-order member load sums (see MemberLoadSum).
+  struct MemberSum {
+    double sum = 0.0;
+    bool valid = false;
+  };
+  mutable std::vector<MemberSum> member_sum_;
 };
 
 }  // namespace dsps::system

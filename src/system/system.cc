@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <numeric>
 #include <utility>
 
 #include "common/check.h"
@@ -405,10 +406,10 @@ common::EntityId System::AllocateOne(const engine::Query& query) {
           client_of_query_.count(query.id) > 0) {
         pos = client_positions_[client_of_query_.at(query.id)];
       } else {
-        std::vector<common::StreamId> streams = query.interest.streams();
-        if (!streams.empty() &&
-            static_cast<size_t>(streams[0]) < topology_.sources.size()) {
-          pos = topology_.sources[streams[0]].position;
+        common::StreamId lead = query.interest.leading_stream();
+        if (lead != common::kInvalidStream &&
+            static_cast<size_t>(lead) < topology_.sources.size()) {
+          pos = topology_.sources[lead].position;
         }
       }
       if (config_.allocation == AllocationMode::kCoordinatorInterest) {
@@ -467,6 +468,8 @@ common::EntityId System::AllocateOne(const engine::Query& query) {
 
 common::Status System::InstallOn(common::EntityId entity,
                                  const engine::Query& query) {
+  auto t_install = std::chrono::steady_clock::now();
+  ++install_profile_.installs;
   // Expected per-binding arrival at the entity: the query's leaf filters
   // see every tuple of their stream that the dissemination layer delivers
   // to this entity — bounded by the full stream rate. (The filter's
@@ -474,8 +477,8 @@ common::Status System::InstallOn(common::EntityId entity,
   // selectivity cascade models; using coverage here would systematically
   // underestimate leaf-operator load.)
   double tps = 1.0;
-  for (common::StreamId s : query.interest.streams()) {
-    if (!catalog_.Contains(s)) continue;
+  for (const auto& [s, boxes] : query.interest.boxes_by_stream()) {
+    if (boxes.empty() || !catalog_.Contains(s)) continue;
     tps = std::max(tps, catalog_.stats(s).tuples_per_s);
   }
   // Tenant-enabled runs take their load factor from the controller's
@@ -485,13 +488,11 @@ common::Status System::InstallOn(common::EntityId entity,
   if (load_factor > 0.0) {
     double capacity = config_.entity.processor_capacity *
                       entities_[entity]->num_processors();
-    double admitted = entities_[entity]->TotalCommittedLoad();
-    // Ascending-qid member walk: same summation order as the old
-    // whole-map filter, so near-limit admission decisions are
-    // bit-identical — but O(queries on this entity), not O(all queries).
-    for (common::QueryId qid : query_state_.QueriesOn(entity)) {
-      admitted += query_state_.LoadOf(qid);
-    }
+    // Cached ascending-qid member sum (see QueryStateTable): equal to the
+    // old per-install member walk, but O(1) under the append-heavy id
+    // order that batch submission produces.
+    double admitted = entities_[entity]->TotalCommittedLoad() +
+                      query_state_.MemberLoadSum(entity);
     double limit = load_factor * capacity;
     // An entity exactly at its limit rejects any further positive load.
     // The >= test is load-bearing: for a load small enough that
@@ -499,27 +500,44 @@ common::Status System::InstallOn(common::EntityId entity,
     // would admit or reject depending on rounding mode and optimization
     // level — the outcome must not differ between debug and release.
     if (admitted >= limit || admitted + query.load > limit) {
+      install_profile_.install_us +=
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - t_install)
+              .count();
       return common::Status::ResourceExhausted("entity at admission limit");
     }
   }
   DSPS_RETURN_IF_ERROR(entities_[entity]->InstallQuery(query, tps));
   query_state_.Insert(query, entity);
   GraphIndexAdd(query);
+  auto t_interest = std::chrono::steady_clock::now();
+  install_profile_.install_us +=
+      std::chrono::duration<double, std::micro>(t_interest - t_install).count();
   // Update the entity's aggregated interest and its dissemination-tree
-  // registrations. Only the streams this query reads can have changed;
-  // re-registering any other stream is a no-op by the tree's
-  // change-detection cutoff, so skipping them is observably identical
-  // (and keeps installs O(streams of this query) at metro scale).
-  entity_interest_[entity].MergeFrom(query.interest);
-  entity_interest_[entity].Simplify();
-  coordinator_->SetEntityInterest(entity, entity_interest_[entity]);
-  for (common::StreamId s : query.interest.streams()) {
-    const std::vector<interest::Box>* boxes =
-        entity_interest_[entity].boxes_for(s);
-    if (boxes == nullptr) continue;
-    common::Status st = disseminator_->SetEntityInterest(entity, s, *boxes);
-    if (!st.ok()) return st;
+  // registrations. The per-stream merge re-simplifies exactly the streams
+  // this query reads and reports which of them actually changed; the rest
+  // are skipped outright. Republishing an unchanged stream was already a
+  // no-op by the subscribers' change-detection cutoffs (coordinator slot
+  // equality, tree unchanged-aggregate early stop), so the skip is
+  // observably identical — it just avoids paying a tree descent per
+  // already-covered stream during install storms.
+  changed_streams_.clear();
+  entity_interest_[entity].MergeSimplifyFrom(query.interest,
+                                             &changed_streams_);
+  if (!changed_streams_.empty()) {
+    coordinator_->SetEntityInterest(entity, entity_interest_[entity]);
+    for (common::StreamId s : changed_streams_) {
+      const std::vector<interest::Box>* boxes =
+          entity_interest_[entity].boxes_for(s);
+      if (boxes == nullptr) continue;
+      common::Status st = disseminator_->SetEntityInterest(entity, s, *boxes);
+      if (!st.ok()) return st;
+    }
   }
+  install_profile_.interest_us +=
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - t_interest)
+          .count();
   // On the conservation ledger from here on: the query stays in
   // accepted_ until RemoveQuery withdraws it, whichever homes it visits.
   accepted_.insert(query.id);
@@ -573,7 +591,12 @@ common::Status System::SubmitDirect(const engine::Query& query) {
     }
     return last;
   }
+  auto t_route = std::chrono::steady_clock::now();
   common::EntityId e = AllocateOne(query);
+  install_profile_.route_us +=
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - t_route)
+          .count();
   return InstallOn(e, query);
 }
 
@@ -783,6 +806,100 @@ common::Status System::SubmitBatch(const std::vector<engine::Query>& queries) {
         InstallOn(alive_ids[assignment.value()[i]], queries[i]));
   }
   return common::Status::OK();
+}
+
+void System::TallySubmit(const common::Status& st, BatchSubmitResult* out) {
+  if (st.ok()) {
+    ++out->admitted;
+    return;
+  }
+  if (st.code() == common::StatusCode::kResourceExhausted) {
+    ++out->rejected;
+  } else {
+    ++out->failed;
+  }
+  if (out->first_error.ok()) out->first_error = st;
+}
+
+System::BatchSubmitResult System::SubmitQueries(
+    std::span<const engine::Query> queries) {
+  BatchSubmitResult result;
+  if (queries.empty()) return result;
+  if (entities_.empty()) {
+    result.failed = static_cast<int64_t>(queries.size());
+    result.first_error = common::Status::FailedPrecondition("no entities");
+    return result;
+  }
+  // The whole batch runs with graph-add deferral on; nothing inside a
+  // submission reads graph_index_ or removes a query, so flushing the
+  // accumulated deltas once at the end leaves the index in the same state
+  // as per-query maintenance (the materialized graph is add-order
+  // independent anyway).
+  batch_install_active_ = true;
+  const bool grouped =
+      admission_ == nullptr && placement_map_ == nullptr &&
+      (config_.allocation == AllocationMode::kCoordinatorTree ||
+       config_.allocation == AllocationMode::kRoundRobin ||
+       config_.allocation == AllocationMode::kIsolatedZipf);
+  if (!grouped) {
+    // Tenant arbitration, placement maps, and interest-aware routing all
+    // feed install side effects back into the next query's decision —
+    // those modes keep the strict serial order.
+    for (const engine::Query& q : queries) {
+      TallySubmit(SubmitQuery(q), &result);
+    }
+  } else {
+    // Phase 1: route the whole batch up front. Client assignment and the
+    // coordinator descent depend only on routing history (RouteQuery's
+    // load estimates advance as it routes, not as installs land) and on
+    // the alive set, which installs never change — so the targets are the
+    // ones the serial loop would have picked.
+    auto t_route = std::chrono::steady_clock::now();
+    std::vector<common::EntityId> target(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const engine::Query& q = queries[i];
+      if (!client_nodes_.empty() && client_of_query_.count(q.id) == 0) {
+        client_of_query_[q.id] = next_client_;
+        next_client_ =
+            (next_client_ + 1) % static_cast<int>(client_nodes_.size());
+      }
+      target[i] = AllocateOne(q);
+    }
+    // Phase 2: install grouped by target entity. The stable sort keeps
+    // each entity's installs in submission order, so per-entity admission
+    // decisions (and the interest merge order) are identical to the
+    // serial loop — but the entity's admission sum, member list, and
+    // aggregated interest stay cache-warm across its whole group.
+    std::vector<size_t> order(queries.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::stable_sort(order.begin(), order.end(), [&target](size_t a, size_t b) {
+      return target[a] < target[b];
+    });
+    install_profile_.route_us +=
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - t_route)
+            .count();
+    for (size_t i : order) {
+      TallySubmit(InstallOn(target[i], queries[i]), &result);
+    }
+  }
+  batch_install_active_ = false;
+  FlushDeferredGraphAdds();
+  return result;
+}
+
+interest::IndexStats System::IndexStatsSnapshot() const {
+  interest::IndexStats stats;
+  if (disseminator_ != nullptr) {
+    stats.MergeFrom(disseminator_->RouteIndexStats());
+  }
+  if (graph_index_ != nullptr) {
+    stats.MergeFrom(graph_index_->StreamIndexStats());
+  }
+  for (const auto& entity : entities_) {
+    if (entity != nullptr) entity->CollectIndexStats(&stats);
+  }
+  return stats;
 }
 
 void System::RecomputeEntityInterest(common::EntityId entity) {
@@ -1337,14 +1454,35 @@ common::Status System::MigrateQuery(common::QueryId query,
 
 void System::GraphIndexAdd(const engine::Query& query) {
   if (graph_index_ == nullptr) return;
+  if (batch_install_active_) {
+    deferred_graph_adds_.push_back(query);
+    return;
+  }
   auto start = std::chrono::steady_clock::now();
   graph_index_->AddQuery(query);
+  double us = std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  install_profile_.graph_us += us;
   if (incremental_delta_us_ != nullptr) {
-    incremental_delta_us_->Observe(
-        std::chrono::duration<double, std::micro>(
-            std::chrono::steady_clock::now() - start)
-            .count());
+    incremental_delta_us_->Observe(us);
   }
+}
+
+void System::FlushDeferredGraphAdds() {
+  if (deferred_graph_adds_.empty()) return;
+  auto start = std::chrono::steady_clock::now();
+  if (graph_index_ != nullptr) {
+    graph_index_->AddQueries(deferred_graph_adds_);
+  }
+  double us = std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  install_profile_.graph_us += us;
+  if (incremental_delta_us_ != nullptr) {
+    incremental_delta_us_->Observe(us);
+  }
+  deferred_graph_adds_.clear();
 }
 
 void System::GraphIndexRemove(common::QueryId query) {

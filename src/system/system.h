@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -230,6 +231,52 @@ class System {
   /// Admits a batch at once. Under kGraphPartition the whole batch is
   /// partitioned jointly; other modes submit one by one.
   common::Status SubmitBatch(const std::vector<engine::Query>& queries);
+
+  /// Outcome tally of a batched submission (SubmitQueries). Unlike
+  /// SubmitBatch, a refusal does not abort the batch: every query gets
+  /// its verdict, and `first_error` carries the first non-OK status for
+  /// diagnostics.
+  struct BatchSubmitResult {
+    int64_t admitted = 0;
+    /// Capacity refusals (ResourceExhausted) — expected under admission
+    /// control, counted separately from hard failures.
+    int64_t rejected = 0;
+    int64_t failed = 0;
+    common::Status first_error = common::Status::OK();
+  };
+
+  /// Batched install path: admits `queries` in order, deferring the
+  /// incremental query-graph deltas into one bulk pass at the end (the
+  /// materialized graph is order-independent, so this is observably
+  /// identical to per-query submission). When no admission controller or
+  /// placement map is active and allocation is routing-history-only
+  /// (coordinator tree / round-robin / zipf), the batch is additionally
+  /// routed up front and installed grouped by target entity — the
+  /// coordinator descent and the per-entity admission state stay
+  /// cache-warm across the group, which is what turns the metro-scale
+  /// install storm from O(batch · members) into O(batch). Outcomes are
+  /// identical to the serial loop: routing is install-independent in
+  /// those modes, and the grouping is a stable sort, so each entity sees
+  /// its installs in the original submission order.
+  BatchSubmitResult SubmitQueries(std::span<const engine::Query> queries);
+
+  /// Cumulative wall-clock profile of the install path (SubmitQuery /
+  /// SubmitQueries), for the install-storm benchmarks.
+  struct InstallProfile {
+    int64_t installs = 0;      ///< InstallOn attempts (incl. refusals)
+    double route_us = 0.0;     ///< allocation / coordinator descent
+    double install_us = 0.0;   ///< admission gate + entity install
+    double interest_us = 0.0;  ///< interest merge + (re)publication
+    double graph_us = 0.0;     ///< query-graph deltas (incl. deferred)
+  };
+  const InstallProfile& install_profile() const { return install_profile_; }
+
+  /// Aggregated BoxIndex statistics over every interest index the system
+  /// owns: the per-node dissemination routing caches, the incremental
+  /// query-graph inverted indexes, and the per-entity stream-matching
+  /// indexes. Exported as the index.* series in bench JSON and read by
+  /// tools/dsps_doctor.
+  interest::IndexStats IndexStatsSnapshot() const;
 
   /// Schedules source emissions for `duration_s` of simulated time
   /// starting now (each stream at its catalog rate).
@@ -688,8 +735,20 @@ class System {
   telemetry::HistogramMetric* graph_build_us_ = nullptr;
   telemetry::HistogramMetric* incremental_delta_us_ = nullptr;
   /// Applies a timed add/remove delta to graph_index_ (no-op while null).
+  /// During a SubmitQueries batch, adds are deferred into
+  /// deferred_graph_adds_ and flushed as one bulk AddQueries pass.
   void GraphIndexAdd(const engine::Query& query);
   void GraphIndexRemove(common::QueryId query);
+  void FlushDeferredGraphAdds();
+  /// Classifies one submission status into the batch tally.
+  static void TallySubmit(const common::Status& st, BatchSubmitResult* out);
+  /// True while SubmitQueries is draining its batch (gates the graph-add
+  /// deferral; nothing reads graph_index_ mid-batch).
+  bool batch_install_active_ = false;
+  std::vector<engine::Query> deferred_graph_adds_;
+  InstallProfile install_profile_;
+  /// InstallOn scratch (per-install changed-stream list, reused).
+  std::vector<common::StreamId> changed_streams_;
   void RecomputeEntityInterest(common::EntityId entity);
   void MaintenanceRound();
   void ShipResultToClient(common::EntityId entity, common::QueryId query,

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "common/rng.h"
@@ -177,6 +178,57 @@ TEST(InterestSetTest, MergeFromIsUnion) {
   EXPECT_TRUE(a.Matches(0, &p2_5));
   EXPECT_TRUE(a.InterestedIn(1));
   EXPECT_EQ(a.TotalBoxes(), 3);
+}
+
+/// Property: the incremental per-stream merge is bit-identical to the
+/// full MergeFrom + Simplify whenever the destination is already
+/// simplified (the install path's invariant), and its changed-stream
+/// list names exactly the streams whose stored boxes moved.
+TEST(InterestSetTest, MergeSimplifyFromMatchesMergeThenSimplify) {
+  common::Rng rng(77);
+  auto random_set = [&rng](int max_boxes) {
+    InterestSet s;
+    int n = 1 + static_cast<int>(rng.NextUint64(max_boxes));
+    for (int i = 0; i < n; ++i) {
+      auto stream = static_cast<common::StreamId>(rng.NextUint64(3));
+      double lo0 = rng.Uniform(0, 80);
+      double lo1 = rng.Uniform(0, 80);
+      // Mix covered, covering, identical, and disjoint boxes.
+      s.Add(stream, Box{{lo0, lo0 + rng.Uniform(0, 30)},
+                        {lo1, lo1 + rng.Uniform(0, 30)}});
+    }
+    return s;
+  };
+  for (int round = 0; round < 300; ++round) {
+    InterestSet base = random_set(6);
+    base.Simplify();
+    InterestSet add = random_set(4);
+    InterestSet ref = base;
+    ref.MergeFrom(add);
+    ref.Simplify();
+    InterestSet inc = base;
+    std::vector<common::StreamId> changed;
+    inc.MergeSimplifyFrom(add, &changed);
+    EXPECT_TRUE(inc == ref) << "round " << round;
+    for (common::StreamId s = 0; s < 3; ++s) {
+      const std::vector<Box>* b0 = base.boxes_for(s);
+      const std::vector<Box>* b1 = inc.boxes_for(s);
+      bool moved = (b0 == nullptr ? std::vector<Box>() : *b0) !=
+                   (b1 == nullptr ? std::vector<Box>() : *b1);
+      bool listed =
+          std::find(changed.begin(), changed.end(), s) != changed.end();
+      EXPECT_EQ(listed, moved) << "round " << round << " stream " << s;
+    }
+  }
+}
+
+TEST(InterestSetTest, LeadingStreamIsFirstNonEmpty) {
+  InterestSet set;
+  EXPECT_EQ(set.leading_stream(), common::kInvalidStream);
+  set.Add(4, Box{{0, 1}});
+  set.Add(2, Box{{0, 1}});
+  EXPECT_EQ(set.leading_stream(), 2);
+  EXPECT_EQ(set.leading_stream(), set.streams()[0]);
 }
 
 TEST(InterestSetTest, SimplifyDropsCoveredBoxes) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/rng.h"
 #include "engine/plan.h"
 
 namespace dsps::system {
@@ -104,6 +105,50 @@ TEST(QueryStateTableTest, ConsistencyAuditSurvivesHeavyChurn) {
     for (common::QueryId id : on) EXPECT_EQ(table.HomeOf(id), e);
   }
   EXPECT_EQ(members, table.size());
+}
+
+/// Property: the cached member load sum equals the plain ascending walk
+/// BIT FOR BIT after every mutation — the cache may only extend itself
+/// when a new maximum id appends the fold's final term, and must
+/// invalidate on anything else (out-of-order insert, re-home, load
+/// change, erase). Exact double equality is the point of the test.
+TEST(QueryStateTableTest, MemberLoadSumMatchesAscendingWalkUnderChurn) {
+  QueryStateTable table;
+  table.SetNumEntities(3);
+  common::Rng rng(9);
+  auto walk = [&table](common::EntityId e) {
+    double sum = 0.0;
+    for (common::QueryId id : table.QueriesOn(e)) sum += table.LoadOf(id);
+    return sum;
+  };
+  std::vector<common::QueryId> live;
+  for (int op = 0; op < 1500; ++op) {
+    uint64_t kind = rng.NextUint64(10);
+    if (kind < 5 || live.empty()) {
+      // Mostly ascending-id appends (the batch-install pattern the cache
+      // extends through), sometimes a low id that must invalidate.
+      common::QueryId id =
+          kind == 0 && !live.empty()
+              ? static_cast<common::QueryId>(rng.NextUint64(3000))
+              : static_cast<common::QueryId>(10000 + op);
+      if (!table.Contains(id)) live.push_back(id);
+      table.Insert(MakeQuery(id, rng.Uniform(0.1, 2.0), 0),
+                   static_cast<common::EntityId>(rng.NextUint64(3)));
+    } else if (kind < 7) {
+      // Re-home and/or load change of a live query.
+      common::QueryId id = live[rng.NextUint64(live.size())];
+      table.Insert(MakeQuery(id, rng.Uniform(0.1, 2.0), 0),
+                   static_cast<common::EntityId>(rng.NextUint64(3)));
+    } else {
+      size_t pick = rng.NextUint64(live.size());
+      EXPECT_TRUE(table.Erase(live[pick]));
+      live.erase(live.begin() + static_cast<ptrdiff_t>(pick));
+    }
+    for (common::EntityId e = 0; e < 3; ++e) {
+      EXPECT_EQ(table.MemberLoadSum(e), walk(e)) << "op " << op;
+    }
+  }
+  EXPECT_TRUE(table.CheckConsistent().ok());
 }
 
 }  // namespace

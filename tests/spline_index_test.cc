@@ -1,0 +1,363 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "interest/box_index.h"
+#include "interest/spline_index.h"
+
+namespace dsps::interest {
+namespace {
+
+Box Domain3() { return Box{{0, 100}, {0, 100}, {0, 1000}}; }
+
+BoxIndex::Config GridConfig() {
+  BoxIndex::Config cfg;
+  cfg.strategy = IndexStrategy::kGrid;
+  return cfg;
+}
+
+BoxIndex::Config SplineConfig() {
+  BoxIndex::Config cfg;
+  cfg.strategy = IndexStrategy::kSpline;
+  return cfg;
+}
+
+/// Reference model: the naive linear scan over live (subscriber, box)
+/// pairs, deduplicated ascending — the exact output contract of every
+/// BoxIndex strategy.
+class NaiveModel {
+ public:
+  void Insert(int64_t sub, const Box& box) {
+    if (BoxEmpty(box)) return;
+    boxes_[sub].push_back(box);
+  }
+  void Remove(int64_t sub) { boxes_.erase(sub); }
+  std::vector<int64_t> Match(const double* point) const {
+    std::vector<int64_t> out;
+    for (const auto& [sub, boxes] : boxes_) {
+      for (const Box& box : boxes) {
+        if (BoxContains(box, point)) {
+          out.push_back(sub);
+          break;
+        }
+      }
+    }
+    return out;  // map iteration: already ascending and unique
+  }
+  std::vector<int64_t> MatchOverlap(const Box& query) const {
+    std::vector<int64_t> out;
+    if (BoxEmpty(query)) return out;
+    for (const auto& [sub, boxes] : boxes_) {
+      for (const Box& box : boxes) {
+        bool all = true;
+        for (size_t d = 0; d < query.size(); ++d) {
+          if (!box[d].Overlaps(query[d])) {
+            all = false;
+            break;
+          }
+        }
+        if (all) {
+          out.push_back(sub);
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::map<int64_t, std::vector<Box>> boxes_;
+};
+
+/// Random box generator that deliberately produces degenerate shapes:
+/// zero-width intervals, boxes straddling or fully outside the domain,
+/// and full-domain fat boxes.
+Box RandomBox(common::Rng& rng, const Box& domain) {
+  Box box(domain.size());
+  for (size_t d = 0; d < domain.size(); ++d) {
+    const double span = domain[d].hi - domain[d].lo;
+    switch (rng.NextUint64(5)) {
+      case 0: {  // zero-width
+        double v = rng.Uniform(domain[d].lo, domain[d].hi);
+        box[d] = Interval{v, v};
+        break;
+      }
+      case 1: {  // out of / straddling the domain
+        double lo = rng.Uniform(domain[d].lo - span, domain[d].hi + span);
+        box[d] = Interval{lo, lo + rng.Uniform(0, span)};
+        break;
+      }
+      case 2:  // fat
+        box[d] = Interval{domain[d].lo - span, domain[d].hi + span};
+        break;
+      default: {  // narrow, in-domain
+        double lo = rng.Uniform(domain[d].lo, domain[d].hi);
+        box[d] = Interval{lo, std::min(domain[d].hi, lo + span / 20)};
+        break;
+      }
+    }
+  }
+  return box;
+}
+
+/// Property: under randomized insert/remove churn with degenerate boxes,
+/// grid, spline, and the naive scan agree exactly — content and order —
+/// on Match and MatchOverlap, including probes outside the domain.
+TEST(SplineIndexProperty, ChurnMatchesGridAndNaiveExactly) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    common::Rng rng(seed * 7919);
+    const Box domain = Domain3();
+    BoxIndex grid(domain, GridConfig());
+    BoxIndex spline(domain, SplineConfig());
+    NaiveModel naive;
+    int64_t next_sub = 0;
+    for (int op = 0; op < 600; ++op) {
+      if (rng.NextUint64(4) == 0 && next_sub > 0) {
+        // Remove a (possibly unknown) subscriber.
+        int64_t sub = static_cast<int64_t>(rng.NextUint64(
+            static_cast<uint64_t>(next_sub) + 4));
+        grid.Remove(sub);
+        spline.Remove(sub);
+        naive.Remove(sub);
+      } else {
+        // Insert, sometimes onto an existing subscriber (duplicates).
+        int64_t sub = rng.NextUint64(3) == 0 && next_sub > 0
+                          ? static_cast<int64_t>(
+                                rng.NextUint64(static_cast<uint64_t>(next_sub)))
+                          : next_sub++;
+        Box box = RandomBox(rng, domain);
+        grid.Insert(sub, box);
+        spline.Insert(sub, box);
+        naive.Insert(sub, box);
+      }
+      if (op % 7 != 0) continue;
+      EXPECT_EQ(grid.size(), spline.size());
+      for (int probe = 0; probe < 8; ++probe) {
+        double p[3] = {rng.Uniform(-50, 150), rng.Uniform(-50, 150),
+                       rng.Uniform(-500, 1500)};
+        std::vector<int64_t> got_grid, got_spline;
+        grid.Match(p, &got_grid);
+        spline.Match(p, &got_spline);
+        const std::vector<int64_t> want = naive.Match(p);
+        EXPECT_EQ(got_grid, want) << "seed " << seed << " op " << op;
+        EXPECT_EQ(got_spline, want) << "seed " << seed << " op " << op;
+      }
+      for (int probe = 0; probe < 4; ++probe) {
+        Box q = RandomBox(rng, domain);
+        std::vector<int64_t> got_grid, got_spline;
+        grid.MatchOverlap(q, &got_grid);
+        spline.MatchOverlap(q, &got_spline);
+        const std::vector<int64_t> want = naive.MatchOverlap(q);
+        EXPECT_EQ(got_grid, want) << "seed " << seed << " op " << op;
+        EXPECT_EQ(got_spline, want) << "seed " << seed << " op " << op;
+      }
+    }
+  }
+}
+
+/// The match contract appends to a non-empty vector without touching
+/// what was already there, for both strategies.
+TEST(SplineIndexProperty, AppendsAfterExistingElements) {
+  const Box domain = Domain3();
+  BoxIndex spline(domain, SplineConfig());
+  for (int64_t s = 0; s < 64; ++s) {
+    spline.Insert(s, Box{{0, 100}, {0, 100}, {0, 1000}});
+  }
+  std::vector<int64_t> out = {99, -7};
+  double p[3] = {50, 50, 500};
+  spline.Match(p, &out);
+  ASSERT_EQ(out.size(), 66u);
+  EXPECT_EQ(out[0], 99);
+  EXPECT_EQ(out[1], -7);
+  EXPECT_TRUE(std::is_sorted(out.begin() + 2, out.end()));
+}
+
+TEST(SplineIndexTest, AutoSwitchesToSplineAtThreshold) {
+  // DSPS_INDEX pins every auto index process-wide, so the policy this
+  // test asserts is deliberately not in effect under the override legs.
+  if (std::getenv("DSPS_INDEX") != nullptr &&
+      *std::getenv("DSPS_INDEX") != '\0') {
+    GTEST_SKIP() << "auto-selection policy overridden by DSPS_INDEX";
+  }
+  BoxIndex::Config cfg;
+  cfg.strategy = IndexStrategy::kAuto;
+  cfg.spline_min_boxes = 64;
+  const Box domain = Domain3();
+  BoxIndex index(domain, cfg);
+  common::Rng rng(11);
+  NaiveModel naive;
+  for (int64_t s = 0; s < 100; ++s) {
+    if (s == 40) {
+      EXPECT_STREQ(index.strategy_name(), "grid");
+    }
+    Box box = RandomBox(rng, domain);
+    index.Insert(s, box);
+    naive.Insert(s, box);
+  }
+  EXPECT_STREQ(index.strategy_name(), "spline");
+  for (int probe = 0; probe < 64; ++probe) {
+    double p[3] = {rng.Uniform(-50, 150), rng.Uniform(-50, 150),
+                   rng.Uniform(-500, 1500)};
+    std::vector<int64_t> got;
+    index.Match(p, &got);
+    EXPECT_EQ(got, naive.Match(p));
+  }
+}
+
+TEST(SplineIndexTest, LinearFallbackBelowBuildThreshold) {
+  const Box domain = Domain3();
+  BoxIndex index(domain, SplineConfig());
+  index.Insert(1, Box{{10, 20}, {0, 100}, {0, 1000}});
+  index.Insert(2, Box{{15, 30}, {0, 100}, {0, 1000}});
+  std::vector<int64_t> out;
+  double p[3] = {18, 50, 500};
+  index.Match(p, &out);
+  EXPECT_EQ(out, (std::vector<int64_t>{1, 2}));
+  IndexStats stats;
+  index.AddStatsTo(&stats);
+  EXPECT_EQ(stats.spline_indexes, 1);
+  EXPECT_EQ(stats.spline_rebuilds, 0);  // linear scan, nothing built
+}
+
+/// Removing and re-inserting the same subscriber across a built spline
+/// must not let the tombstone shadow the re-inserted boxes.
+TEST(SplineIndexTest, ReinsertAfterRemoveSurvivesTombstone) {
+  const Box domain = Domain3();
+  BoxIndex index(domain, SplineConfig());
+  for (int64_t s = 0; s < 64; ++s) {
+    index.Insert(s, Box{{0, 100}, {0, 100}, {0, 1000}});
+  }
+  std::vector<int64_t> out;
+  double p[3] = {50, 50, 500};
+  index.Match(p, &out);  // forces the build
+  ASSERT_EQ(out.size(), 64u);
+  index.Remove(7);
+  index.Insert(7, Box{{40, 60}, {0, 100}, {0, 1000}});
+  out.clear();
+  index.Match(p, &out);
+  EXPECT_EQ(out.size(), 64u);
+  EXPECT_TRUE(std::binary_search(out.begin(), out.end(), 7));
+  out.clear();
+  double p2[3] = {10, 50, 500};  // outside 7's new box
+  index.Match(p2, &out);
+  EXPECT_EQ(out.size(), 63u);
+  EXPECT_FALSE(std::binary_search(out.begin(), out.end(), 7));
+}
+
+TEST(SplineIndexTest, ChurnTriggersRebuildAndStaysExact) {
+  const Box domain = Domain3();
+  BoxIndex index(domain, SplineConfig());
+  NaiveModel naive;
+  common::Rng rng(23);
+  for (int64_t s = 0; s < 256; ++s) {
+    Box box = RandomBox(rng, domain);
+    index.Insert(s, box);
+    naive.Insert(s, box);
+  }
+  double p[3] = {50, 50, 500};
+  std::vector<int64_t> out;
+  index.Match(p, &out);  // build #1
+  // Remove enough to trip the tombstone trigger, then keep matching.
+  for (int64_t s = 0; s < 128; ++s) {
+    index.Remove(s);
+    naive.Remove(s);
+  }
+  for (int probe = 0; probe < 32; ++probe) {
+    double q[3] = {rng.Uniform(0, 100), rng.Uniform(0, 100),
+                   rng.Uniform(0, 1000)};
+    out.clear();
+    index.Match(q, &out);
+    EXPECT_EQ(out, naive.Match(q));
+  }
+  IndexStats stats;
+  index.AddStatsTo(&stats);
+  EXPECT_GE(stats.spline_rebuilds, 2);
+}
+
+/// Direct SplineIndex exercise: skewed keys, duplicate endpoints, and an
+/// all-identical leading dimension (no separators at all).
+TEST(SplineIndexTest, DirectBuildHandlesSkewAndDuplicates) {
+  std::vector<SplineIndex::Entry> entries;
+  common::Rng rng(31);
+  for (int64_t s = 0; s < 5000; ++s) {
+    // Zipf-ish skew: most keys crowd near zero.
+    double lo = 100.0 / (1.0 + static_cast<double>(rng.NextUint64(1000)));
+    entries.push_back(
+        SplineIndex::Entry{s, Box{{lo, lo + 0.5}, Interval::All()}});
+  }
+  for (int64_t s = 5000; s < 5500; ++s) {  // duplicate endpoints
+    entries.push_back(SplineIndex::Entry{s, Box{{50, 50}, Interval::All()}});
+  }
+  SplineIndex index(entries, SplineIndex::Config());
+  EXPECT_GT(index.bucket_count(), 1u);
+  EXPECT_GT(index.knot_count(), 0u);
+  EXPECT_GT(index.mem_bytes(), 0u);
+  for (int probe = 0; probe < 400; ++probe) {
+    double p[2] = {rng.Uniform(-1, 101), 0};
+    std::vector<int64_t> got;
+    index.Match(p, &got);
+    std::sort(got.begin(), got.end());
+    std::vector<int64_t> want;
+    for (const auto& e : entries) {
+      if (BoxContains(e.box, p)) want.push_back(e.subscriber);
+    }
+    EXPECT_EQ(got, want) << "probe " << probe;
+  }
+  // The learned path must hold its declared fallback bound on this skew.
+  EXPECT_GT(index.lookups(), 0u);
+  EXPECT_LE(static_cast<double>(index.fallback_lookups()),
+            index.declared_fallback_bound() *
+                static_cast<double>(index.lookups()));
+
+  std::vector<SplineIndex::Entry> flat;
+  for (int64_t s = 0; s < 100; ++s) {
+    flat.push_back(SplineIndex::Entry{s, Box{{42, 42}, Interval::All()}});
+  }
+  SplineIndex one_bucket(flat, SplineIndex::Config());
+  EXPECT_EQ(one_bucket.bucket_count(), 1u);
+  double at[2] = {42, 0};
+  std::vector<int64_t> got;
+  one_bucket.Match(at, &got);
+  EXPECT_EQ(got.size(), 100u);
+  got.clear();
+  double off[2] = {41.5, 0};
+  one_bucket.Match(off, &got);
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(SplineIndexTest, StatsAggregateAcrossIndexes) {
+  const Box domain = Domain3();
+  BoxIndex grid(domain, GridConfig());
+  BoxIndex spline(domain, SplineConfig());
+  common::Rng rng(41);
+  for (int64_t s = 0; s < 300; ++s) {
+    Box box = RandomBox(rng, domain);
+    grid.Insert(s, box);
+    spline.Insert(s, box);
+  }
+  double p[3] = {50, 50, 500};
+  std::vector<int64_t> out;
+  grid.Match(p, &out);
+  out.clear();
+  spline.Match(p, &out);
+  IndexStats stats;
+  grid.AddStatsTo(&stats);
+  spline.AddStatsTo(&stats);
+  EXPECT_EQ(stats.indexes, 2);
+  EXPECT_EQ(stats.grid_indexes, 1);
+  EXPECT_EQ(stats.spline_indexes, 1);
+  EXPECT_EQ(stats.boxes, 600);
+  EXPECT_EQ(stats.lookups, 2);
+  EXPECT_EQ(stats.spline_rebuilds, 1);
+  EXPECT_GT(stats.mem_bytes, 0);
+  EXPECT_GT(stats.build_us, 0.0);
+  EXPECT_GE(stats.spline_max_error, 1);
+  EXPECT_LE(stats.FallbackRate(), stats.declared_fallback_bound);
+}
+
+}  // namespace
+}  // namespace dsps::interest

@@ -112,6 +112,47 @@ TEST(TenantSystemTest, AtCapacityRejectionIsDeterministicScalarPath) {
   EXPECT_EQ(sys.EntityOf(2), common::kInvalidEntity);
 }
 
+TEST(TenantSystemTest, SubmitQueriesMatchesSerialOnTenantPath) {
+  // With an admission controller active the batched path must fall back
+  // to strict serial order (arbitration feeds back into the next
+  // verdict): tallies, homes, and controller counters all match a twin
+  // system submitted one query at a time.
+  auto make = [] {
+    System::Config cfg = TightConfig();
+    cfg.admission.allow_degrade = false;
+    cfg.admission.max_queued_per_tenant = 0;
+    return cfg;
+  };
+  System serial(make());
+  serial.AddStreams(SmallStreams(1));
+  System batch(make());
+  batch.AddStreams(SmallStreams(1));
+  std::vector<engine::Query> queries;
+  for (int i = 1; i <= 8; ++i) {
+    queries.push_back(TaggedQuery(i, 1 + i % 2, 0, 1.0));
+  }
+  int64_t ok = 0, refused = 0;
+  for (const engine::Query& q : queries) {
+    common::Status st = serial.SubmitQuery(q);
+    st.ok() ? ++ok : ++refused;
+  }
+  ASSERT_GT(refused, 0);
+  System::BatchSubmitResult result = batch.SubmitQueries(queries);
+  EXPECT_EQ(result.admitted, ok);
+  EXPECT_EQ(result.rejected, refused);
+  EXPECT_EQ(result.failed, 0);
+  for (const engine::Query& q : queries) {
+    EXPECT_EQ(serial.EntityOf(q.id), batch.EntityOf(q.id)) << q.id;
+  }
+  for (tenant::TenantId t : {1, 2}) {
+    EXPECT_EQ(serial.admission()->counters(t).admitted,
+              batch.admission()->counters(t).admitted);
+    EXPECT_EQ(serial.admission()->counters(t).rejected,
+              batch.admission()->counters(t).rejected);
+  }
+  EXPECT_TRUE(batch.admission()->CheckConservation().ok());
+}
+
 TEST(TenantSystemTest, AtCapacityRejectionIsDeterministicTenantPath) {
   System::Config cfg = TightConfig();
   cfg.topology.num_entities = 1;

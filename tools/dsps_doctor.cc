@@ -20,7 +20,15 @@
 //     plus its self-declared headline.sim_events_per_sec_floor) show the
 //     rate in the headline table and go unhealthy when it falls below the
 //     floor — the order-of-magnitude-collapse alarm backing the E13
-//     bench_diff gate.
+//     bench_diff gate;
+//   - reports carrying index.* gauges (the learned-interest-index series
+//     the index-bearing benches export per label scope) get a per-scope
+//     index table: strategy mix, box count, spline error bound, lookup
+//     p95 (from the index.lookup_us histogram when present), and the
+//     spline fallback rate. A scope whose fallback rate exceeds its
+//     declared bound (index.declared_fallback_bound) marks the file
+//     unhealthy — the spline's bounded-error self-certification failed
+//     more often than it promised.
 //
 // Usage: dsps_doctor <report.json>...
 // Exit status: 0 = healthy, 1 = violations found, 2 = usage/parse error.
@@ -52,6 +60,19 @@ struct TenantHealth {
   double quota_headroom = -1.0;  // reject budget; -1 = not declared
 };
 
+struct IndexHealth {
+  double indexes = 0.0;
+  double grid_indexes = 0.0;
+  double spline_indexes = 0.0;
+  double boxes = 0.0;
+  double mem_bytes = 0.0;
+  double spline_max_error = 0.0;
+  double fallback_rate = -1.0;    // -1 = not reported
+  double declared_bound = -1.0;   // -1 = not declared
+  double spline_lookups = 0.0;
+  double lookup_p95_us = -1.0;    // -1 = no lookup histogram in scope
+};
+
 struct FileHealth {
   std::string path;
   std::string kind;
@@ -59,6 +80,9 @@ struct FileHealth {
   bool healthy = true;
   /// Per-tenant admission rollup (empty for non-tenant reports).
   std::map<std::string, TenantHealth> tenants;
+  /// Per-scope learned-index rollup keyed by the sample's full label
+  /// set (empty for reports without index.* series).
+  std::map<std::string, IndexHealth> indexes;
 };
 
 /// {"report":"audit","sweeps":..,"violations":..,"checks":[...]}
@@ -144,6 +168,43 @@ FileHealth SummarizeBench(const std::string& path, const JsonValue& doc) {
         events_per_sec = sample.NumberOr("value", -1.0);
       } else if (name == "headline.sim_events_per_sec_floor") {
         events_per_sec_floor = sample.NumberOr("value", -1.0);
+      } else if (name.rfind("index.", 0) == 0) {
+        // One IndexHealth rollup per label set (the benches label each
+        // index scope — "system", "probe", per-(boxes,strategy), ...).
+        const JsonValue* labels = sample.Find("labels");
+        std::string scope;
+        if (labels != nullptr && labels->is_object()) {
+          for (const auto& [k, v] : labels->members) {
+            if (!scope.empty()) scope += ",";
+            scope += k + "=" + (v.kind == JsonValue::Kind::kString
+                                    ? v.string
+                                    : std::to_string(v.number));
+          }
+        }
+        if (scope.empty()) scope = "(unlabeled)";
+        IndexHealth& ix = h.indexes[scope];
+        double value = sample.NumberOr("value", 0.0);
+        if (name == "index.indexes") {
+          ix.indexes = value;
+        } else if (name == "index.grid_indexes") {
+          ix.grid_indexes = value;
+        } else if (name == "index.spline_indexes") {
+          ix.spline_indexes = value;
+        } else if (name == "index.boxes") {
+          ix.boxes = value;
+        } else if (name == "index.mem_bytes") {
+          ix.mem_bytes = value;
+        } else if (name == "index.spline_max_error") {
+          ix.spline_max_error = value;
+        } else if (name == "index.spline_fallback_rate") {
+          ix.fallback_rate = value;
+        } else if (name == "index.declared_fallback_bound") {
+          ix.declared_bound = value;
+        } else if (name == "index.spline_lookups") {
+          ix.spline_lookups = value;
+        } else if (name == "index.lookup_us.p95") {
+          ix.lookup_p95_us = value;
+        }
       } else if (name.rfind("headline.", 0) == 0) {
         double value = sample.NumberOr("value", 0.0);
         if (name.find("unplaced") != std::string::npos) {
@@ -194,8 +255,43 @@ FileHealth SummarizeBench(const std::string& path, const JsonValue& doc) {
          << " > headroom " << t.quota_headroom;
     }
   }
+  for (const auto& [scope, ix] : h.indexes) {
+    // Only judge scopes that actually took spline lookups: a scope with
+    // zero spline traffic has nothing to certify.
+    if (ix.declared_bound >= 0 && ix.spline_lookups > 0 &&
+        ix.fallback_rate > ix.declared_bound) {
+      h.healthy = false;
+      os << "; index " << scope << " fallback rate " << ix.fallback_rate
+         << " > declared bound " << ix.declared_bound;
+    }
+  }
   h.summary = os.str();
   return h;
+}
+
+void PrintIndexTable(const FileHealth& h) {
+  Table table({"scope", "strategy", "boxes", "mem MB", "max err",
+               "lookup p95 us", "fallback rate", "bound"});
+  for (const auto& [scope, ix] : h.indexes) {
+    std::string strategy;
+    if (ix.spline_indexes > 0 && ix.grid_indexes > 0) {
+      strategy = "mixed (" + Table::Num(ix.grid_indexes, 0) + " grid / " +
+                 Table::Num(ix.spline_indexes, 0) + " spline)";
+    } else if (ix.spline_indexes > 0) {
+      strategy = "spline";
+    } else if (ix.grid_indexes > 0) {
+      strategy = "grid";
+    } else {
+      strategy = "-";
+    }
+    table.AddRow(
+        {scope, strategy, Table::Num(ix.boxes, 0),
+         Table::Num(ix.mem_bytes / 1e6, 2), Table::Num(ix.spline_max_error, 0),
+         ix.lookup_p95_us < 0 ? "-" : Table::Num(ix.lookup_p95_us, 3),
+         ix.fallback_rate < 0 ? "-" : Table::Num(ix.fallback_rate, 4),
+         ix.declared_bound < 0 ? "-" : Table::Num(ix.declared_bound, 4)});
+  }
+  table.Print("Interest indexes in " + h.path);
 }
 
 void PrintTenantTable(const FileHealth& h) {
@@ -254,6 +350,7 @@ int RunMain(int argc, char** argv) {
   table.Print("dsps_doctor");
   for (const FileHealth& h : results) {
     if (!h.tenants.empty()) PrintTenantTable(h);
+    if (!h.indexes.empty()) PrintIndexTable(h);
   }
   return all_healthy ? 0 : 1;
 }
