@@ -30,7 +30,11 @@
 // headline.tenant_* gauges that tools/dsps_doctor turns into its
 // per-tenant health table; headline.victim_p95_ms is the bench_diff CI
 // gate. With DSPS_AUDIT_INTERVAL set the admission scenario runs under
-// the invariant auditor and writes AUDIT_e12_tenants.json.
+// the invariant auditor and writes AUDIT_e12_tenants.json. With
+// DSPS_WATCHDOG set every scenario runs under the anomaly watchdog;
+// CheckBars then requires silence before the flash crowd, at least one
+// anomaly on the passthrough SLO burn, and zero gold SLO-burn triggers
+// under admission.
 
 #include <benchmark/benchmark.h>
 
@@ -88,6 +92,11 @@ struct E12Run {
   TenantOutcome aggressor;
   dsps::system::System::ElasticityStats elasticity;
   int queued_at_end = 0;
+  /// Anomaly-watchdog accounting (DSPS_WATCHDOG legs only).
+  bool watchdog_on = false;
+  int64_t anomalies_pre_flash = 0;
+  int64_t anomalies = 0;
+  int64_t victim_slo_burn = 0;
 };
 
 dsps::engine::Query TenantQuery(int id, dsps::tenant::TenantId tenant,
@@ -166,6 +175,13 @@ E12Run Run(Scenario scenario,
   if (audit_report != nullptr && audit_s > 0) {
     sys.EnableAudit(audit_s, kDuration + 1.0);
   }
+  // The anomaly watchdog is the same kind of read-only observer: CI's
+  // DSPS_WATCHDOG legs assert it stays silent before the flash crowd and
+  // flags the passthrough SLO burn after it.
+  double watchdog_s = dsps::system::WatchdogIntervalFromEnv();
+  if (watchdog_s > 0) {
+    sys.EnableWatchdog(watchdog_s, kDuration + 1.0);
+  }
 
   // The victim's steady standing queries are in place before t=0.
   for (int i = 1; i <= kVictimQueries; ++i) {
@@ -175,6 +191,8 @@ E12Run Run(Scenario scenario,
   }
   sys.GenerateTraffic(kDuration);
   sys.RunUntil(kFlashAt);
+  int64_t anomalies_pre_flash =
+      sys.watchdog() != nullptr ? sys.watchdog()->anomalies() : 0;
   // Flash crowd: the aggressor demands ~2.7x the whole cluster's admission
   // limit in one burst. Submission outcomes vary by scenario; none may
   // error except the quota/queue-bound rejections the policy intends.
@@ -204,6 +222,12 @@ E12Run Run(Scenario scenario,
   run.aggressor = outcome(kAggressor);
   run.elasticity = sys.elasticity_stats();
   run.queued_at_end = static_cast<int>(sys.QueuedAdmissions().size());
+  if (sys.watchdog() != nullptr) {
+    run.watchdog_on = true;
+    run.anomalies_pre_flash = anomalies_pre_flash;
+    run.anomalies = sys.watchdog()->anomalies();
+    run.victim_slo_burn = sys.watchdog()->triggers("slo_burn.gold");
+  }
   if (!sys.admission()->CheckConservation().ok()) {
     std::fprintf(stderr, "E12: tenant conservation violated (%s)\n",
                  ScenarioName(scenario));
@@ -262,6 +286,35 @@ void CheckBars(const E12Run& passthrough, const E12Run& admission,
                  elastic.aggressor.counters.standing,
                  admission.aggressor.counters.standing);
     std::abort();
+  }
+  // DSPS_WATCHDOG legs: the watchdog must be silent on every quiet
+  // pre-flash phase, flag the passthrough SLO burn after the crowd
+  // arrives, and agree with the isolation bar that the protected victim
+  // never burned its SLO under admission.
+  if (passthrough.watchdog_on) {
+    int64_t pre_flash = passthrough.anomalies_pre_flash +
+                        admission.anomalies_pre_flash +
+                        elastic.anomalies_pre_flash;
+    if (pre_flash != 0) {
+      std::fprintf(stderr,
+                   "E12: watchdog raised %lld anomalies before the flash "
+                   "crowd (quiet phases must be silent)\n",
+                   static_cast<long long>(pre_flash));
+      std::abort();
+    }
+    if (passthrough.anomalies < 1) {
+      std::fprintf(stderr,
+                   "E12: watchdog missed the passthrough flash crowd "
+                   "(0 anomalies on an unprotected SLO burn)\n");
+      std::abort();
+    }
+    if (admission.victim_slo_burn != 0) {
+      std::fprintf(stderr,
+                   "E12: watchdog reported %lld gold SLO-burn anomalies "
+                   "under admission — isolation and watchdog disagree\n",
+                   static_cast<long long>(admission.victim_slo_burn));
+      std::abort();
+    }
   }
 }
 
@@ -354,6 +407,14 @@ void PrintE12() {
                        r.victim.slo_attainment, labels);
     report.SetHeadline("scenario_aggressor_standing",
                        r.aggressor.counters.standing, labels);
+    // Watchdog headlines exist only on DSPS_WATCHDOG legs, so the
+    // default report stays bit-identical with the health layer off.
+    if (r.watchdog_on) {
+      report.SetHeadline("watchdog_anomalies",
+                         static_cast<double>(r.anomalies), labels);
+      report.SetHeadline("watchdog_anomalies_pre_flash",
+                         static_cast<double>(r.anomalies_pre_flash), labels);
+    }
   }
   table.Print(
       "E12: tenant isolation under a flash crowd — bronze submits " +

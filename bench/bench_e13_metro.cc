@@ -40,7 +40,14 @@
 //  - index.*                    interest-index health (DESIGN.md "Learned
 //                               interest index") for the graph-build
 //                               indexes, the live system indexes, and a
-//                               deterministic lookup probe.
+//                               deterministic lookup probe;
+//  - headline.latency_p*_ms     result-latency p50/p95/p99 read from the
+//                               bounded sketches (cfg.bounded_stats —
+//                               no exact sample vectors at tier scale);
+//  - trace.stage_s{stage=...}   per-stage delay decomposition from the
+//                               full-sampling, stage-aggregated trace
+//                               (retain_spans off: zero span drops in
+//                               O(stages x buckets) memory).
 //
 // Acceptance bars (abort on violation): every submission admitted (zero
 // rejections — the tier must fit, not shed), traffic produced results,
@@ -108,6 +115,15 @@ struct E13Run {
   double run_wall_s = 0.0;
   dsps::system::System::InstallProfile install_profile;
   dsps::interest::IndexStats index_stats;
+  /// Result-latency summary off the bounded sketches (never the exact
+  /// sample vectors — the tier's whole point is O(buckets) telemetry).
+  int64_t latency_count = 0;
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  size_t latency_sketch_buckets = 0;
+  /// Per-tenant p95 ms, indexed by tenant id - 1.
+  std::vector<double> tenant_p95_ms;
 };
 
 double WallSince(std::chrono::steady_clock::time_point start) {
@@ -116,13 +132,21 @@ double WallSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-E13Run Run(const Scale& sc) {
+E13Run Run(const Scale& sc, dsps::telemetry::TraceLog* trace) {
   dsps::system::System::Config cfg;
   cfg.topology.num_entities = sc.entities;
   cfg.topology.processors_per_entity = 1;
   cfg.topology.num_sources = sc.streams;
   cfg.allocation = dsps::system::AllocationMode::kCoordinatorTree;
   cfg.seed = 13;
+  // Online health layer at tier scale: result latency, per-tenant
+  // latency, and entity processing time all land in bounded DDSketch-
+  // style sketches instead of exact sample vectors, and the trace log
+  // aggregates per-stage sketches without retaining spans — so even the
+  // full 10k-entity / 1M-query tier reports p50/p95/p99 in O(buckets)
+  // memory.
+  cfg.bounded_stats = true;
+  cfg.trace = trace;
   // Four equal tenants, admission ON: every submission crosses the
   // admission gate (the tier streams *through* it, per the experiment),
   // but capacity is sized so the whole tier fits — E12 owns the
@@ -207,6 +231,19 @@ E13Run Run(const Scale& sc) {
     std::fprintf(stderr, "E13: tenant conservation violated\n");
     std::abort();
   }
+
+  dsps::system::SystemMetrics m = sys.Collect();
+  run.latency_count = m.latency_count();
+  run.latency_p50_ms = m.latency_quantile(0.50) * 1e3;
+  run.latency_p95_ms = m.latency_quantile(0.95) * 1e3;
+  run.latency_p99_ms = m.latency_quantile(0.99) * 1e3;
+  run.latency_sketch_buckets = m.latency_sketch.num_buckets();
+  for (int t = 1; t <= kTenants; ++t) {
+    const dsps::telemetry::Sketch* sk = sys.TenantLatencySketch(t);
+    run.tenant_p95_ms.push_back(sk != nullptr && sk->count() > 0
+                                    ? sk->p95() * 1e3
+                                    : 0.0);
+  }
   return run;
 }
 
@@ -225,6 +262,14 @@ void CheckBars(const Scale& sc, const E13Run& run) {
   }
   if (run.results <= 0) {
     std::fprintf(stderr, "E13: standing queries produced no results\n");
+    std::abort();
+  }
+  if (run.latency_count <= 0 || run.latency_sketch_buckets == 0) {
+    std::fprintf(stderr,
+                 "E13: bounded latency sketch saw no samples "
+                 "(count=%lld, buckets=%zu)\n",
+                 static_cast<long long>(run.latency_count),
+                 run.latency_sketch_buckets);
     std::abort();
   }
 }
@@ -270,7 +315,16 @@ BENCHMARK(BM_EventHeapChurn)->Unit(benchmark::kMillisecond);
 void PrintE13() {
   const Scale sc = PickScale();
   dsps::telemetry::BenchReport report("e13_metro");
-  E13Run run = Run(sc);
+  // Full-sampling trace in stage-aggregation mode: every traced span
+  // folds into a bounded per-stage sketch and the raw span is discarded,
+  // so the delay decomposition survives at any tier size in
+  // O(stages * buckets) memory with zero span drops.
+  dsps::telemetry::TraceLog::Config trace_cfg;
+  trace_cfg.sample_every_n = 1;
+  trace_cfg.aggregate_stages = true;
+  trace_cfg.retain_spans = false;
+  dsps::telemetry::TraceLog trace(trace_cfg);
+  E13Run run = Run(sc, &trace);
 
   // Graph-construction pin over random-interest queries (see header
   // comment for why the metro tier's shared boxes are unusable here) —
@@ -382,6 +436,19 @@ void PrintE13() {
   report.SetHeadline("sim_us_per_event", us_per_event);
   report.SetHeadline("install_us_per_query", install_us_per_query);
   report.SetHeadline("peak_rss_mb", peak_rss_mb);
+  // Result-latency quantiles off the bounded sketches (identical API to
+  // the exact path; E1 pins the rank error at <= 1%).
+  report.SetHeadline("latency_p50_ms", run.latency_p50_ms);
+  report.SetHeadline("latency_p95_ms", run.latency_p95_ms);
+  report.SetHeadline("latency_p99_ms", run.latency_p99_ms);
+  report.SetHeadline("latency_sketch_buckets",
+                     static_cast<double>(run.latency_sketch_buckets));
+  for (int t = 1; t <= kTenants; ++t) {
+    report.SetHeadline("tenant_latency_p95_ms", run.tenant_p95_ms[t - 1],
+                       dsps::telemetry::MakeLabels(
+                           {{"tenant", "metro-" + std::to_string(t)}}));
+  }
+  report.AttachTrace(&trace);
   report.MergeSnapshot(metrics.Snapshot());
   report.WriteFileOrDie();
 

@@ -5,6 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 
 #include "common/rng.h"
@@ -16,6 +20,7 @@
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "telemetry/bench_report.h"
+#include "telemetry/sketch.h"
 #include "workload/stream_gen.h"
 
 namespace {
@@ -36,7 +41,8 @@ struct DissemResult {
 DissemResult Run(int entities, double coverage, TreePolicy policy,
                  bool early_filter, int tuples, uint64_t seed,
                  dsps::telemetry::MetricsRegistry* metrics = nullptr,
-                 dsps::interest::IndexStats* route_stats = nullptr) {
+                 dsps::interest::IndexStats* route_stats = nullptr,
+                 dsps::common::Histogram* latency_out = nullptr) {
   dsps::sim::Simulator sim;
   dsps::sim::Network net(&sim);
   if (metrics != nullptr) net.SetMetrics(metrics);
@@ -88,6 +94,7 @@ DissemResult Run(int entities, double coverage, TreePolicy policy,
   r.max_depth = dissem.tree(0)->MaxDepth();
   r.p99_delivery_latency = latency.p99();
   r.delivered = dissem.delivered_count();
+  if (latency_out != nullptr) *latency_out = latency;
   return r;
 }
 
@@ -166,6 +173,65 @@ void PrintE1() {
         boxes, domain, dsps::bench::IndexProbeConfig{}, &probe_metrics,
         dsps::telemetry::MakeLabels({{"scope", "probe"}}));
     report.MergeSnapshot(probe_metrics.Snapshot());
+  }
+  // -- Bounded-sketch accuracy pin ---------------------------------------
+  // Replays one representative row's exact delivery-latency samples into
+  // a default telemetry::Sketch and verifies the mergeable-sketch error
+  // contract against ground truth: at each pinned quantile, the estimate
+  // must be within the sketch's relative_accuracy of the exact nearest-
+  // rank sample, and the target rank must fall inside the rank interval
+  // of samples within that error band (the guarantee E13 leans on when
+  // it swaps exact histograms for sketches at metro scale).
+  {
+    dsps::common::Histogram exact;
+    Run(128, 0.25, TreePolicy::kClosestParent, true, tuples, 77 + 128,
+        nullptr, nullptr, &exact);
+    std::vector<double> sorted = exact.samples();
+    std::sort(sorted.begin(), sorted.end());
+    dsps::telemetry::Sketch sketch;
+    for (double x : sorted) sketch.Add(x);
+    const double alpha = sketch.config().relative_accuracy;
+    const double n = static_cast<double>(sorted.size());
+    double max_rel_err = 0.0;
+    double max_rank_err = 0.0;
+    for (double q : {0.50, 0.90, 0.95, 0.99}) {
+      size_t rank = static_cast<size_t>(std::ceil(q * n));
+      rank = std::min(std::max<size_t>(rank, 1), sorted.size());
+      const double truth = sorted[rank - 1];
+      const double est = sketch.Percentile(q);
+      const double rel =
+          truth > 0.0 ? std::fabs(est - truth) / truth : std::fabs(est);
+      // Rank distance from the target to the band of samples the sketch
+      // is allowed to answer with (values within alpha of the estimate).
+      const double below = static_cast<double>(
+          std::lower_bound(sorted.begin(), sorted.end(),
+                           est / (1.0 + alpha)) -
+          sorted.begin());
+      const double above = static_cast<double>(
+          std::upper_bound(sorted.begin(), sorted.end(),
+                           est / (1.0 - alpha)) -
+          sorted.begin());
+      const double target = q * n;
+      double rank_err = 0.0;
+      if (target < below) rank_err = (below - target) / n;
+      if (target > above) rank_err = (target - above) / n;
+      max_rel_err = std::max(max_rel_err, rel);
+      max_rank_err = std::max(max_rank_err, rank_err);
+    }
+    report.SetHeadline("sketch_rel_error_max", max_rel_err);
+    report.SetHeadline("sketch_rank_error_max", max_rank_err);
+    report.SetHeadline("sketch_buckets",
+                       static_cast<double>(sketch.num_buckets()));
+    report.SetHeadline("sketch_mem_bytes",
+                       static_cast<double>(sketch.MemoryBytes()));
+    report.SetHeadline("sketch_samples", n);
+    if (max_rel_err > alpha + 1e-9 || max_rank_err > 0.01) {
+      std::fprintf(stderr,
+                   "E1: sketch accuracy bar violated (rel err %.5f > %.3f "
+                   "or rank err %.5f > 0.01 over %.0f samples)\n",
+                   max_rel_err, alpha, max_rank_err, n);
+      std::abort();
+    }
   }
   report.WriteFileOrDie();
   table.Print(

@@ -70,6 +70,12 @@ struct FailoverRun {
   int64_t dropped_messages = 0;
   int64_t dissemination_retries = 0;
   double recovery_time_s = -1.0;
+  /// Anomaly-watchdog accounting (DSPS_WATCHDOG legs only).
+  bool watchdog_on = false;
+  int64_t anomalies_pre_fail = 0;
+  int64_t anomalies = 0;
+  int64_t entity_loss_triggers = 0;
+  int64_t retry_storm_triggers = 0;
 };
 
 FailoverRun Run(Scenario scenario,
@@ -122,9 +128,18 @@ FailoverRun Run(Scenario scenario,
   if (audit_report != nullptr && audit_s > 0) {
     sys.EnableAudit(audit_s, kDuration + 1.0);
   }
+  // DSPS_WATCHDOG legs run every scenario under the anomaly watchdog:
+  // silent while healthy, while the detected scenario must flag both its
+  // reliable-delivery retry storm (2% WAN loss) and the entity_loss
+  // eviction when the sweep notices the crashed entity's silence.
+  double watchdog_s = dsps::system::WatchdogIntervalFromEnv();
+  if (watchdog_s > 0) {
+    sys.EnableWatchdog(watchdog_s, kDuration + 1.0);
+  }
   sys.GenerateTraffic(kDuration);
 
   FailoverRun run;
+  int64_t pre_fail_anomalies = 0;
   int64_t last_results = 0;
   for (int interval = 0; interval < static_cast<int>(kDuration); ++interval) {
     double t_end = interval + 1.0;
@@ -133,6 +148,9 @@ FailoverRun Run(Scenario scenario,
       // Run to the failure instant; count the orphans-to-be, then fail
       // (oracle) or let the injected crash + heartbeat sweep do it.
       sys.RunUntil(kFailAt);
+      if (sys.watchdog() != nullptr) {
+        pre_fail_anomalies = sys.watchdog()->anomalies();
+      }
       for (int i = 1; i <= kNumQueries; ++i) {
         if (sys.EntityOf(i) == 0) ++run.orphans;
       }
@@ -155,6 +173,13 @@ FailoverRun Run(Scenario scenario,
   run.unplaced = sys.unplaced_count();
   run.dropped_messages = sys.Collect().dropped_messages;
   run.dissemination_retries = sys.disseminator()->retries_count();
+  if (sys.watchdog() != nullptr) {
+    run.watchdog_on = true;
+    run.anomalies_pre_fail = pre_fail_anomalies;
+    run.anomalies = sys.watchdog()->anomalies();
+    run.entity_loss_triggers = sys.watchdog()->triggers("entity_loss");
+    run.retry_storm_triggers = sys.watchdog()->triggers("retry_storm");
+  }
 
   // Recovery time: from the failure instant until the per-second result
   // rate is back to >= 90% of the pre-failure average.
@@ -536,6 +561,49 @@ void PrintE8() {
                      static_cast<double>(detected.dropped_messages));
   report.SetHeadline("dissemination_retries",
                      static_cast<double>(detected.dissemination_retries));
+  // DSPS_WATCHDOG legs: the healthy run must be anomaly-free end to end
+  // and the oracle run quiet up to the announced failure (those phases
+  // are unperturbed), while the detected run — a lossy WAN plus a real
+  // crash — must flag both pathologies it actually contains: the
+  // reliable-delivery retry storm and the sweep's eviction of the silent
+  // entity. Headlines exist only when the watchdog ran, so the default
+  // report stays bit-identical with the health layer off.
+  if (detected.watchdog_on) {
+    report.SetHeadline("watchdog_anomalies_healthy",
+                       static_cast<double>(healthy.anomalies));
+    report.SetHeadline("watchdog_anomalies_detected",
+                       static_cast<double>(detected.anomalies));
+    report.SetHeadline("watchdog_entity_loss_triggers",
+                       static_cast<double>(detected.entity_loss_triggers));
+    report.SetHeadline("watchdog_retry_storm_triggers",
+                       static_cast<double>(detected.retry_storm_triggers));
+    if (healthy.anomalies != 0) {
+      std::fprintf(stderr,
+                   "E8: watchdog raised %lld anomalies on the healthy run "
+                   "(quiet runs must be silent)\n",
+                   static_cast<long long>(healthy.anomalies));
+      std::abort();
+    }
+    if (failed.anomalies_pre_fail != 0) {
+      std::fprintf(stderr,
+                   "E8: watchdog raised %lld anomalies before the oracle "
+                   "failure (the unperturbed phase must be silent)\n",
+                   static_cast<long long>(failed.anomalies_pre_fail));
+      std::abort();
+    }
+    if (detected.entity_loss_triggers < 1) {
+      std::fprintf(stderr,
+                   "E8: watchdog missed the detected crash (0 entity_loss "
+                   "anomalies)\n");
+      std::abort();
+    }
+    if (detected.retry_storm_triggers < 1) {
+      std::fprintf(stderr,
+                   "E8: watchdog missed the retry storm (0 retry_storm "
+                   "anomalies on a 2%% lossy WAN with reliable hops)\n");
+      std::abort();
+    }
+  }
   report.MergeSnapshot(failed_metrics.Snapshot());
   report.AttachSeries(&healthy_series,
                       dsps::telemetry::MakeLabels({{"scenario", "healthy"}}));

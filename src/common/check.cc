@@ -1,0 +1,19 @@
+#include "common/check.h"
+
+namespace dsps::common {
+
+namespace {
+FatalHook g_fatal_hook = nullptr;
+}  // namespace
+
+void SetFatalHook(FatalHook hook) { g_fatal_hook = hook; }
+
+void RunFatalHook() {
+  // Detach before invoking so a failed check inside the hook itself
+  // cannot recurse; the hook runs at most once per process.
+  FatalHook hook = g_fatal_hook;
+  g_fatal_hook = nullptr;
+  if (hook != nullptr) hook();
+}
+
+}  // namespace dsps::common

@@ -4,6 +4,20 @@
 #include <cstdio>
 #include <cstdlib>
 
+namespace dsps::common {
+
+/// Process-wide hook invoked (at most once) just before a failed
+/// DSPS_CHECK aborts — the flight recorder installs one to flush its
+/// ring so post-mortems see the events leading up to the fatal check.
+/// The hook must be async-signal-ish tame: no allocation-heavy work, no
+/// further fatal checks (re-entry is suppressed, not survived).
+using FatalHook = void (*)();
+void SetFatalHook(FatalHook hook);
+/// Runs and clears the installed hook; called by the check macros.
+void RunFatalHook();
+
+}  // namespace dsps::common
+
 /// Fatal invariant check. Used for programming errors only; recoverable
 /// failures go through Status/Result.
 #define DSPS_CHECK(cond)                                                   \
@@ -11,6 +25,7 @@
     if (!(cond)) {                                                         \
       std::fprintf(stderr, "DSPS_CHECK failed: %s at %s:%d\n", #cond,      \
                    __FILE__, __LINE__);                                    \
+      ::dsps::common::RunFatalHook();                                      \
       std::abort();                                                        \
     }                                                                      \
   } while (0)
@@ -23,6 +38,7 @@
                    __FILE__, __LINE__);                                    \
       std::fprintf(stderr, __VA_ARGS__);                                   \
       std::fprintf(stderr, "\n");                                          \
+      ::dsps::common::RunFatalHook();                                      \
       std::abort();                                                        \
     }                                                                      \
   } while (0)

@@ -3,7 +3,32 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
+
 namespace dsps::common {
+
+namespace {
+// Constant-initialized so histograms constructed during static init see
+// the built-in default.
+size_t g_default_sample_cap = size_t{1} << 25;
+int64_t g_total_overflow = 0;
+}  // namespace
+
+void Histogram::SetDefaultSampleCap(size_t cap) { g_default_sample_cap = cap; }
+
+size_t Histogram::default_sample_cap() { return g_default_sample_cap; }
+
+int64_t Histogram::TotalOverflow() { return g_total_overflow; }
+
+void Histogram::CountOverflow(int64_t n) {
+  // Debug builds fail loudly: an uncapped accumulation site is a bug —
+  // the fix is a larger explicit cap or a telemetry::Sketch, not silence.
+  DSPS_DCHECK(false &&
+              "common::Histogram sample cap exceeded; use a Sketch or "
+              "set_sample_cap for genuinely exact needs");
+  overflow_ += n;
+  g_total_overflow += n;
+}
 
 void RunningStat::Add(double x) {
   if (count_ == 0) {
@@ -47,14 +72,23 @@ void RunningStat::Merge(const RunningStat& other) {
 }
 
 void Histogram::Add(double x) {
+  if (samples_.size() >= cap_) {
+    CountOverflow(1);
+    return;
+  }
   samples_.push_back(x);
   sorted_ = false;
 }
 
 void Histogram::Merge(const Histogram& other) {
   if (other.samples_.empty()) return;
+  size_t room = cap_ > samples_.size() ? cap_ - samples_.size() : 0;
+  size_t take = std::min(room, other.samples_.size());
+  if (take < other.samples_.size()) {
+    CountOverflow(static_cast<int64_t>(other.samples_.size() - take));
+  }
   samples_.insert(samples_.end(), other.samples_.begin(),
-                  other.samples_.end());
+                  other.samples_.begin() + static_cast<ptrdiff_t>(take));
   sorted_ = false;
 }
 

@@ -35,31 +35,57 @@ class RunningStat {
 };
 
 /// Exact-percentile histogram: stores all samples; intended for experiment
-/// harnesses where sample counts are modest (<= millions).
+/// harnesses where sample counts are modest (<= millions). The "modest"
+/// contract is enforced: once a histogram reaches its sample cap, further
+/// Adds fail a fatal check in debug builds and are counted (overflow())
+/// but not stored in release builds — never silent multi-GB growth. For
+/// unbounded hot-path streams use telemetry::Sketch instead.
 class Histogram {
  public:
-  /// Adds one observation.
+  /// Adds one observation (dropped and counted once at the cap).
   void Add(double x);
 
   /// Merges all of `other`'s samples into this histogram; percentiles of
-  /// the merge are exact (both sample sets are kept).
+  /// the merge are exact (both sample sets are kept, up to the cap).
   void Merge(const Histogram& other);
 
   size_t count() const { return samples_.size(); }
   double mean() const;
-  /// The q-quantile (q in [0,1]) by nearest-rank on the sorted samples;
-  /// 0 when empty.
+  /// The q-quantile (q in [0,1]) with linear interpolation between the
+  /// two nearest sorted samples; 0 when empty.
   double Percentile(double q) const;
   double p50() const { return Percentile(0.50); }
   double p95() const { return Percentile(0.95); }
   double p99() const { return Percentile(0.99); }
   double max() const { return Percentile(1.0); }
 
+  /// Stored samples in unspecified order (sorted after any percentile
+  /// query). Exposed so accuracy harnesses can replay exact samples into
+  /// a Sketch for error measurement.
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// Per-instance sample cap; new histograms start at default_sample_cap.
+  void set_sample_cap(size_t cap) { cap_ = cap; }
+  size_t sample_cap() const { return cap_; }
+  /// Samples rejected at the cap by this instance (release builds).
+  int64_t overflow() const { return overflow_; }
+
+  /// Process-wide default cap applied to histograms constructed after the
+  /// call (2^25 samples = 256 MB of doubles out of the box).
+  static void SetDefaultSampleCap(size_t cap);
+  static size_t default_sample_cap();
+  /// Total samples rejected at the cap across every histogram in the
+  /// process; bench reports surface this so truncation is never silent.
+  static int64_t TotalOverflow();
+
  private:
   void EnsureSorted() const;
+  void CountOverflow(int64_t n);
 
   mutable std::vector<double> samples_;
   mutable bool sorted_ = true;
+  size_t cap_ = default_sample_cap();
+  int64_t overflow_ = 0;
 };
 
 }  // namespace dsps::common

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "telemetry/flight_recorder.h"
 
 namespace dsps::sim {
 
@@ -70,6 +71,11 @@ void Network::CountFaultDrop() {
     }
     dropped_fault_counter_->Increment();
   }
+  if (flight_ != nullptr) {
+    flight_->RecordInstant("net.drop.fault", sim_->now(), /*node=*/-1,
+                           /*value=*/1.0,
+                           telemetry::FlightRecorder::EventKind::kNetDrop);
+  }
 }
 
 void Network::ScheduleDelivery(double deliver_at, Message msg) {
@@ -116,6 +122,11 @@ void Network::DeliverSlot(uint32_t slot) {
             telemetry::MakeLabels({{"reason", "no_handler"}}));
       }
       dropped_no_handler_counter_->Increment();
+    }
+    if (flight_ != nullptr) {
+      flight_->RecordInstant("net.drop.no_handler", sim_->now(), to,
+                             static_cast<double>(m.type),
+                             telemetry::FlightRecorder::EventKind::kNetDrop);
     }
     ReleaseSlot(slot);
     return;

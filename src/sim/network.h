@@ -152,6 +152,13 @@ class Network {
   /// TraceLog::StageForMessageType.
   void SetTraceLog(telemetry::TraceLog* trace) { trace_ = trace; }
 
+  /// Attaches a flight recorder (nullptr detaches): every dropped
+  /// message — injected fault or delivery to a handler-less node — lands
+  /// in the post-mortem ring as a "net.drop.*" event.
+  void SetFlightRecorder(telemetry::FlightRecorder* flight) {
+    flight_ = flight;
+  }
+
   /// Every directed link that ever carried traffic, with its stats.
   struct LinkRecord {
     common::SimNodeId from;
@@ -214,6 +221,7 @@ class Network {
   telemetry::HistogramMetric* queue_wait_hist_ = nullptr;
   telemetry::Counter* dropped_fault_counter_ = nullptr;
   telemetry::Counter* dropped_no_handler_counter_ = nullptr;
+  telemetry::FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace dsps::sim

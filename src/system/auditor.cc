@@ -12,6 +12,7 @@
 
 #include "partition/query_graph.h"
 #include "system/system.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/json.h"
 
 namespace dsps::system {
@@ -56,6 +57,13 @@ int Auditor::RunOnce() {
     check.violations += 1;
     check.last_detail = results[i].ToString();
     if (!check_counters_.empty()) check_counters_[i]->Increment();
+    if (config_.flight != nullptr) {
+      config_.flight->RecordInstant(
+          "audit.violation." + check.name, system_->now(), /*node=*/-1,
+          static_cast<double>(check.violations),
+          telemetry::FlightRecorder::EventKind::kAudit);
+      config_.flight->DumpOnce();
+    }
     if (config_.fatal) {
       std::fprintf(stderr, "Auditor: %s invariant violated at t=%f: %s\n",
                    check.name.c_str(), system_->now(),
@@ -315,6 +323,13 @@ common::Status Auditor::WriteReport(const std::string& path) const {
 
 double AuditIntervalFromEnv() {
   const char* s = std::getenv("DSPS_AUDIT_INTERVAL");
+  if (s == nullptr || s[0] == '\0') return 0.0;
+  double v = std::strtod(s, nullptr);
+  return v > 0.0 ? v : 0.0;
+}
+
+double WatchdogIntervalFromEnv() {
+  const char* s = std::getenv("DSPS_WATCHDOG");
   if (s == nullptr || s[0] == '\0') return 0.0;
   double v = std::strtod(s, nullptr);
   return v > 0.0 ? v : 0.0;

@@ -8,6 +8,10 @@
 #include "common/status.h"
 #include "telemetry/registry.h"
 
+namespace dsps::telemetry {
+class FlightRecorder;
+}  // namespace dsps::telemetry
+
 namespace dsps::system {
 
 class System;
@@ -71,6 +75,11 @@ class Auditor {
     /// When set, sweeps maintain `audit.sweeps`, `audit.violations`, and
     /// per-check `audit.violations{check=...}` counters.
     telemetry::MetricsRegistry* metrics = nullptr;
+    /// When set, every violation records an "audit.violation.<check>"
+    /// event into the flight recorder and triggers its one-shot
+    /// post-mortem dump (DumpOnce) — before the fatal abort, so the ring
+    /// nearest the first broken invariant survives.
+    telemetry::FlightRecorder* flight = nullptr;
   };
 
   /// Per-check accounting for the JSON report and tools/dsps_doctor.
@@ -124,6 +133,12 @@ class Auditor {
 /// tests call this so CI can switch auditing on without code changes —
 /// the System itself never reads the environment.
 double AuditIntervalFromEnv();
+
+/// Parses the DSPS_WATCHDOG environment variable (simulated seconds
+/// between watchdog ticks); 0 when unset, empty, or non-positive. Same
+/// contract as AuditIntervalFromEnv: benches read it so CI can turn the
+/// anomaly watchdog on per-leg without code changes.
+double WatchdogIntervalFromEnv();
 
 }  // namespace dsps::system
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "telemetry/sketch.h"
 
 namespace dsps::system {
 
@@ -43,6 +44,49 @@ struct SystemMetrics {
   /// Messages the network dropped (injected faults + deliveries to nodes
   /// with no handler). Zero in fault-free runs.
   int64_t dropped_messages = 0;
+  /// Bounded-stats mode (System Config::bounded_stats): the exact
+  /// histograms above stay empty and these mergeable sketches hold the
+  /// same distributions in O(buckets) memory. The uniform accessors
+  /// below read whichever backing is active, so metro-scale benches can
+  /// report quantiles without knowing the mode.
+  bool bounded_stats = false;
+  telemetry::Sketch latency_sketch;
+  telemetry::Sketch pr_sketch;
+  telemetry::Sketch client_latency_sketch;
+
+  int64_t latency_count() const {
+    return bounded_stats ? latency_sketch.count()
+                         : static_cast<int64_t>(latency.count());
+  }
+  double latency_mean() const {
+    return bounded_stats ? latency_sketch.mean() : latency.mean();
+  }
+  double latency_quantile(double q) const {
+    return bounded_stats ? latency_sketch.Percentile(q)
+                         : latency.Percentile(q);
+  }
+  int64_t pr_count() const {
+    return bounded_stats ? pr_sketch.count()
+                         : static_cast<int64_t>(pr.count());
+  }
+  double pr_mean() const {
+    return bounded_stats ? pr_sketch.mean() : pr.mean();
+  }
+  double pr_quantile(double q) const {
+    return bounded_stats ? pr_sketch.Percentile(q) : pr.Percentile(q);
+  }
+  int64_t client_latency_count() const {
+    return bounded_stats ? client_latency_sketch.count()
+                         : static_cast<int64_t>(client_latency.count());
+  }
+  double client_latency_mean() const {
+    return bounded_stats ? client_latency_sketch.mean()
+                         : client_latency.mean();
+  }
+  double client_latency_quantile(double q) const {
+    return bounded_stats ? client_latency_sketch.Percentile(q)
+                         : client_latency.Percentile(q);
+  }
 };
 
 }  // namespace dsps::system

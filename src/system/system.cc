@@ -40,6 +40,20 @@ System::System(const Config& config) : config_(config), rng_(config.seed) {
     incremental_delta_us_ =
         config.metrics->histogram("partition.incremental_delta_us");
   }
+  if (config.flight != nullptr) {
+    // Every trace span/instant forwards into the post-mortem ring, and
+    // network drops land there even when tracing is off.
+    if (config.trace != nullptr) {
+      config.trace->AttachFlightRecorder(config.flight);
+    }
+    network_->SetFlightRecorder(config.flight);
+  }
+  if (config.bounded_stats) {
+    metrics_.bounded_stats = true;
+    metrics_.latency_sketch = telemetry::Sketch(config.stats_sketch);
+    metrics_.pr_sketch = telemetry::Sketch(config.stats_sketch);
+    metrics_.client_latency_sketch = telemetry::Sketch(config.stats_sketch);
+  }
   if (config.trace != nullptr) {
     network_->SetTraceLog(config.trace);
     config.trace->MapMessageType(dissemination::kMsgTupleForward,
@@ -56,6 +70,8 @@ System::System(const Config& config) : config_(config), rng_(config.seed) {
   // fills in at AddStreams time.
   entity::Entity::Config entity_config = config.entity;
   entity_config.catalog = &catalog_;
+  entity_config.bounded_stats = config.bounded_stats;
+  entity_config.stats_sketch = config.stats_sketch;
   if (entity_config.metrics == nullptr) entity_config.metrics = config.metrics;
   if (entity_config.trace == nullptr) entity_config.trace = config.trace;
   for (int e = 0; e < config.topology.num_entities; ++e) {
@@ -69,8 +85,13 @@ System::System(const Config& config) : config_(config), rng_(config.seed) {
         [this, eid](const entity::Entity::ResultRecord& record,
                     const engine::Tuple& tuple) {
           metrics_.results += 1;
-          metrics_.latency.Add(record.latency);
-          metrics_.pr.Add(record.pr);
+          if (metrics_.bounded_stats) {
+            metrics_.latency_sketch.Add(record.latency);
+            metrics_.pr_sketch.Add(record.pr);
+          } else {
+            metrics_.latency.Add(record.latency);
+            metrics_.pr.Add(record.pr);
+          }
           if (results_counter_ != nullptr) {
             results_counter_->Increment();
             latency_hist_->Observe(record.latency);
@@ -133,8 +154,13 @@ System::System(const Config& config) : config_(config), rng_(config.seed) {
           if (!seen_result_seqs_.insert(env->seq).second) return;
         }
         metrics_.client_results += 1;
-        metrics_.client_latency.Add(
-            std::max(0.0, simulator_->now() - env->result_timestamp));
+        double client_latency =
+            std::max(0.0, simulator_->now() - env->result_timestamp);
+        if (metrics_.bounded_stats) {
+          metrics_.client_latency_sketch.Add(client_latency);
+        } else {
+          metrics_.client_latency.Add(client_latency);
+        }
       });
       client_nodes_.push_back(node);
       client_positions_.push_back(pos);
@@ -727,9 +753,17 @@ void System::RecordTenantResult(common::QueryId query, double latency) {
   const engine::Query* q = query_state_.Find(query);
   if (q == nullptr) return;
   tenant::TenantId t = q->tenant;
-  TenantRuntime& rt = tenant_runtime_[t];
+  auto [rt_it, inserted] = tenant_runtime_.try_emplace(t);
+  TenantRuntime& rt = rt_it->second;
+  if (inserted && config_.bounded_stats) {
+    rt.latency_sketch = telemetry::Sketch(config_.stats_sketch);
+  }
   rt.results += 1;
-  rt.latency.Add(latency);
+  if (config_.bounded_stats) {
+    rt.latency_sketch.Add(latency);
+  } else {
+    rt.latency.Add(latency);
+  }
   const tenant::TenantSpec& spec = tenant_registry_->SpecOrDefault(t);
   if (spec.latency_slo_s <= 0.0 || latency <= spec.latency_slo_s) {
     rt.within_slo += 1;
@@ -761,6 +795,12 @@ int64_t System::TenantResults(tenant::TenantId tenant) const {
 const common::Histogram* System::TenantLatency(tenant::TenantId tenant) const {
   auto it = tenant_runtime_.find(tenant);
   return it != tenant_runtime_.end() ? &it->second.latency : nullptr;
+}
+
+const telemetry::Sketch* System::TenantLatencySketch(
+    tenant::TenantId tenant) const {
+  auto it = tenant_runtime_.find(tenant);
+  return it != tenant_runtime_.end() ? &it->second.latency_sketch : nullptr;
 }
 
 double System::TenantRecentP95(tenant::TenantId tenant) const {
@@ -983,6 +1023,7 @@ common::Result<int> System::FailEntity(common::EntityId entity) {
 }
 
 int System::EvictEntity(common::EntityId entity) {
+  ++evictions_total_;
   alive_[entity] = false;
   if (placement_map_ != nullptr) placement_map_->SetAlive(entity, false);
   // Leave the federation structures (same repair path as graceful leave).
@@ -1500,6 +1541,7 @@ void System::GraphIndexRemove(common::QueryId query) {
 common::Result<System::RepartitionReport> System::RepartitionQueries(
     partition::Repartitioner* repartitioner) {
   DSPS_CHECK(repartitioner != nullptr);
+  ++repartition_rounds_;
   std::vector<common::EntityId> alive_ids;
   for (int e = 0; e < num_entities(); ++e) {
     if (alive_[e]) alive_ids.push_back(e);
@@ -1603,6 +1645,7 @@ Auditor* System::EnableAudit(double period_s, double until, bool fatal) {
     Auditor::Config cfg;
     cfg.fatal = fatal;
     cfg.metrics = config_.metrics;
+    cfg.flight = config_.flight;
     auditor_ = std::make_unique<Auditor>(this, cfg);
   }
   AuditTick(period_s, until);
@@ -1615,6 +1658,79 @@ void System::AuditTick(double period_s, double until) {
   simulator_->ScheduleAt(next, [this, period_s, until]() {
     auditor_->RunOnce();
     AuditTick(period_s, until);
+  });
+}
+
+telemetry::Watchdog* System::EnableWatchdog(
+    double period_s, double until, const SystemWatchdogConfig& wconfig) {
+  DSPS_CHECK(period_s > 0);
+  if (watchdog_ == nullptr) {
+    telemetry::Watchdog::Config cfg;
+    cfg.metrics = config_.metrics;
+    cfg.trace = config_.trace;
+    cfg.flight = config_.flight;
+    watchdog_ = std::make_unique<telemetry::Watchdog>(cfg);
+    const telemetry::WatchdogTuning& tuning = wconfig.tuning;
+    // Entity loss is always an anomaly: the counter is zero on healthy
+    // runs, so any strict increase fires.
+    watchdog_->AddIncreaseDetector(
+        "entity_loss",
+        [this] { return static_cast<double>(evictions_total_); }, tuning);
+    // Retry storm: the three retransmission paths (client results,
+    // re-home batches, dissemination) summed into one cumulative count.
+    watchdog_->AddRateDetector(
+        "retry_storm",
+        [this] {
+          double retries =
+              static_cast<double>(result_retries_) +
+              static_cast<double>(failure_stats_.rehome_batch_retries);
+          if (disseminator_ != nullptr) {
+            retries += static_cast<double>(disseminator_->retries_count());
+          }
+          return retries;
+        },
+        wconfig.retry_storm_rate_per_s, tuning);
+    watchdog_->AddRateDetector(
+        "repartition_thrash",
+        [this] { return static_cast<double>(repartition_rounds_); },
+        wconfig.repartition_thrash_rate_per_s, tuning);
+    watchdog_->AddGrowthDetector(
+        "admission_queue",
+        [this] { return static_cast<double>(admission_queue_.size()); },
+        wconfig.admission_queue_floor, tuning);
+    if (tenant_registry_ != nullptr) {
+      for (tenant::TenantId t : tenant_registry_->ids()) {
+        double slo = tenant_registry_->SpecOrDefault(t).latency_slo_s;
+        if (slo <= 0.0) continue;
+        watchdog_->AddThresholdDetector(
+            "slo_burn." + tenant_registry_->NameOf(t),
+            [this, t, slo] { return TenantRecentP95(t) / slo; },
+            wconfig.slo_burn_ratio, tuning);
+      }
+    }
+    // Total committed load across alive entities: constant on steady
+    // runs (median == sample, MAD == 0), spikes on flash crowds.
+    watchdog_->AddSpikeDetector(
+        "load_spike",
+        [this] {
+          double total = 0.0;
+          for (size_t e = 0; e < entities_.size(); ++e) {
+            if (alive_[e]) total += entities_[e]->TotalCommittedLoad();
+          }
+          return total;
+        },
+        tuning);
+  }
+  WatchdogTick(period_s, until);
+  return watchdog_.get();
+}
+
+void System::WatchdogTick(double period_s, double until) {
+  double next = simulator_->now() + period_s;
+  if (next > until) return;
+  simulator_->ScheduleAt(next, [this, period_s, until]() {
+    watchdog_->Tick(simulator_->now());
+    WatchdogTick(period_s, until);
   });
 }
 
@@ -1751,8 +1867,7 @@ int System::ElasticityRound() {
     obs.entity = e;
     obs.committed_load = ent->TotalCommittedLoad();
     obs.capacity = config_.entity.processor_capacity * ent->num_processors();
-    const common::Histogram& pr = ent->pr_histogram();
-    obs.pr_p95 = pr.count() > 0 ? pr.p95() : 0.0;
+    obs.pr_p95 = ent->pr_count() > 0 ? ent->pr_p95() : 0.0;
     obs.processors = ent->num_processors();
     switch (elasticity_->Evaluate(obs)) {
       case tenant::ElasticityManager::Action::kGrow:

@@ -34,6 +34,7 @@
 #include "telemetry/registry.h"
 #include "telemetry/timeseries.h"
 #include "telemetry/trace.h"
+#include "telemetry/watchdog.h"
 #include "tenant/admission.h"
 #include "tenant/elasticity.h"
 #include "tenant/tenant.h"
@@ -82,6 +83,24 @@ struct RehomeBatchEnvelope {
 /// Payload of kMsgRehomeAck.
 struct RehomeAckEnvelope {
   int64_t seq = 0;
+};
+
+/// Knobs of System::EnableWatchdog's standard detector set (namespace
+/// scope so it can be a default argument inside System's definition).
+struct SystemWatchdogConfig {
+  /// Retry storm: combined result / re-home-batch / dissemination
+  /// retries per simulated second that count as a storm.
+  double retry_storm_rate_per_s = 50.0;
+  /// Repartition thrash: repartition rounds per simulated second.
+  double repartition_thrash_rate_per_s = 1.0;
+  /// Admission-queue growth: depth the queue must reach (while strictly
+  /// growing) before buildup counts.
+  double admission_queue_floor = 4.0;
+  /// SLO burn: trailing-window p95 / SLO ratio held for `tuning.sustain`
+  /// ticks that counts as burn.
+  double slo_burn_ratio = 1.0;
+  /// Shared per-detector tuning (window, warmup, cooldown, sustain...).
+  telemetry::WatchdogTuning tuning;
 };
 
 /// How arriving queries are allocated to entities (Section 3.2).
@@ -154,6 +173,21 @@ class System {
     /// either way. Must outlive the System.
     telemetry::MetricsRegistry* metrics = nullptr;
     telemetry::TraceLog* trace = nullptr;
+    /// Optional post-mortem flight recorder (telemetry/flight_recorder.h):
+    /// receives every trace span and instant (via TraceLog forwarding),
+    /// network drop events, auditor violation summaries, and watchdog
+    /// anomalies; auto-dumped to its dump_path on the first auditor
+    /// violation or failed fatal check. Read-only with respect to the
+    /// simulation. Must outlive the System.
+    telemetry::FlightRecorder* flight = nullptr;
+    /// Bounded result statistics: result latency / PR / client latency
+    /// (and per-entity PR, per-tenant latency) go into mergeable quantile
+    /// sketches built from `stats_sketch` instead of the exact
+    /// sample-storing histograms — O(buckets) memory at metro scale
+    /// instead of 8 bytes per result. Off by default (exact histograms,
+    /// bit-identical to the seed behavior).
+    bool bounded_stats = false;
+    telemetry::Sketch::Config stats_sketch;
     /// Also export per-directed-link net.link.* counters (high
     /// cardinality; off by default even when `metrics` is set).
     bool per_link_metrics = false;
@@ -478,6 +512,21 @@ class System {
   /// The auditor, or null before EnableAudit.
   Auditor* auditor() { return auditor_.get(); }
 
+  /// Starts the online anomaly watchdog (telemetry/watchdog.h): every
+  /// `period_s` simulated seconds until `until` its detectors sweep the
+  /// control plane for entity loss, retry storms, repartition thrash,
+  /// admission-queue buildup, per-tenant SLO burn, and load spikes.
+  /// Like the auditor, the sweeps are read-only, consume no RNG, and
+  /// send no messages — enabling them cannot change a simulation's
+  /// results. Returns the watchdog (owned by the System) so callers can
+  /// read trigger counts; repeated calls reuse the existing watchdog.
+  telemetry::Watchdog* EnableWatchdog(
+      double period_s, double until,
+      const SystemWatchdogConfig& config = {});
+
+  /// The watchdog, or null before EnableWatchdog.
+  telemetry::Watchdog* watchdog() { return watchdog_.get(); }
+
   /// Registers this system's adaptation-trajectory probes on `recorder`:
   /// per-entity committed load, load imbalance, WAN bytes/s, unplaced
   /// queue depth, alive entities, detection latency, repair messages/s,
@@ -512,8 +561,11 @@ class System {
   /// admission controller is active).
   int64_t TenantResults(tenant::TenantId tenant) const;
   /// Latency histogram over all of the tenant's results so far (null if
-  /// none yet).
+  /// none yet; empty in bounded_stats mode — see TenantLatencySketch).
   const common::Histogram* TenantLatency(tenant::TenantId tenant) const;
+  /// Sketch over all of the tenant's result latencies (bounded_stats
+  /// mode; null if the tenant has no results yet).
+  const telemetry::Sketch* TenantLatencySketch(tenant::TenantId tenant) const;
   /// p95 latency over the trailing admission.slo_window_s window (0 when
   /// no recent results).
   double TenantRecentP95(tenant::TenantId tenant) const;
@@ -583,6 +635,7 @@ class System {
   void HeartbeatTick(double until);
   void SweepTick(double until);
   void AuditTick(double period_s, double until);
+  void WatchdogTick(double period_s, double until);
   void SampleTick(telemetry::TimeSeriesRecorder* recorder, double period_s,
                   double until);
   void ScheduleResultRetry(int64_t seq, double timeout_s);
@@ -641,6 +694,11 @@ class System {
   std::unordered_set<common::QueryId> accepted_;
   /// Invariant auditor (null until EnableAudit).
   std::unique_ptr<Auditor> auditor_;
+  /// Anomaly watchdog (null until EnableWatchdog).
+  std::unique_ptr<telemetry::Watchdog> watchdog_;
+  /// Cumulative control-plane event counters the watchdog probes.
+  int64_t repartition_rounds_ = 0;
+  int64_t evictions_total_ = 0;
   /// Fault layer (null unless config_.inject_faults).
   std::unique_ptr<sim::FaultInjector> faults_;
   /// Crash instant of each entity's current window (for detection
@@ -713,6 +771,8 @@ class System {
   bool draining_admissions_ = false;
   struct TenantRuntime {
     common::Histogram latency;
+    /// Bounded-stats backing for `latency` (bounded_stats mode only).
+    telemetry::Sketch latency_sketch;
     int64_t results = 0;
     int64_t within_slo = 0;
     /// (completion time, latency) of recent results, trimmed to the

@@ -53,7 +53,37 @@ void BenchReport::AttachSeries(const TimeSeriesRecorder* recorder,
   series_.emplace_back(recorder, std::move(labels));
 }
 
+void BenchReport::AttachTrace(const TraceLog* trace, Labels labels) {
+  traces_.emplace_back(trace, std::move(labels));
+}
+
 std::string BenchReport::ToJson() {
+  // Span loss is a first-class health signal: every report carries the
+  // drop counters (zero when tracing is off or nothing dropped) so the
+  // doctor can flag truncated traces without guessing at schema.
+  int64_t dropped_spans = 0;
+  int64_t dropped_instants = 0;
+  for (const auto& [trace, labels] : traces_) {
+    dropped_spans += trace->dropped_spans();
+    dropped_instants += trace->dropped_instants();
+  }
+  auto sync = [this](const char* name, int64_t target) {
+    Counter* c = registry_.counter(name);
+    if (c->value() != target) c->Increment(target - c->value());
+  };
+  sync("trace.dropped_spans", dropped_spans);
+  sync("trace.dropped_instants", dropped_instants);
+  if (!stage_sketches_folded_) {
+    stage_sketches_folded_ = true;
+    for (const auto& [trace, labels] : traces_) {
+      for (const auto& [stage, sketch] : trace->stage_sketches()) {
+        Labels stage_labels = labels;
+        stage_labels.emplace_back("stage", StageName(stage));
+        registry_.histogram("trace.stage_s", std::move(stage_labels))
+            ->MergeSketch(sketch);
+      }
+    }
+  }
   auto render = [this] {
     JsonWriter w;
     w.BeginObject();
@@ -78,9 +108,18 @@ std::string BenchReport::ToJson() {
   // its own nulls. No counter is interned when the count is zero, keeping
   // clean reports byte-identical to the pre-counter format.
   int64_t nonfinite = NonfiniteJsonValues();
-  if (nonfinite > 0) {
-    Counter* c = registry_.counter("telemetry.nonfinite_values");
-    if (c->value() != nonfinite) c->Increment(nonfinite - c->value());
+  int64_t overflow = common::Histogram::TotalOverflow();
+  if (nonfinite > 0 || overflow > 0) {
+    if (nonfinite > 0) {
+      Counter* c = registry_.counter("telemetry.nonfinite_values");
+      if (c->value() != nonfinite) c->Increment(nonfinite - c->value());
+    }
+    if (overflow > 0) {
+      // Capped histograms silently stopped storing samples somewhere in
+      // this process; the report owns up to the truncation.
+      Counter* c = registry_.counter("common.histogram_overflow");
+      if (c->value() != overflow) c->Increment(overflow - c->value());
+    }
     body = render();
   }
   return body;

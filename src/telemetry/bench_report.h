@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "telemetry/registry.h"
 #include "telemetry/timeseries.h"
+#include "telemetry/trace.h"
 
 namespace dsps::telemetry {
 
@@ -48,11 +49,21 @@ class BenchReport {
   /// never-sampled recorder leaves the JSON byte-identical.
   void AttachSeries(const TimeSeriesRecorder* recorder, Labels labels = {});
 
+  /// Attaches a trace log (must outlive the report): its drop counts add
+  /// into the report's trace.dropped_* counters, and any per-stage
+  /// sketches (aggregate_stages mode) appear as "trace.stage_s"
+  /// histogram samples labeled by stage.
+  void AttachTrace(const TraceLog* trace, Labels labels = {});
+
   /// {"bench": name, "metrics": [...], "series": [...]}; deterministic
   /// for identical data. "series" is present only when a non-empty
   /// recorder is attached. Non-const: folds the process-wide non-finite
   /// JSON value count (see JsonNumber) into a `telemetry.nonfinite_values`
-  /// counter so bad math is visible in the report itself.
+  /// counter, the process-wide Histogram sample-cap overflow into
+  /// `common.histogram_overflow` (zero folds nothing, keeping clean
+  /// reports byte-identical), and always exports trace.dropped_spans /
+  /// trace.dropped_instants counters so span loss is a headline signal
+  /// in every report.
   std::string ToJson();
 
   /// Resolved output path (honors DSPS_BENCH_DIR).
@@ -66,6 +77,8 @@ class BenchReport {
   std::string name_;
   MetricsRegistry registry_;
   std::vector<std::pair<const TimeSeriesRecorder*, Labels>> series_;
+  std::vector<std::pair<const TraceLog*, Labels>> traces_;
+  bool stage_sketches_folded_ = false;
 };
 
 }  // namespace dsps::telemetry

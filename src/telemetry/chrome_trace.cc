@@ -32,6 +32,14 @@ common::Result<TraceRecords> ReadTraceJsonLines(std::istream& is) {
     if (!v.is_object()) {
       return LineError(line_no, "expected a JSON object");
     }
+    if (v.Find("flight") != nullptr) {
+      out.from_flight_recorder = true;
+      out.flight_capacity = static_cast<int64_t>(v.NumberOr("capacity", 0.0));
+      out.flight_recorded = static_cast<int64_t>(v.NumberOr("recorded", 0.0));
+      out.flight_overwritten =
+          static_cast<int64_t>(v.NumberOr("overwritten", 0.0));
+      continue;
+    }
     if (const JsonValue* name = v.Find("instant"); name != nullptr) {
       if (name->kind != JsonValue::Kind::kString) {
         return LineError(line_no, "\"instant\" must be a string");

@@ -16,12 +16,20 @@ namespace dsps::telemetry {
 struct TraceRecords {
   std::vector<Span> spans;
   std::vector<Instant> instants;
+  /// Set when the input was a FlightRecorder dump (leading
+  /// {"flight":...} header): ring capacity and how much history the
+  /// wrap-around discarded, so tools can say "last N of M events".
+  bool from_flight_recorder = false;
+  int64_t flight_capacity = 0;
+  int64_t flight_recorded = 0;
+  int64_t flight_overwritten = 0;
 };
 
 /// Parses the trace JSONL format (one span or instant object per line;
-/// blank lines allowed). Strict: any malformed line — including a
-/// truncated final line from a killed run — fails with its 1-based line
-/// number rather than silently dropping data.
+/// blank lines allowed), including flight-recorder dumps (their header
+/// line fills the flight_* fields). Strict: any malformed line —
+/// including a truncated final line from a killed run — fails with its
+/// 1-based line number rather than silently dropping data.
 common::Result<TraceRecords> ReadTraceJsonLines(std::istream& is);
 
 /// Renders the records as a Chrome trace-event JSON document (the format

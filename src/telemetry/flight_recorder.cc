@@ -1,0 +1,103 @@
+#include "telemetry/flight_recorder.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/check.h"
+#include "telemetry/sinks.h"
+
+namespace dsps::telemetry {
+
+FlightRecorder::FlightRecorder(const Config& config) : config_(config) {
+  DSPS_CHECK(config_.capacity > 0);
+  ring_.reserve(config_.capacity < 1024 ? config_.capacity : 1024);
+}
+
+void FlightRecorder::RecordSpan(const Span& span) {
+  Event ev;
+  ev.seq = next_seq_++;
+  ev.kind = EventKind::kSpan;
+  ev.span = span;
+  size_t slot = static_cast<size_t>(ev.seq) % config_.capacity;
+  if (slot < ring_.size()) {
+    ring_[slot] = std::move(ev);
+  } else {
+    ring_.push_back(std::move(ev));
+  }
+}
+
+void FlightRecorder::RecordInstant(std::string_view name, double t,
+                                   int32_t node, double value,
+                                   EventKind kind) {
+  Event ev;
+  ev.seq = next_seq_++;
+  ev.kind = kind;
+  ev.instant = Instant{std::string(name), t, node, value};
+  size_t slot = static_cast<size_t>(ev.seq) % config_.capacity;
+  if (slot < ring_.size()) {
+    ring_[slot] = std::move(ev);
+  } else {
+    ring_.push_back(std::move(ev));
+  }
+}
+
+std::vector<const FlightRecorder::Event*> FlightRecorder::Events() const {
+  std::vector<const Event*> out;
+  out.reserve(ring_.size());
+  // Oldest event is at slot next_seq_ % capacity once wrapped, slot 0
+  // before that.
+  size_t start = ring_.size() < config_.capacity
+                     ? 0
+                     : static_cast<size_t>(next_seq_) % config_.capacity;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(&ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void FlightRecorder::DumpJsonl(std::ostream& os) const {
+  os << "{\"flight\":1,\"capacity\":" << config_.capacity
+     << ",\"recorded\":" << recorded()
+     << ",\"overwritten\":" << overwritten() << "}\n";
+  for (const Event* ev : Events()) {
+    if (ev->kind == EventKind::kSpan) {
+      os << SpanToJson(ev->span) << "\n";
+    } else {
+      os << InstantToJson(ev->instant) << "\n";
+    }
+  }
+}
+
+bool FlightRecorder::DumpToFile(const std::string& path) const {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) return false;
+  DumpJsonl(os);
+  return os.good();
+}
+
+bool FlightRecorder::DumpOnce() {
+  if (dumped_ || config_.dump_path.empty()) return false;
+  dumped_ = true;
+  return DumpToFile(config_.dump_path);
+}
+
+void FlightRecorder::Clear() {
+  ring_.clear();
+  next_seq_ = 0;
+  dumped_ = false;
+}
+
+namespace {
+FlightRecorder* g_fatal_dump_recorder = nullptr;
+
+void FatalDump() {
+  if (g_fatal_dump_recorder != nullptr) g_fatal_dump_recorder->DumpOnce();
+}
+}  // namespace
+
+void InstallFatalDumpHook(FlightRecorder* recorder) {
+  g_fatal_dump_recorder = recorder;
+  common::SetFatalHook(recorder != nullptr ? &FatalDump : nullptr);
+}
+
+}  // namespace dsps::telemetry

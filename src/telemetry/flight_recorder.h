@@ -1,0 +1,101 @@
+#ifndef DSPS_TELEMETRY_FLIGHT_RECORDER_H_
+#define DSPS_TELEMETRY_FLIGHT_RECORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/trace.h"
+
+namespace dsps::telemetry {
+
+/// Fixed-capacity ring of recent structured events — trace spans,
+/// control-plane instants, audit summaries, net drops, anomalies —
+/// overwriting oldest-first. Where TraceLog keeps the *first* N spans
+/// and drops the tail, the flight recorder always holds the *last* N
+/// events, which are exactly the ones a post-mortem needs.
+///
+/// DumpJsonl emits a deterministic JSONL snapshot (one header line, then
+/// events oldest-to-newest in the same span/instant schema TraceLog
+/// sinks use), so tools/trace_stats and tools/trace_export decompose
+/// post-mortem rings and full traces alike. Auto-dump hooks fire it on
+/// auditor violations, failed fatal checks, and watchdog anomalies.
+class FlightRecorder {
+ public:
+  struct Config {
+    /// Ring capacity in events (each ~128 bytes plus the instant name).
+    size_t capacity = 4096;
+    /// Destination for DumpOnce(); empty disables the auto-dump hooks.
+    std::string dump_path;
+  };
+
+  enum class EventKind : int8_t {
+    kSpan = 0,
+    kInstant,
+    kAnomaly,
+    kAudit,
+    kNetDrop,
+  };
+
+  struct Event {
+    /// Monotonic sequence number over everything ever recorded.
+    int64_t seq = 0;
+    EventKind kind = EventKind::kInstant;
+    Span span;        // kSpan only.
+    Instant instant;  // All other kinds.
+  };
+
+  FlightRecorder() : FlightRecorder(Config{}) {}
+  explicit FlightRecorder(const Config& config);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void RecordSpan(const Span& span);
+  void RecordInstant(std::string_view name, double t, int32_t node = -1,
+                     double value = 0.0,
+                     EventKind kind = EventKind::kInstant);
+
+  /// Total events ever recorded (>= size once the ring wraps).
+  int64_t recorded() const { return next_seq_; }
+  /// Events overwritten by the wrap-around.
+  int64_t overwritten() const {
+    return next_seq_ - static_cast<int64_t>(ring_.size());
+  }
+  size_t size() const { return ring_.size(); }
+  const Config& config() const { return config_; }
+
+  /// Events oldest-to-newest (pointers valid until the next Record).
+  std::vector<const Event*> Events() const;
+
+  /// Deterministic JSONL dump: one header object
+  /// {"flight":1,"capacity":...,"recorded":...,"overwritten":...}, then
+  /// one span/instant object per event, oldest first.
+  void DumpJsonl(std::ostream& os) const;
+  bool DumpToFile(const std::string& path) const;
+
+  /// Dumps to config.dump_path the first time it is called; later calls
+  /// (and calls with an empty dump_path) return false without touching
+  /// the file, so the retained post-mortem is the one nearest the
+  /// *first* fault.
+  bool DumpOnce();
+
+  void Clear();
+
+ private:
+  Config config_;
+  std::vector<Event> ring_;  // Index seq % capacity.
+  int64_t next_seq_ = 0;
+  bool dumped_ = false;
+};
+
+/// Installs a process-wide fatal-check hook (common::SetFatalHook) that
+/// DumpOnce()s `recorder` just before a failed DSPS_CHECK aborts.
+/// Passing nullptr uninstalls.
+void InstallFatalDumpHook(FlightRecorder* recorder);
+
+}  // namespace dsps::telemetry
+
+#endif  // DSPS_TELEMETRY_FLIGHT_RECORDER_H_

@@ -49,8 +49,26 @@ HistogramMetric* MetricsRegistry::histogram(std::string_view name,
                                             Labels labels) {
   auto [it, inserted] =
       histograms_.try_emplace(MakeKey(name, std::move(labels)), nullptr);
-  if (inserted) it->second = std::make_unique<HistogramMetric>();
+  if (inserted) {
+    it->second = sketch_mode_
+                     ? std::make_unique<HistogramMetric>(sketch_config_)
+                     : std::make_unique<HistogramMetric>();
+  }
   return it->second.get();
+}
+
+void MetricsRegistry::UseSketches(const Sketch::Config& config) {
+  sketch_mode_ = true;
+  sketch_config_ = config;
+}
+
+void HistogramMetric::MergeSketch(const Sketch& other) {
+  if (sketch_ == nullptr) {
+    sketch_ = std::make_unique<Sketch>(other.config());
+    for (double x : data_.samples()) sketch_->Add(x);
+    data_ = common::Histogram();
+  }
+  sketch_->Merge(other);
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
@@ -77,13 +95,12 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     s.name = key.first;
     s.labels = key.second;
     s.kind = MetricSample::Kind::kHistogram;
-    const common::Histogram& h = metric->data();
-    s.count = static_cast<int64_t>(h.count());
-    s.mean = h.mean();
-    s.p50 = h.p50();
-    s.p95 = h.p95();
-    s.p99 = h.p99();
-    s.max = h.max();
+    s.count = metric->count();
+    s.mean = metric->mean();
+    s.p50 = metric->p50();
+    s.p95 = metric->p95();
+    s.p99 = metric->p99();
+    s.max = metric->max();
     snap.samples.push_back(std::move(s));
   }
   std::sort(snap.samples.begin(), snap.samples.end(),
@@ -103,7 +120,12 @@ void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
     gauge(key.first, key.second)->Set(metric->value());
   }
   for (const auto& [key, metric] : other.histograms_) {
-    histogram(key.first, key.second)->Merge(metric->data());
+    HistogramMetric* mine = histogram(key.first, key.second);
+    if (metric->sketch_backed()) {
+      mine->MergeSketch(*metric->sketch());
+    } else {
+      mine->Merge(metric->data());
+    }
   }
 }
 

@@ -58,12 +58,26 @@ common::Status WriteSpansFile(const TraceLog& log, const std::string& path) {
 }
 
 void PrintTraceSummary(const TraceLog& log, std::ostream& os) {
+  common::Table table({"stage", "spans", "total ms", "mean ms", "p50 ms",
+                       "p95 ms", "p99 ms"});
+  if (!log.stage_sketches().empty()) {
+    // Aggregate-stages mode: the bounded sketches carry the breakdown
+    // (and, with retain_spans off, the spans were never stored).
+    for (const auto& [stage, sketch] : log.stage_sketches()) {
+      table.AddRow({StageName(stage), common::Table::Int(sketch.count()),
+                    common::Table::Num(sketch.sum() * 1e3, 3),
+                    common::Table::Num(sketch.mean() * 1e3, 4),
+                    common::Table::Num(sketch.p50() * 1e3, 4),
+                    common::Table::Num(sketch.p95() * 1e3, 4),
+                    common::Table::Num(sketch.p99() * 1e3, 4)});
+    }
+    os << table.ToString();
+    return;
+  }
   std::map<Stage, common::Histogram> per_stage;
   for (const Span& span : log.spans()) {
     per_stage[span.stage].Add(span.duration());
   }
-  common::Table table({"stage", "spans", "total ms", "mean ms", "p50 ms",
-                       "p95 ms", "p99 ms"});
   for (const auto& [stage, hist] : per_stage) {
     table.AddRow({StageName(stage),
                   common::Table::Int(static_cast<int64_t>(hist.count())),

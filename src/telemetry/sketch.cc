@@ -1,0 +1,129 @@
+#include "telemetry/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace dsps::telemetry {
+
+Sketch::Sketch(const Config& config) : config_(config) {
+  DSPS_CHECK(config_.relative_accuracy > 0.0 &&
+             config_.relative_accuracy < 1.0);
+  DSPS_CHECK(config_.max_buckets >= 8);
+  gamma_ = (1.0 + config_.relative_accuracy) /
+           (1.0 - config_.relative_accuracy);
+  inv_log_gamma_ = 1.0 / std::log(gamma_);
+}
+
+int Sketch::KeyFor(double magnitude) const {
+  // Bucket k covers (gamma^(k-1), gamma^k].
+  return static_cast<int>(std::ceil(std::log(magnitude) * inv_log_gamma_));
+}
+
+double Sketch::ValueFor(int key) const {
+  // Midpoint (in relative terms) of (gamma^(k-1), gamma^k]: every value in
+  // the bucket is within relative_accuracy of this estimate.
+  return 2.0 * std::pow(gamma_, key) / (gamma_ + 1.0);
+}
+
+void Sketch::Collapse(std::map<int, int64_t>& buckets) {
+  // Fold the lowest-magnitude bucket into its neighbor. High quantiles
+  // keep the error bound; only the collapsed low tail coarsens.
+  while (buckets.size() > config_.max_buckets) {
+    auto first = buckets.begin();
+    auto second = std::next(first);
+    second->second += first->second;
+    buckets.erase(first);
+    collapsed_ = true;
+  }
+}
+
+void Sketch::Add(double x, int64_t n) {
+  if (n <= 0) return;
+  if (std::isnan(x)) {
+    count_ += n;  // Counted so totals reconcile; excluded from quantiles.
+    return;
+  }
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+  count_ += n;
+  sum_ += x * static_cast<double>(n);
+  double mag = std::fabs(x);
+  if (mag < kMinIndexable) {
+    zero_count_ += n;
+  } else if (x > 0.0) {
+    pos_[KeyFor(mag)] += n;
+    Collapse(pos_);
+  } else {
+    neg_[KeyFor(mag)] += n;
+    Collapse(neg_);
+  }
+}
+
+void Sketch::Merge(const Sketch& other) {
+  DSPS_CHECK(config_.relative_accuracy == other.config_.relative_accuracy);
+  if (other.count_ == 0) return;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  zero_count_ += other.zero_count_;
+  for (const auto& [key, n] : other.pos_) pos_[key] += n;
+  for (const auto& [key, n] : other.neg_) neg_[key] += n;
+  collapsed_ = collapsed_ || other.collapsed_;
+  Collapse(pos_);
+  Collapse(neg_);
+}
+
+double Sketch::min() const { return min_ <= max_ ? min_ : 0.0; }
+double Sketch::max() const { return min_ <= max_ ? max_ : 0.0; }
+
+double Sketch::Percentile(double q) const {
+  int64_t indexed = zero_count_;
+  for (const auto& [key, n] : pos_) indexed += n;
+  for (const auto& [key, n] : neg_) indexed += n;
+  if (indexed == 0) return 0.0;
+  if (q <= 0.0) return min();
+  if (q >= 1.0) return max();
+  // Nearest rank in [1, indexed].
+  int64_t rank = static_cast<int64_t>(
+      std::ceil(q * static_cast<double>(indexed)));
+  rank = std::max<int64_t>(1, std::min(rank, indexed));
+  int64_t cum = 0;
+  // Ascending value order: negatives from largest magnitude down, the
+  // zero bucket, then positives from smallest magnitude up.
+  for (auto it = neg_.rbegin(); it != neg_.rend(); ++it) {
+    cum += it->second;
+    if (cum >= rank) {
+      return std::clamp(-ValueFor(it->first), min_, max_);
+    }
+  }
+  cum += zero_count_;
+  if (cum >= rank) return std::clamp(0.0, min_, max_);
+  for (const auto& [key, n] : pos_) {
+    cum += n;
+    if (cum >= rank) return std::clamp(ValueFor(key), min_, max_);
+  }
+  return max();
+}
+
+size_t Sketch::MemoryBytes() const {
+  // std::map node: key + count + three pointers + color, rounded up.
+  constexpr size_t kNodeBytes = 48;
+  return sizeof(Sketch) + num_buckets() * kNodeBytes;
+}
+
+void Sketch::Clear() {
+  pos_.clear();
+  neg_.clear();
+  zero_count_ = 0;
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+  collapsed_ = false;
+}
+
+}  // namespace dsps::telemetry

@@ -1,5 +1,7 @@
 #include "telemetry/trace.h"
 
+#include "telemetry/flight_recorder.h"
+
 namespace dsps::telemetry {
 
 const char* StageName(Stage stage) {
@@ -47,11 +49,19 @@ void TraceLog::Record(int64_t trace, Stage stage, double start, double end,
                       int32_t from, int32_t to, int64_t query,
                       int64_t tenant) {
   if (trace == 0 || !enabled()) return;
+  Span span{trace, stage, start, end, from, to, query, tenant};
+  if (flight_ != nullptr) flight_->RecordSpan(span);
+  if (config_.aggregate_stages) {
+    auto [it, inserted] =
+        stage_sketches_.try_emplace(stage, config_.stage_sketch);
+    it->second.Add(span.duration());
+  }
+  if (!config_.retain_spans) return;  // Aggregated by design, not dropped.
   if (spans_.size() >= config_.max_spans) {
     ++dropped_;
     return;
   }
-  spans_.push_back(Span{trace, stage, start, end, from, to, query, tenant});
+  spans_.push_back(span);
 }
 
 void TraceLog::MapMessageType(int type, Stage stage) {
@@ -71,8 +81,9 @@ void TraceLog::RecordMessage(int64_t trace, int msg_type, double start,
 void TraceLog::RecordInstant(std::string_view name, double t, int32_t node,
                              double value) {
   if (!enabled()) return;
-  if (spans_.size() + instants_.size() >= config_.max_spans) {
-    ++dropped_;
+  if (flight_ != nullptr) flight_->RecordInstant(name, t, node, value);
+  if (instants_.size() >= config_.max_instants) {
+    ++dropped_instants_;
     return;
   }
   instants_.push_back(Instant{std::string(name), t, node, value});
@@ -81,9 +92,11 @@ void TraceLog::RecordInstant(std::string_view name, double t, int32_t node,
 void TraceLog::Clear() {
   spans_.clear();
   instants_.clear();
+  stage_sketches_.clear();
   publications_ = 0;
   next_trace_ = 1;
   dropped_ = 0;
+  dropped_instants_ = 0;
 }
 
 }  // namespace dsps::telemetry

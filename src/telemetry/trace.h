@@ -7,7 +7,11 @@
 #include <string_view>
 #include <vector>
 
+#include "telemetry/sketch.h"
+
 namespace dsps::telemetry {
+
+class FlightRecorder;
 
 /// The stages of the paper's delay decomposition, as observed per traced
 /// tuple: source emission, dissemination-tree hops across the WAN, the
@@ -91,6 +95,20 @@ class TraceLog {
     /// Hard cap on retained spans; once reached, further spans are
     /// counted (dropped_spans) but not stored.
     size_t max_spans = 1u << 20;
+    /// Instants get their own budget: control-plane markers (crash,
+    /// repartition, evict) are rare and must survive span-budget
+    /// exhaustion in long runs.
+    size_t max_instants = 1u << 16;
+    /// Aggregate span durations into bounded per-stage quantile
+    /// sketches as they are recorded.
+    bool aggregate_stages = false;
+    /// Keep raw spans (subject to max_spans). With aggregate_stages on
+    /// and retain_spans off, every tuple can be traced at metro scale:
+    /// the per-stage latency decomposition survives in O(buckets)
+    /// memory while raw spans are not stored (and not counted dropped).
+    bool retain_spans = true;
+    /// Bucketing for the stage sketches.
+    Sketch::Config stage_sketch;
   };
 
   TraceLog() = default;
@@ -121,15 +139,28 @@ class TraceLog {
                      int32_t from, int32_t to);
 
   /// Records a system instant event (no-op when the log is disabled).
-  /// Instants share the max_spans budget with spans.
+  /// Instants have their own max_instants budget.
   void RecordInstant(std::string_view name, double t, int32_t node = -1,
                      double value = 0.0);
 
+  /// Mirrors every recorded span and instant into `recorder`'s ring
+  /// (even ones the budgets drop), so the recorder always holds the
+  /// *latest* events. nullptr detaches.
+  void AttachFlightRecorder(FlightRecorder* recorder) {
+    flight_ = recorder;
+  }
+  FlightRecorder* flight_recorder() const { return flight_; }
+
   const std::vector<Span>& spans() const { return spans_; }
   const std::vector<Instant>& instants() const { return instants_; }
+  /// Per-stage duration sketches (aggregate_stages mode only).
+  const std::map<Stage, Sketch>& stage_sketches() const {
+    return stage_sketches_;
+  }
   int64_t traces_started() const { return next_trace_ - 1; }
   int64_t publications_seen() const { return publications_; }
   int64_t dropped_spans() const { return dropped_; }
+  int64_t dropped_instants() const { return dropped_instants_; }
 
   /// Forgets all spans and resets the sampling phase (mapping kept).
   void Clear();
@@ -138,10 +169,13 @@ class TraceLog {
   Config config_;
   std::vector<Span> spans_;
   std::vector<Instant> instants_;
+  std::map<Stage, Sketch> stage_sketches_;
   std::map<int, Stage> stage_of_type_;
+  FlightRecorder* flight_ = nullptr;
   int64_t publications_ = 0;
   int64_t next_trace_ = 1;
   int64_t dropped_ = 0;
+  int64_t dropped_instants_ = 0;
 };
 
 }  // namespace dsps::telemetry

@@ -5,11 +5,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "engine/query_builder.h"
 #include "system/auditor.h"
 #include "system/system.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/json.h"
 #include "telemetry/registry.h"
 #include "workload/stream_gen.h"
@@ -120,6 +125,54 @@ TEST(AuditorTest, GhostQueryOnEntityViolatesConservation) {
     }
   }
   EXPECT_TRUE(conservation_flagged);
+}
+
+TEST(AuditorTest, InjectedViolationTriggersDeterministicFlightDump) {
+  // One corrupted run: the conservation violation must auto-dump the
+  // flight recorder exactly once, and an identical second run must
+  // produce a byte-identical dump — post-mortems are reproducible.
+  auto corrupt_and_dump = [](const std::string& path) {
+    telemetry::FlightRecorder::Config fr_cfg;
+    fr_cfg.dump_path = path;
+    telemetry::FlightRecorder flight(fr_cfg);
+    System::Config cfg = SmallConfig();
+    cfg.flight = &flight;
+    System sys(cfg);
+    AddStreams(&sys, 2);
+    for (int i = 1; i <= 4; ++i) {
+      ASSERT_TRUE(sys.SubmitQuery(MakeQuery(sys, i, i % 2)).ok());
+    }
+    Auditor* auditor =
+        sys.EnableAudit(/*period_s=*/1.0, /*until=*/0.0, /*fatal=*/false);
+    EXPECT_EQ(auditor->RunOnce(), 0);
+    ASSERT_TRUE(sys.entity_at(0)
+                    ->InstallQuery(MakeQuery(sys, 99, 0), /*tps=*/100.0)
+                    .ok());
+    EXPECT_GT(auditor->RunOnce(), 0);
+    // The violation recorded an audit event and fired the one-shot dump.
+    EXPECT_GT(flight.recorded(), 0);
+    // A later sweep finding the same violation must not clobber the
+    // first post-mortem.
+    EXPECT_GT(auditor->RunOnce(), 0);
+  };
+  std::string path_a = ::testing::TempDir() + "/audit_flight_a.jsonl";
+  std::string path_b = ::testing::TempDir() + "/audit_flight_b.jsonl";
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+  corrupt_and_dump(path_a);
+  corrupt_and_dump(path_b);
+  std::ifstream a(path_a), b(path_b);
+  ASSERT_TRUE(a.good()) << "auditor violation did not dump to " << path_a;
+  ASSERT_TRUE(b.good());
+  std::stringstream abuf, bbuf;
+  abuf << a.rdbuf();
+  bbuf << b.rdbuf();
+  EXPECT_FALSE(abuf.str().empty());
+  EXPECT_NE(abuf.str().find("audit.violation.conservation"),
+            std::string::npos);
+  EXPECT_EQ(abuf.str(), bbuf.str());
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
 }
 
 TEST(AuditorTest, ReportJsonCarriesSweepsViolationsAndChecks) {

@@ -240,6 +240,44 @@ TEST(HistogramTest, InterleavedAddAndQuery) {
   EXPECT_DOUBLE_EQ(h.Percentile(1.0), 20.0);
 }
 
+#ifdef NDEBUG
+TEST(HistogramTest, SampleCapCountsOverflowInRelease) {
+  int64_t before = Histogram::TotalOverflow();
+  Histogram h;
+  h.set_sample_cap(4);
+  for (int i = 0; i < 7; ++i) h.Add(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.overflow(), 3);
+  EXPECT_EQ(Histogram::TotalOverflow(), before + 3);
+  // Percentiles still answer over the retained prefix.
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 3.0);
+}
+
+TEST(HistogramTest, MergePastCapCountsOverflow) {
+  Histogram src;
+  for (int i = 0; i < 10; ++i) src.Add(static_cast<double>(i));
+  Histogram dst;
+  dst.set_sample_cap(6);
+  dst.Merge(src);
+  EXPECT_EQ(dst.count(), 6u);
+  EXPECT_EQ(dst.overflow(), 4);
+}
+#else
+TEST(HistogramDeathTest, SampleCapIsFatalInDebug) {
+  // An uncapped accumulation site is a bug in debug builds: the fix is a
+  // telemetry::Sketch or an explicit larger cap, never silent growth.
+  EXPECT_DEATH(
+      {
+        Histogram h;
+        h.set_sample_cap(2);
+        h.Add(1.0);
+        h.Add(2.0);
+        h.Add(3.0);
+      },
+      "sample cap exceeded");
+}
+#endif
+
 // ------------------------------------------------------------------- Table
 
 TEST(TableTest, RendersAlignedColumns) {

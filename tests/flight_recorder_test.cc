@@ -1,0 +1,154 @@
+#include "telemetry/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/check.h"
+#include "telemetry/chrome_trace.h"
+#include "telemetry/trace.h"
+
+namespace dsps::telemetry {
+namespace {
+
+Span MakeSpan(int64_t trace, double start, double end) {
+  Span s;
+  s.trace = trace;
+  s.stage = Stage::kExecute;
+  s.start = start;
+  s.end = end;
+  return s;
+}
+
+TEST(FlightRecorderTest, KeepsLastEventsOldestFirst) {
+  FlightRecorder::Config cfg;
+  cfg.capacity = 4;
+  FlightRecorder fr(cfg);
+  for (int i = 0; i < 11; ++i) {
+    fr.RecordInstant("ev" + std::to_string(i), static_cast<double>(i));
+  }
+  EXPECT_EQ(fr.recorded(), 11);
+  EXPECT_EQ(fr.size(), 4u);
+  EXPECT_EQ(fr.overwritten(), 7);
+  auto events = fr.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Last 4 of 11, oldest first: ev7..ev10.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i]->seq, 7 + i);
+    EXPECT_EQ(events[i]->instant.name, "ev" + std::to_string(7 + i));
+  }
+}
+
+TEST(FlightRecorderTest, BeforeWrapKeepsEverything) {
+  FlightRecorder::Config cfg;
+  cfg.capacity = 8;
+  FlightRecorder fr(cfg);
+  fr.RecordSpan(MakeSpan(1, 0.0, 0.5));
+  fr.RecordInstant("mark", 1.0, 3, 42.0);
+  EXPECT_EQ(fr.overwritten(), 0);
+  auto events = fr.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0]->kind, FlightRecorder::EventKind::kSpan);
+  EXPECT_EQ(events[0]->span.trace, 1);
+  EXPECT_EQ(events[1]->instant.value, 42.0);
+  EXPECT_EQ(events[1]->instant.node, 3);
+}
+
+TEST(FlightRecorderTest, DumpIsDeterministicAndParses) {
+  FlightRecorder::Config cfg;
+  cfg.capacity = 4;
+  FlightRecorder fr(cfg);
+  fr.RecordSpan(MakeSpan(9, 1.0, 2.0));
+  for (int i = 0; i < 6; ++i) {
+    fr.RecordInstant("anomaly.retry_storm", 2.0 + i, -1,
+                     static_cast<double>(i),
+                     FlightRecorder::EventKind::kAnomaly);
+  }
+  std::ostringstream a, b;
+  fr.DumpJsonl(a);
+  fr.DumpJsonl(b);
+  EXPECT_EQ(a.str(), b.str());  // Dumping is read-only and repeatable.
+
+  std::istringstream in(a.str());
+  auto records = ReadTraceJsonLines(in);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  EXPECT_TRUE(records.value().from_flight_recorder);
+  EXPECT_EQ(records.value().flight_capacity, 4);
+  EXPECT_EQ(records.value().flight_recorded, 7);
+  EXPECT_EQ(records.value().flight_overwritten, 3);
+  // The span (seq 0) was overwritten; only the last 4 instants survive.
+  EXPECT_EQ(records.value().spans.size(), 0u);
+  ASSERT_EQ(records.value().instants.size(), 4u);
+  EXPECT_EQ(records.value().instants[0].value, 2.0);
+  EXPECT_EQ(records.value().instants[3].value, 5.0);
+}
+
+TEST(FlightRecorderTest, DumpOnceWritesExactlyOnce) {
+  std::string path = ::testing::TempDir() + "/flight_once.jsonl";
+  std::remove(path.c_str());
+  FlightRecorder::Config cfg;
+  cfg.capacity = 8;
+  cfg.dump_path = path;
+  FlightRecorder fr(cfg);
+  fr.RecordInstant("first_fault", 1.0);
+  EXPECT_TRUE(fr.DumpOnce());
+  fr.RecordInstant("later_noise", 2.0);
+  EXPECT_FALSE(fr.DumpOnce());  // The retained dump is the first fault's.
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("first_fault"), std::string::npos);
+  EXPECT_EQ(buf.str().find("later_noise"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, DumpOnceWithoutPathIsNoop) {
+  FlightRecorder fr;
+  fr.RecordInstant("x", 0.0);
+  EXPECT_FALSE(fr.DumpOnce());
+}
+
+TEST(FlightRecorderTest, ClearRearmsDumpOnce) {
+  std::string path = ::testing::TempDir() + "/flight_rearm.jsonl";
+  std::remove(path.c_str());
+  FlightRecorder::Config cfg;
+  cfg.dump_path = path;
+  FlightRecorder fr(cfg);
+  fr.RecordInstant("a", 0.0);
+  EXPECT_TRUE(fr.DumpOnce());
+  fr.Clear();
+  EXPECT_EQ(fr.size(), 0u);
+  EXPECT_EQ(fr.recorded(), 0);
+  fr.RecordInstant("b", 1.0);
+  EXPECT_TRUE(fr.DumpOnce());
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderDeathTest, FatalCheckDumpsBeforeAbort) {
+  std::string path = ::testing::TempDir() + "/flight_fatal.jsonl";
+  std::remove(path.c_str());
+  EXPECT_DEATH(
+      {
+        FlightRecorder::Config cfg;
+        cfg.dump_path = path;
+        FlightRecorder fr(cfg);
+        InstallFatalDumpHook(&fr);
+        fr.RecordInstant("about_to_die", 3.0);
+        DSPS_CHECK(false && "boom");
+      },
+      "boom");
+  // The death-test child shares the filesystem: the hook's dump must be
+  // on disk even though the child aborted.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "fatal hook did not dump to " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("about_to_die"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dsps::telemetry

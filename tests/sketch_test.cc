@@ -1,0 +1,263 @@
+#include "telemetry/sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dsps::telemetry {
+namespace {
+
+// Exact nearest-rank quantile over a sorted sample vector — the ground
+// truth the sketch contract is stated against.
+double ExactQuantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  double n = static_cast<double>(sorted.size());
+  size_t rank = static_cast<size_t>(std::ceil(q * n));
+  rank = std::min(std::max<size_t>(rank, 1), sorted.size());
+  return sorted[rank - 1];
+}
+
+// Asserts the DDSketch error contract on one sample set: at every probed
+// quantile the estimate is within relative_accuracy of the exact
+// nearest-rank sample, and the target rank falls inside the rank
+// interval of samples within that error band of the estimate.
+void CheckErrorContract(std::vector<double> samples) {
+  ASSERT_FALSE(samples.empty());
+  Sketch sketch;
+  for (double x : samples) sketch.Add(x);
+  std::sort(samples.begin(), samples.end());
+  const double alpha = sketch.config().relative_accuracy;
+  const double n = static_cast<double>(samples.size());
+  for (double q : {0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999}) {
+    const double truth = ExactQuantile(samples, q);
+    const double est = sketch.Percentile(q);
+    EXPECT_NEAR(est, truth, alpha * std::fabs(truth) + 1e-12)
+        << "q=" << q << " n=" << n;
+    // Rank distance from the target rank to the band of samples the
+    // sketch may legally answer with ([est/(1+a), est/(1-a)] for
+    // positive values). Guaranteed 0 by the bucketing scheme.
+    if (truth > 0.0) {
+      const double below = static_cast<double>(
+          std::lower_bound(samples.begin(), samples.end(),
+                           est / (1.0 + alpha)) -
+          samples.begin());
+      const double above = static_cast<double>(
+          std::upper_bound(samples.begin(), samples.end(),
+                           est / (1.0 - alpha)) -
+          samples.begin());
+      const double target = q * n;
+      double rank_err = 0.0;
+      if (target < below) rank_err = (below - target) / n;
+      if (target > above) rank_err = (target - above) / n;
+      EXPECT_LE(rank_err, 0.01) << "q=" << q;
+    }
+  }
+}
+
+TEST(SketchTest, EmptyAndSingle) {
+  Sketch s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.Percentile(0.5), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  s.Add(42.0);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_NEAR(s.Percentile(0.5), 42.0, 0.01 * 42.0);
+  EXPECT_EQ(s.min(), 42.0);
+  EXPECT_EQ(s.max(), 42.0);
+}
+
+TEST(SketchTest, ErrorContractUniform) {
+  dsps::common::Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.Uniform(0.001, 10.0));
+  CheckErrorContract(std::move(xs));
+}
+
+TEST(SketchTest, ErrorContractHeavyTail) {
+  // Log-uniform across six decades: the worst case for fixed-width
+  // histograms, the design case for log-gamma bucketing.
+  dsps::common::Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) {
+    xs.push_back(std::pow(10.0, rng.Uniform(-4.0, 2.0)));
+  }
+  CheckErrorContract(std::move(xs));
+}
+
+TEST(SketchTest, ErrorContractClusteredDuplicates) {
+  // Adversarial for rank-based accounting: a few point masses holding
+  // most of the probability, so tiny value errors could cross huge rank
+  // gaps. The value-aware contract must still hold.
+  dsps::common::Rng rng(13);
+  std::vector<double> xs;
+  const double modes[] = {0.010, 0.0101, 2.0, 50.0};
+  for (int i = 0; i < 20000; ++i) {
+    xs.push_back(modes[rng.UniformInt(0, 3)]);
+  }
+  CheckErrorContract(std::move(xs));
+}
+
+TEST(SketchTest, ErrorContractAdversarialBucketEdges) {
+  // Values planted on geometric bucket boundaries for alpha = 1%.
+  std::vector<double> xs;
+  const double gamma = 1.01 / 0.99;
+  double v = 1e-3;
+  while (xs.size() < 4000) {
+    for (int rep = 0; rep < 4; ++rep) xs.push_back(v);
+    v *= gamma;
+    if (v > 1e3) v = 1.0000001e-3;
+  }
+  CheckErrorContract(std::move(xs));
+}
+
+TEST(SketchTest, NegativeAndZeroValues) {
+  Sketch s;
+  for (int i = 1; i <= 100; ++i) s.Add(-static_cast<double>(i));
+  s.Add(0.0);
+  for (int i = 1; i <= 100; ++i) s.Add(static_cast<double>(i));
+  EXPECT_EQ(s.count(), 201);
+  EXPECT_EQ(s.min(), -100.0);
+  EXPECT_EQ(s.max(), 100.0);
+  // Median is the zero point mass.
+  EXPECT_EQ(s.Percentile(0.5), 0.0);
+  // Deep quantiles land in the negative tail with relative accuracy.
+  double p05 = s.Percentile(0.05);
+  EXPECT_NEAR(p05, -90.0, 0.02 * 90.0 + 1.0);
+  double p95 = s.Percentile(0.95);
+  EXPECT_NEAR(p95, 90.0, 0.02 * 90.0 + 1.0);
+}
+
+TEST(SketchTest, NanCountedButExcludedFromQuantiles) {
+  Sketch s;
+  s.Add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_EQ(s.Percentile(0.5), 0.0);  // No indexable mass.
+  EXPECT_EQ(s.min(), 0.0);            // Not poisoned.
+  s.Add(5.0);
+  s.Add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(s.count(), 3);
+  EXPECT_NEAR(s.Percentile(0.99), 5.0, 0.06);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(SketchTest, MergeIsExact) {
+  // merge(a, b) must equal a sketch that observed both streams — bucket
+  // counts add, so every quantile matches bit-for-bit.
+  dsps::common::Rng rng(17);
+  Sketch merged, whole;
+  Sketch parts[4] = {Sketch(), Sketch(), Sketch(), Sketch()};
+  for (int i = 0; i < 8000; ++i) {
+    double x = std::pow(10.0, rng.Uniform(-3.0, 3.0));
+    whole.Add(x);
+    parts[i % 4].Add(x);
+  }
+  for (const Sketch& p : parts) merged.Merge(p);
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_DOUBLE_EQ(merged.sum(), whole.sum());
+  for (double q : {0.01, 0.25, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(merged.Percentile(q), whole.Percentile(q)) << q;
+  }
+}
+
+TEST(SketchTest, MergeAssociativeAndCommutative) {
+  dsps::common::Rng rng(19);
+  Sketch a, b, c;
+  for (int i = 0; i < 3000; ++i) a.Add(rng.Uniform(0.01, 1.0));
+  for (int i = 0; i < 3000; ++i) b.Add(rng.Uniform(0.5, 100.0));
+  for (int i = 0; i < 3000; ++i) c.Add(rng.Uniform(1e-4, 1e-2));
+
+  Sketch ab_c, a_bc, cba;
+  ab_c.Merge(a);
+  ab_c.Merge(b);
+  ab_c.Merge(c);
+  Sketch bc;
+  bc.Merge(b);
+  bc.Merge(c);
+  a_bc.Merge(a);
+  a_bc.Merge(bc);
+  cba.Merge(c);
+  cba.Merge(b);
+  cba.Merge(a);
+
+  EXPECT_EQ(ab_c.count(), a_bc.count());
+  EXPECT_EQ(ab_c.count(), cba.count());
+  for (double q = 0.05; q < 1.0; q += 0.05) {
+    EXPECT_DOUBLE_EQ(ab_c.Percentile(q), a_bc.Percentile(q)) << q;
+    EXPECT_DOUBLE_EQ(ab_c.Percentile(q), cba.Percentile(q)) << q;
+  }
+  EXPECT_DOUBLE_EQ(ab_c.min(), cba.min());
+  EXPECT_DOUBLE_EQ(ab_c.max(), cba.max());
+}
+
+TEST(SketchTest, BucketBudgetCollapsesLowTailOnly) {
+  // Nine decades at alpha=1% want ~1000 buckets; a 128-bucket budget
+  // keeps only the top ~1.1 decades exact. Quantiles that land in the
+  // retained range keep the error bound; the collapsed low tail does
+  // not (by design), which the budget flag must make visible.
+  Sketch::Config cfg;
+  cfg.max_buckets = 128;
+  Sketch s(cfg);
+  dsps::common::Rng rng(23);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) {
+    xs.push_back(std::pow(10.0, rng.Uniform(-6.0, 3.0)));
+  }
+  for (double x : xs) s.Add(x);
+  EXPECT_TRUE(s.collapsed());
+  EXPECT_LE(s.num_buckets(), 128u);
+  std::sort(xs.begin(), xs.end());
+  for (double q : {0.90, 0.95, 0.99}) {
+    double truth = ExactQuantile(xs, q);
+    EXPECT_NEAR(s.Percentile(q), truth,
+                s.config().relative_accuracy * truth + 1e-12)
+        << q;
+  }
+  // The low tail coarsened: the median's answer may be far off, but it
+  // must still be clamped inside the observed range.
+  EXPECT_GE(s.Percentile(0.05), s.min());
+  EXPECT_LE(s.Percentile(0.05), s.max());
+}
+
+TEST(SketchTest, MemoryStaysBoundedOnUnboundedStream) {
+  Sketch s;
+  dsps::common::Rng rng(29);
+  for (int i = 0; i < 200000; ++i) s.Add(rng.Uniform(1e-4, 1e4));
+  // ~8 decades at alpha=1% is a few hundred buckets; well under the
+  // budget and about three orders of magnitude smaller than storing the
+  // samples (200k * 8 bytes = 1.6 MB).
+  EXPECT_LE(s.num_buckets(), 1024u);
+  EXPECT_LT(s.MemoryBytes(), 64u * 1024u);
+  EXPECT_FALSE(s.collapsed());
+}
+
+TEST(SketchTest, WeightedAddMatchesRepeatedAdd) {
+  Sketch weighted, repeated;
+  weighted.Add(3.5, 1000);
+  for (int i = 0; i < 1000; ++i) repeated.Add(3.5);
+  EXPECT_EQ(weighted.count(), repeated.count());
+  EXPECT_DOUBLE_EQ(weighted.Percentile(0.5), repeated.Percentile(0.5));
+  EXPECT_DOUBLE_EQ(weighted.sum(), repeated.sum());
+}
+
+TEST(SketchTest, ClearResets) {
+  Sketch s;
+  s.Add(1.0);
+  s.Add(100.0);
+  s.Clear();
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.num_buckets(), 0u);
+  EXPECT_EQ(s.Percentile(0.99), 0.0);
+  s.Add(7.0);  // Usable after Clear, min/max re-seed correctly.
+  EXPECT_EQ(s.min(), 7.0);
+  EXPECT_EQ(s.max(), 7.0);
+}
+
+}  // namespace
+}  // namespace dsps::telemetry

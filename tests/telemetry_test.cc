@@ -231,8 +231,12 @@ TEST(BenchReportTest, ProducesParseableJsonWithHeadlines) {
   const JsonValue* metrics = parsed.value().Find("metrics");
   ASSERT_NE(metrics, nullptr);
   ASSERT_TRUE(metrics->is_array());
-  ASSERT_EQ(metrics->items.size(), 2u);
+  // The headline, the merged counter, and the always-exported trace
+  // truncation counters (explicit zeros: "nothing dropped" is a
+  // gateable statement, not an absence).
+  ASSERT_EQ(metrics->items.size(), 4u);
   bool found_headline = false;
+  double dropped_spans = -1.0, dropped_instants = -1.0;
   for (const JsonValue& item : metrics->items) {
     if (item.StringOr("name", "") == "headline.latency_ms") {
       found_headline = true;
@@ -240,9 +244,15 @@ TEST(BenchReportTest, ProducesParseableJsonWithHeadlines) {
       const JsonValue* labels = item.Find("labels");
       ASSERT_NE(labels, nullptr);
       EXPECT_EQ(labels->StringOr("row", ""), "1");
+    } else if (item.StringOr("name", "") == "trace.dropped_spans") {
+      dropped_spans = item.NumberOr("value", -1.0);
+    } else if (item.StringOr("name", "") == "trace.dropped_instants") {
+      dropped_instants = item.NumberOr("value", -1.0);
     }
   }
   EXPECT_TRUE(found_headline);
+  EXPECT_EQ(dropped_spans, 0.0);
+  EXPECT_EQ(dropped_instants, 0.0);
 }
 
 TEST(JsonTest, NonfiniteNumbersRenderNullAndCount) {

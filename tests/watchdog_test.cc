@@ -1,0 +1,210 @@
+#include "telemetry/watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "telemetry/flight_recorder.h"
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
+
+namespace dsps::telemetry {
+namespace {
+
+TEST(WatchdogTest, QuietRunRaisesNothing) {
+  // Every detector kind watching steady, healthy signals: zero triggers
+  // no matter how long the run — the bit-identical-when-quiet guarantee
+  // the benches' unperturbed legs pin.
+  MetricsRegistry reg;
+  Watchdog::Config cfg;
+  cfg.metrics = &reg;
+  Watchdog wd(cfg);
+  double load = 100.0;
+  double cumulative = 0.0;
+  int64_t queue = 2;
+  wd.AddSpikeDetector("spike", [&] { return load; });
+  wd.AddRateDetector("rate", [&] { return cumulative; }, 50.0);
+  wd.AddThresholdDetector("threshold", [&] { return load; }, 500.0);
+  wd.AddGrowthDetector("growth",
+                       [&] { return static_cast<double>(queue); }, 4.0);
+  wd.AddIncreaseDetector("increase", [] { return 0.0; });
+  for (int i = 0; i < 400; ++i) {
+    // Mild periodic wobble, a slow legal rate, a bounded queue.
+    load = 100.0 + 5.0 * std::sin(0.3 * i);
+    cumulative += 2.0;  // 8/s at a 0.25 s cadence: under the 50/s limit.
+    queue = 2 + (i % 3);
+    wd.Tick(0.25 * (i + 1));
+  }
+  EXPECT_EQ(wd.anomalies(), 0);
+  EXPECT_EQ(wd.ticks(), 400);
+  for (const auto& d : wd.detectors()) EXPECT_EQ(d.triggers, 0) << d.name;
+  // Quiet runs intern no anomaly series at all, keeping snapshots
+  // byte-identical to watchdog-free runs.
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(WatchdogTest, SpikeDetectorFlagsOutlierAfterWarmup) {
+  Watchdog wd;
+  double value = 10.0;
+  wd.AddSpikeDetector("load_spike", [&] { return value; });
+  // Warmup window of steady samples.
+  for (int i = 0; i < 20; ++i) wd.Tick(0.25 * (i + 1));
+  EXPECT_EQ(wd.anomalies(), 0);
+  value = 500.0;  // 50x the median: unambiguous spike.
+  wd.Tick(5.25);
+  EXPECT_EQ(wd.triggers("load_spike"), 1);
+  EXPECT_EQ(wd.detectors()[0].last_trigger_t, 5.25);
+}
+
+TEST(WatchdogTest, SpikeDetectorIgnoresSpikeDuringWarmup) {
+  Watchdog wd;
+  double value = 10.0;
+  wd.AddSpikeDetector("early", [&] { return value; });
+  value = 500.0;
+  wd.Tick(0.25);  // First sample is the spike: no baseline, no trigger.
+  EXPECT_EQ(wd.anomalies(), 0);
+}
+
+TEST(WatchdogTest, RateDetectorFiresAboveLimitOnly) {
+  Watchdog wd;
+  double cumulative = 0.0;
+  wd.AddRateDetector("retry_storm", [&] { return cumulative; }, 50.0);
+  wd.Tick(0.25);  // First tick seeds prev; cannot fire.
+  cumulative += 10.0;  // 40/s: legal.
+  wd.Tick(0.50);
+  EXPECT_EQ(wd.anomalies(), 0);
+  cumulative += 30.0;  // 120/s: storm.
+  wd.Tick(0.75);
+  EXPECT_EQ(wd.triggers("retry_storm"), 1);
+  EXPECT_EQ(wd.detectors()[0].last_value, cumulative);
+}
+
+TEST(WatchdogTest, ThresholdRequiresSustain) {
+  Watchdog wd;
+  double p95 = 0.0;
+  wd.AddThresholdDetector("slo_burn", [&] { return p95; }, 1.0);
+  // Two ticks above the limit, then a dip: streak resets, no trigger.
+  p95 = 1.5;
+  wd.Tick(0.25);
+  wd.Tick(0.50);
+  p95 = 0.5;
+  wd.Tick(0.75);
+  EXPECT_EQ(wd.anomalies(), 0);
+  // Three consecutive ticks at/above the limit: fires once.
+  p95 = 2.0;
+  wd.Tick(1.00);
+  wd.Tick(1.25);
+  wd.Tick(1.50);
+  EXPECT_EQ(wd.triggers("slo_burn"), 1);
+}
+
+TEST(WatchdogTest, GrowthNeedsSustainedStrictGrowthAboveFloor) {
+  Watchdog wd;
+  double queue = 0.0;
+  wd.AddGrowthDetector("admission_queue", [&] { return queue; }, 4.0);
+  // Strict growth but below the floor: tolerated.
+  for (double q : {1.0, 2.0, 3.0, 3.5}) {
+    queue = q;
+    wd.Tick(queue);
+  }
+  EXPECT_EQ(wd.anomalies(), 0);
+  // Keeps growing past the floor: fires.
+  queue = 4.5;
+  wd.Tick(5.0);
+  queue = 6.0;
+  wd.Tick(6.0);
+  EXPECT_GE(wd.triggers("admission_queue"), 1);
+}
+
+TEST(WatchdogTest, IncreaseFiresOnAnyStrictIncrease) {
+  Watchdog wd;
+  double evictions = 0.0;
+  wd.AddIncreaseDetector("entity_loss", [&] { return evictions; });
+  for (int i = 0; i < 10; ++i) wd.Tick(0.25 * (i + 1));
+  EXPECT_EQ(wd.anomalies(), 0);  // Flat at zero: healthy.
+  evictions = 1.0;
+  wd.Tick(3.0);
+  EXPECT_EQ(wd.triggers("entity_loss"), 1);
+}
+
+TEST(WatchdogTest, CooldownSuppressesFloods) {
+  Watchdog wd;
+  double cumulative = 0.0;
+  wd.AddRateDetector("storm", [&] { return cumulative; }, 1.0);
+  // 40/s over the 1/s limit on every tick for 40 ticks: the default
+  // 8-tick cooldown spaces triggers out instead of logging 39 repeats.
+  for (int i = 0; i < 40; ++i) {
+    cumulative += 10.0;
+    wd.Tick(0.25 * (i + 1));
+  }
+  EXPECT_GE(wd.anomalies(), 2);
+  EXPECT_LE(wd.anomalies(), 6);
+}
+
+TEST(WatchdogTest, IdenticalInputsProduceIdenticalAnomalyStreams) {
+  // Determinism: the whole detector state is a pure function of the
+  // probe sequence, so two runs over the same values agree exactly.
+  auto run = [](std::vector<double>* trigger_times) {
+    Watchdog wd;
+    double v = 0.0;
+    wd.AddSpikeDetector("s", [&] { return v; });
+    wd.AddRateDetector("r", [&] { return 3.0 * v; }, 40.0);
+    int64_t total = 0;
+    for (int i = 0; i < 200; ++i) {
+      v = 10.0 + (i % 7) + (i % 23 == 0 ? 300.0 : 0.0);
+      wd.Tick(0.25 * (i + 1));
+    }
+    for (const auto& d : wd.detectors()) {
+      trigger_times->push_back(d.last_trigger_t);
+      total += d.triggers;
+    }
+    trigger_times->push_back(static_cast<double>(total));
+    return total;
+  };
+  std::vector<double> a, b;
+  int64_t na = run(&a);
+  int64_t nb = run(&b);
+  EXPECT_GT(na, 0);  // The scenario does contain anomalies.
+  EXPECT_EQ(na, nb);
+  EXPECT_EQ(a, b);
+}
+
+TEST(WatchdogTest, TriggersFanOutToMetricsTraceAndFlight) {
+  MetricsRegistry reg;
+  TraceLog::Config trace_cfg;
+  trace_cfg.sample_every_n = 1;  // Disabled logs drop instants too.
+  TraceLog trace(trace_cfg);
+  FlightRecorder flight;
+  Watchdog::Config cfg;
+  cfg.metrics = &reg;
+  cfg.trace = &trace;
+  cfg.flight = &flight;
+  Watchdog wd(cfg);
+  double evictions = 0.0;
+  wd.AddIncreaseDetector("entity_loss", [&] { return evictions; });
+  wd.Tick(0.25);
+  evictions = 2.0;
+  wd.Tick(0.50);
+  ASSERT_EQ(wd.anomalies(), 1);
+  EXPECT_EQ(reg.counter("anomaly.total")->value(), 1);
+  EXPECT_EQ(reg.counter("anomaly.events",
+                        MakeLabels({{"detector", "entity_loss"}}))
+                ->value(),
+            1);
+  ASSERT_EQ(trace.instants().size(), 1u);
+  EXPECT_EQ(trace.instants()[0].name, "anomaly.entity_loss");
+  EXPECT_EQ(trace.instants()[0].t, 0.50);
+  auto events = flight.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0]->kind, FlightRecorder::EventKind::kAnomaly);
+  EXPECT_EQ(events[0]->instant.name, "anomaly.entity_loss");
+}
+
+TEST(WatchdogTest, UnknownDetectorNameReturnsZero) {
+  Watchdog wd;
+  EXPECT_EQ(wd.triggers("nope"), 0);
+}
+
+}  // namespace
+}  // namespace dsps::telemetry

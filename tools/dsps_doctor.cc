@@ -28,7 +28,17 @@
 //     spline fallback rate. A scope whose fallback rate exceeds its
 //     declared bound (index.declared_fallback_bound) marks the file
 //     unhealthy — the spline's bounded-error self-certification failed
-//     more often than it promised.
+//     more often than it promised;
+//   - reports with anomaly.* counters (runs under telemetry::Watchdog)
+//     get an anomaly table, one row per detector. Anomalies alone do not
+//     mark a file unhealthy — fault-injection legs flag them by design;
+//     the benches' own acceptance bars decide which ones are fatal;
+//   - non-zero trace.dropped_spans / trace.dropped_instants (span budget
+//     exhausted — the decomposition silently under-counts; raise
+//     max_spans or switch to stage aggregation) and non-zero
+//     common.histogram_overflow (an exact histogram hit its sample cap)
+//     mark the file unhealthy: truncated telemetry must never pass for
+//     complete.
 //
 // Usage: dsps_doctor <report.json>...
 // Exit status: 0 = healthy, 1 = violations found, 2 = usage/parse error.
@@ -83,6 +93,9 @@ struct FileHealth {
   /// Per-scope learned-index rollup keyed by the sample's full label
   /// set (empty for reports without index.* series).
   std::map<std::string, IndexHealth> indexes;
+  /// Watchdog anomaly counts keyed by detector name (empty when the run
+  /// had no watchdog or it stayed silent).
+  std::map<std::string, double> anomalies;
 };
 
 /// {"report":"audit","sweeps":..,"violations":..,"checks":[...]}
@@ -122,6 +135,10 @@ FileHealth SummarizeBench(const std::string& path, const JsonValue& doc) {
   double nonfinite = 0.0;
   double audit_violations = 0.0;
   double unplaced = 0.0;
+  double anomaly_total = 0.0;
+  double dropped_spans = 0.0;
+  double dropped_instants = 0.0;
+  double histogram_overflow = 0.0;
   double recovery_min = 0.0, recovery_max = 0.0;
   int recovery_samples = 0;
   double events_per_sec = -1.0;
@@ -136,6 +153,20 @@ FileHealth SummarizeBench(const std::string& path, const JsonValue& doc) {
         nonfinite += sample.NumberOr("value", 0.0);
       } else if (name == "audit.violations") {
         audit_violations += sample.NumberOr("value", 0.0);
+      } else if (name == "anomaly.total") {
+        anomaly_total += sample.NumberOr("value", 0.0);
+      } else if (name == "anomaly.events") {
+        const JsonValue* labels = sample.Find("labels");
+        std::string detector =
+            labels != nullptr ? labels->StringOr("detector", "") : "";
+        if (detector.empty()) detector = "(unlabeled)";
+        h.anomalies[detector] += sample.NumberOr("value", 0.0);
+      } else if (name == "trace.dropped_spans") {
+        dropped_spans += sample.NumberOr("value", 0.0);
+      } else if (name == "trace.dropped_instants") {
+        dropped_instants += sample.NumberOr("value", 0.0);
+      } else if (name == "common.histogram_overflow") {
+        histogram_overflow += sample.NumberOr("value", 0.0);
       } else if (name.rfind("headline.tenant_", 0) == 0) {
         const JsonValue* labels = sample.Find("labels");
         std::string who =
@@ -248,6 +279,24 @@ FileHealth SummarizeBench(const std::string& path, const JsonValue& doc) {
     h.healthy = false;
     os << "; " << unplaced << " queries unplaced";
   }
+  // Anomalies are surfaced, not judged: fault legs raise them by design,
+  // and each bench's own acceptance bars decide which ones abort.
+  if (anomaly_total > 0) {
+    os << "; " << anomaly_total << " anomalies flagged";
+  }
+  if (dropped_spans > 0 || dropped_instants > 0) {
+    h.healthy = false;
+    os << "; trace dropped " << dropped_spans << " spans / "
+       << dropped_instants
+       << " instants (budget exhausted — raise max_spans/max_instants or "
+          "aggregate stages)";
+  }
+  if (histogram_overflow > 0) {
+    h.healthy = false;
+    os << "; " << histogram_overflow
+       << " histogram samples dropped at the cap (use telemetry::Sketch "
+          "for unbounded streams)";
+  }
   for (const auto& [who, t] : h.tenants) {
     if (t.quota_headroom >= 0 && t.rejected > t.quota_headroom) {
       h.healthy = false;
@@ -308,6 +357,14 @@ void PrintTenantTable(const FileHealth& h) {
   table.Print("Tenants in " + h.path);
 }
 
+void PrintAnomalyTable(const FileHealth& h) {
+  Table table({"detector", "events"});
+  for (const auto& [detector, events] : h.anomalies) {
+    table.AddRow({detector, Table::Num(events, 0)});
+  }
+  table.Print("Anomalies in " + h.path);
+}
+
 int RunMain(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: dsps_doctor <report.json>..." << std::endl;
@@ -351,6 +408,7 @@ int RunMain(int argc, char** argv) {
   for (const FileHealth& h : results) {
     if (!h.tenants.empty()) PrintTenantTable(h);
     if (!h.indexes.empty()) PrintIndexTable(h);
+    if (!h.anomalies.empty()) PrintAnomalyTable(h);
   }
   return all_healthy ? 0 : 1;
 }

@@ -12,6 +12,11 @@
 // Usage: trace_stats [--filter-label tenant=<id>] <spans.jsonl>
 //        ("-" reads stdin)
 //
+// Flight-recorder dumps (telemetry::FlightRecorder::DumpJsonl) are the
+// same line format plus a `{"flight":1,...}` header; they are accepted
+// directly, and the header's recorded/overwritten counts are echoed so a
+// post-incident reader knows how much history the ring had kept.
+//
 // --filter-label tenant=<id> keeps only the traces whose `result` span is
 // tagged with that tenant (and the instants), so per-tenant latency can
 // be decomposed from a shared span log without re-running the sim.
@@ -189,6 +194,16 @@ int RunMain(int argc, char** argv) {
               << " — refusing to report on partial input" << std::endl;
     return 1;
   }
+  if (records.value().from_flight_recorder) {
+    std::cout << "flight-recorder dump: capacity "
+              << records.value().flight_capacity << ", recorded "
+              << records.value().flight_recorded << ", overwritten "
+              << records.value().flight_overwritten
+              << (records.value().flight_overwritten > 0
+                      ? " (oldest events lost)"
+                      : "")
+              << std::endl;
+  }
   std::vector<Span> spans = records.value().spans;
   if (have_tenant) {
     size_t before = spans.size();
@@ -197,6 +212,19 @@ int RunMain(int argc, char** argv) {
               << " of " << before << " spans" << std::endl;
   }
   if (spans.empty()) {
+    // A flight dump from an anomaly or fatal abort is often all instants
+    // (anomaly.*, net.drop.*) — summarise those instead of failing.
+    const auto& instants = records.value().instants;
+    if (!have_tenant && !instants.empty()) {
+      std::map<std::string, int64_t> by_name;
+      for (const auto& inst : instants) by_name[inst.name] += 1;
+      Table table({"instant", "events"});
+      for (const auto& [name, n] : by_name) {
+        table.AddRow({name, Table::Int(n)});
+      }
+      table.Print("Instants (no spans in input)");
+      return 0;
+    }
     std::cerr << "trace_stats: no spans "
               << (have_tenant ? "match the filter" : "in input") << std::endl;
     return 1;
